@@ -1,0 +1,48 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one table or figure from the paper via the
+experiment registry, runs it exactly once under ``pytest-benchmark`` (the
+interesting measurement is the experiment runtime, not per-call jitter), and
+attaches the resulting rows to ``benchmark.extra_info`` so the numbers appear
+in ``--benchmark-json`` output and can be diffed across runs.
+
+Run everything with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    try:
+        import repro  # noqa: F401
+    except ImportError:
+        sys.path.insert(0, str(_SRC))
+
+from repro.experiments.registry import ExperimentResult, run_experiment  # noqa: E402
+
+
+def run_once(benchmark, experiment_id: str, **kwargs) -> ExperimentResult:
+    """Run one registered experiment exactly once under the benchmark fixture."""
+    result = benchmark.pedantic(
+        run_experiment, args=(experiment_id,), kwargs=kwargs, rounds=1, iterations=1
+    )
+    benchmark.extra_info["experiment"] = experiment_id
+    benchmark.extra_info["paper_artifact"] = result.paper_artifact
+    benchmark.extra_info["rows"] = [
+        {key: (value if isinstance(value, (int, float, str, bool)) else str(value)) for key, value in row.items()}
+        for row in result.rows
+    ]
+    return result
+
+
+@pytest.fixture
+def bench_trials() -> int:
+    """Monte Carlo fidelity used by the benchmarks (lower than the paper's 50k-1M)."""
+    return 50_000

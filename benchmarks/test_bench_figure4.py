@@ -1,0 +1,51 @@
+"""Benchmark regenerating Figure 4 and the §5.3 write-variance sweep."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+
+
+@pytest.mark.benchmark(group="figure4")
+def test_bench_figure4(benchmark, bench_trials):
+    """Figure 4: t-visibility under exponential W with A=R=S exp(mean 1 ms)."""
+    result = run_once(benchmark, "figure4", trials=bench_trials, rng=0)
+    by_ratio = {row["w_to_ars_ratio"]: row for row in result.rows}
+
+    # Paper §5.3: W variance 1/16 (ratio 1:4) gives ~94% consistency right
+    # after the write and ~99.9% after 1 ms; W ten times slower (1:0.10) gives
+    # ~41% immediately and needs ~65 ms for 99.9%.
+    assert by_ratio["1:4"]["p@t=0ms"] > 0.90
+    assert by_ratio["1:4"]["p@t=2ms"] > 0.99
+    assert by_ratio["1:0.10"]["p@t=0ms"] < 0.55
+    assert 30.0 < by_ratio["1:0.10"]["t_visibility_99.9_ms"] < 120.0
+
+    # Consistency at commit decreases monotonically as writes get slower.
+    ordered = [by_ratio[label]["p@t=0ms"] for label, _ in _RATIO_ORDER]
+    assert ordered == sorted(ordered, reverse=True)
+
+
+_RATIO_ORDER = (
+    ("1:4", 4.0),
+    ("1:2", 2.0),
+    ("1:1", 1.0),
+    ("1:0.50", 0.5),
+    ("1:0.20", 0.2),
+    ("1:0.10", 0.1),
+)
+
+
+@pytest.mark.benchmark(group="figure4")
+def test_bench_section53_variance(benchmark, bench_trials):
+    """§5.3: with fixed write mean, higher write variance worsens t-visibility."""
+    result = run_once(benchmark, "section5.3-variance", trials=bench_trials, rng=0)
+    rows = {row["write_distribution"]: row for row in result.rows}
+    assert (
+        rows["normal sd=5"]["p_consistent_at_commit"]
+        < rows["normal sd=0.5"]["p_consistent_at_commit"]
+    )
+    assert (
+        rows["wide uniform"]["t_visibility_99.9_ms"]
+        >= rows["constant-ish uniform"]["t_visibility_99.9_ms"]
+    )

@@ -1,0 +1,42 @@
+"""Benchmark regenerating Figure 5: operation latency CDFs for the production fits."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+
+
+@pytest.mark.benchmark(group="figure5")
+def test_bench_figure5(benchmark, bench_trials):
+    result = run_once(benchmark, "figure5", trials=bench_trials, rng=0)
+
+    def row(environment: str, operation: str, quorum: int) -> dict:
+        return next(
+            r
+            for r in result.rows
+            if r["environment"] == environment
+            and r["operation"] == operation
+            and r["quorum_size"] == quorum
+        )
+
+    # Latency grows with the quorum size for every environment (waiting for
+    # the 3rd fastest replica is never faster than waiting for the 1st).
+    for environment in ("LNKD-SSD", "LNKD-DISK", "YMMR", "WAN"):
+        for operation in ("read", "write"):
+            p50_by_quorum = [row(environment, operation, q)["p50_ms"] for q in (1, 2, 3)]
+            assert p50_by_quorum == sorted(p50_by_quorum)
+
+    # LNKD-SSD and LNKD-DISK share the read path (A=R=S fit); their read
+    # medians agree within Monte Carlo noise.
+    assert row("LNKD-SSD", "read", 1)["p50_ms"] == pytest.approx(
+        row("LNKD-DISK", "read", 1)["p50_ms"], rel=0.1
+    )
+
+    # LNKD-DISK writes are much slower than its reads at the tail (fsync-bound).
+    assert row("LNKD-DISK", "write", 1)["p99.9_ms"] > 3 * row("LNKD-DISK", "read", 1)["p99.9_ms"]
+
+    # WAN: quorum size 1 can stay local, but waiting for 2 replicas forces a
+    # ~75 ms one-way WAN hop.
+    assert row("WAN", "write", 1)["p50_ms"] < 60.0
+    assert row("WAN", "write", 2)["p50_ms"] > 75.0

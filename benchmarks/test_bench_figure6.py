@@ -1,0 +1,41 @@
+"""Benchmark regenerating Figure 6: t-visibility for the production fits."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+
+
+@pytest.mark.benchmark(group="figure6")
+def test_bench_figure6(benchmark, bench_trials):
+    result = run_once(benchmark, "figure6", trials=bench_trials, rng=0)
+    rows = {(row["environment"], row["config"]): row for row in result.rows}
+
+    # §5.6 headline shapes for N=3, R=W=1.
+    ssd = rows[("LNKD-SSD", "N=3 R=1 W=1")]
+    disk = rows[("LNKD-DISK", "N=3 R=1 W=1")]
+    ymmr = rows[("YMMR", "N=3 R=1 W=1")]
+    wan = rows[("WAN", "N=3 R=1 W=1")]
+
+    # LNKD-SSD: ~97.4% immediately after commit, ~99.999% within 5 ms.
+    assert ssd["p_at_commit"] == pytest.approx(0.974, abs=0.02)
+    assert ssd["p@t=5ms"] > 0.999
+
+    # LNKD-DISK: ~43.9% immediately, ~92.5% ten ms later.
+    assert disk["p_at_commit"] == pytest.approx(0.44, abs=0.06)
+    assert 0.85 < disk["p@t=10ms"] < 0.98
+
+    # YMMR: ~89% immediately but a very long tail (99.9% takes ~1 second).
+    assert ymmr["p_at_commit"] == pytest.approx(0.89, abs=0.05)
+    assert ymmr["t_visibility_99.9_ms"] > 500.0
+
+    # WAN: ~33% immediately; most replicas only catch up after the 75 ms hop.
+    assert wan["p_at_commit"] == pytest.approx(0.33, abs=0.06)
+    assert wan["p@t=100ms"] > 0.9
+
+    # Increasing either R or W improves consistency at commit for every environment.
+    for environment in ("LNKD-SSD", "LNKD-DISK", "YMMR", "WAN"):
+        base = rows[(environment, "N=3 R=1 W=1")]["p_at_commit"]
+        assert rows[(environment, "N=3 R=1 W=2")]["p_at_commit"] >= base - 0.02
+        assert rows[(environment, "N=3 R=2 W=1")]["p_at_commit"] >= base - 0.02

@@ -1,0 +1,35 @@
+"""Benchmark regenerating Figure 7: quorum sizing (t-visibility vs replication factor)."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+
+
+@pytest.mark.benchmark(group="figure7")
+def test_bench_figure7(benchmark, bench_trials):
+    result = run_once(benchmark, "figure7", trials=bench_trials, rng=0)
+    rows = {(row["environment"], row["n"]): row for row in result.rows}
+
+    # §5.7: LNKD-DISK with R=W=1 drops from ~57.5% consistency at commit with
+    # N=2 to ~21.1% with N=10.
+    assert rows[("LNKD-DISK", 2)]["p_at_commit"] == pytest.approx(0.575, abs=0.06)
+    assert rows[("LNKD-DISK", 10)]["p_at_commit"] == pytest.approx(0.21, abs=0.06)
+
+    # Consistency at commit decreases in N for every environment (allowing a
+    # small Monte Carlo tolerance for environments where the drop is tiny,
+    # such as LNKD-SSD).
+    for environment in ("LNKD-DISK", "LNKD-SSD", "WAN"):
+        series = [rows[(environment, n)]["p_at_commit"] for n in (2, 3, 5, 10)]
+        for earlier, later in zip(series, series[1:]):
+            assert later <= earlier + 0.01
+        assert series[-1] < series[0] + 1e-9
+
+    # ...but the time to converge stays in a narrow band: §5.7 reports the
+    # 99.9% t-visibility for LNKD-DISK ranging only from ~45 ms (N=2) to
+    # ~54 ms (N=10).  Allow generous Monte Carlo slack while still requiring
+    # the band to be narrow relative to the drop in commit-time consistency.
+    disk_t = [rows[("LNKD-DISK", n)]["t_visibility_99.9_ms"] for n in (2, 3, 5, 10)]
+    assert max(disk_t) < 2.0 * min(disk_t)
+    assert 25.0 < min(disk_t) and max(disk_t) < 110.0

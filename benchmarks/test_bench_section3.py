@@ -1,0 +1,41 @@
+"""Benchmarks for the closed-form results: §3.1 k-staleness, §3.2 monotonic reads, §3.3 load."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+
+
+@pytest.mark.benchmark(group="section3")
+def test_bench_section3_kstaleness(benchmark):
+    """§3.1 in-text table: P(read within k versions) for the example configurations."""
+    result = run_once(benchmark, "section3-kstaleness")
+    row = next(r for r in result.rows if r["config"] == "N=3 R=1 W=1")
+    # Paper: within 3 versions 0.703..., within 10 versions > 0.98.
+    assert row["p_within_3"] == pytest.approx(0.7037, abs=1e-3)
+    assert row["p_within_10"] > 0.98
+
+
+@pytest.mark.benchmark(group="section3")
+def test_bench_section3_monotonic(benchmark):
+    """§3.2 monotonic reads: more writes between client reads raise the exponent k,
+    so the monotonic-reads probability grows with the write/read rate ratio."""
+    result = run_once(benchmark, "section3-monotonic")
+    series = [
+        row for row in result.rows if row["config"] == "N=3 R=1 W=1"
+    ]
+    ordered = sorted(series, key=lambda row: row["writes_per_read"])
+    probabilities = [row["p_monotonic"] for row in ordered]
+    assert probabilities == sorted(probabilities)
+    assert probabilities[0] < probabilities[-1]
+
+
+@pytest.mark.benchmark(group="section3")
+def test_bench_section3_load(benchmark):
+    """§3.3 load bounds are produced for every (N, p) cell with k sweeps."""
+    result = run_once(benchmark, "section3-load")
+    assert len(result.rows) == 9
+    for row in result.rows:
+        assert 0.0 <= row["load_k=1"] <= 1.0
+        assert 0.0 <= row["load_k=10"] <= 1.0

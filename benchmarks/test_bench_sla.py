@@ -1,0 +1,21 @@
+"""Benchmark for the §6 SLA-driven configuration search."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+
+
+@pytest.mark.benchmark(group="sla")
+def test_bench_sla_search(benchmark):
+    result = run_once(benchmark, "sla", trials=20_000, rng=0)
+    assert len(result.rows) == 3
+    for row in result.rows:
+        # All (R, W) pairs at N=3 unless a durability floor prunes low-W configs.
+        assert row["configs_evaluated"] in (6, 9)
+        assert row["configs_feasible"] >= 1
+        assert row["best_config"] != "none"
+    durability_row = next(row for row in result.rows if "durability-first" in row["scenario"])
+    # The durability floor W >= 2 must be respected by the recommended config.
+    assert "W=2" in durability_row["best_config"] or "W=3" in durability_row["best_config"]

@@ -1,0 +1,26 @@
+"""Benchmark regenerating the §5.2 validation: WARS prediction vs the cluster substrate."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+
+
+@pytest.mark.benchmark(group="validation")
+def test_bench_validation_grid(benchmark):
+    """Predicted-vs-measured error over the §5.2 exponential latency grid.
+
+    The paper reports an average t-visibility RMSE of 0.28% over 50,000 writes
+    per grid point; at the benchmark's reduced workload (200 writes per point)
+    the residual is dominated by sampling noise, so the assertion budget is a
+    few percent rather than a fraction of a percent.
+    """
+    result = run_once(benchmark, "validation", trials=200, rng=0, prediction_trials=60_000)
+    assert len(result.rows) == 9
+    mean_rmse = sum(row["consistency_rmse_pct"] for row in result.rows) / len(result.rows)
+    assert mean_rmse < 8.0
+    for row in result.rows:
+        assert row["consistency_rmse_pct"] < 15.0
+        assert row["read_latency_nrmse_pct"] < 10.0
+        assert row["write_latency_nrmse_pct"] < 15.0

@@ -1,0 +1,19 @@
+"""Repository-level pytest configuration.
+
+Ensures the ``src`` layout is importable even when the package has not been
+installed (e.g. offline environments where ``pip install -e .`` cannot build
+an editable wheel).  When the package *is* installed, the installed version
+takes precedence and this shim is a no-op.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    try:
+        import repro  # noqa: F401
+    except ImportError:
+        sys.path.insert(0, str(_SRC))

@@ -1,0 +1,80 @@
+"""Explore and re-derive the paper's production latency fits (Tables 1-3, §5.5).
+
+Three steps:
+
+1. summarise each Table 3 mixture fit (the one-way WARS distributions for
+   LNKD-SSD, LNKD-DISK, YMMR) at the percentiles the paper publishes;
+2. re-run the §5.5 fitting procedure on the published Yammer percentile
+   summaries and report the achieved N-RMSE;
+3. show how a custom percentile summary from *your* production system can be
+   turned into a WARS model and fed to the predictor.
+
+Run it with::
+
+    python examples/production_fit_explorer.py
+"""
+
+from __future__ import annotations
+
+from repro import PBSPredictor, ReplicaConfig, WARSDistributions
+from repro.analysis import format_table
+from repro.latency import (
+    YAMMER_WRITE_SUMMARY,
+    fit_pareto_exponential,
+    lnkd_disk,
+    lnkd_ssd,
+    ymmr,
+)
+
+
+def summarise_fits() -> None:
+    percentiles = (50.0, 95.0, 99.0, 99.9)
+    rows = []
+    for name, distribution in (
+        ("LNKD-SSD (W=A=R=S)", lnkd_ssd().w),
+        ("LNKD-DISK (W)", lnkd_disk().w),
+        ("YMMR (W)", ymmr().w),
+        ("YMMR (A=R=S)", ymmr().r),
+    ):
+        summary = distribution.describe(percentiles=percentiles, samples=200_000, rng=0)
+        row = {"fit": name, "mean_ms": summary.mean}
+        for percentile in percentiles:
+            row[f"p{percentile:g}_ms"] = summary.percentiles[percentile]
+        rows.append(row)
+    print(format_table(rows, precision=2, title="Table 3 one-way latency fits"))
+    print()
+
+
+def refit_yammer_writes() -> None:
+    targets = {
+        percentile: YAMMER_WRITE_SUMMARY.percentiles[percentile]
+        for percentile in (50.0, 75.0, 95.0, 98.0, 99.0, 99.9)
+    }
+    fit = fit_pareto_exponential(targets, mean_hint=YAMMER_WRITE_SUMMARY.mean)
+    print("Re-fitting the Yammer write summary (Table 2) with a Pareto+exponential mixture:")
+    print(f"  {fit.describe()}")
+    print()
+
+
+def custom_summary_to_prediction() -> None:
+    # Suppose your own store reports these single-node write latencies (ms).
+    my_percentiles = {50.0: 2.0, 95.0: 6.0, 99.0: 15.0, 99.9: 80.0}
+    write_fit = fit_pareto_exponential(my_percentiles, mean_hint=3.0)
+    read_fit = fit_pareto_exponential({50.0: 0.8, 95.0: 2.0, 99.0: 4.0, 99.9: 10.0})
+    distributions = WARSDistributions.write_specialised(
+        write=write_fit.distribution, other=read_fit.distribution, name="my-store"
+    )
+    report = PBSPredictor(distributions, ReplicaConfig(3, 1, 1)).report(trials=100_000, rng=0)
+    print("Prediction for a custom store fit from its percentile summary:")
+    for line in report.summary_lines():
+        print(f"  {line}")
+
+
+def main() -> None:
+    summarise_fits()
+    refit_yammer_writes()
+    custom_summary_to_prediction()
+
+
+if __name__ == "__main__":
+    main()

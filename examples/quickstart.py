@@ -1,0 +1,44 @@
+"""Quickstart: how eventual is eventual consistency for your configuration?
+
+This example mirrors the paper's headline question.  Pick a latency
+environment (one of the production fits from Table 3) and a replication
+configuration (N, R, W), then ask PBS:
+
+* How likely is a read immediately after a write commit to see that write?
+* How long after commit until 99.9% of reads are consistent (t-visibility)?
+* How likely is a read to be within k versions of the latest (k-staleness)?
+* What do read and write operation latencies look like?
+
+Run it with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import PBSPredictor, ReplicaConfig, production_fit
+
+
+def main() -> None:
+    # The Cassandra default the paper surveys: N=3, R=W=1 ("maximum performance").
+    config = ReplicaConfig(n=3, r=1, w=1)
+
+    for environment in ("LNKD-SSD", "LNKD-DISK", "YMMR", "WAN"):
+        predictor = PBSPredictor(production_fit(environment), config)
+        report = predictor.report(trials=100_000, rng=0)
+
+        print(f"=== {environment} / {config.label()} ===")
+        for line in report.summary_lines():
+            print(f"  {line}")
+        print()
+
+    # Compare against a strict quorum: no staleness, but higher latency.
+    strict = ReplicaConfig(n=3, r=2, w=2)
+    report = PBSPredictor(production_fit("YMMR"), strict).report(trials=100_000, rng=0)
+    print(f"=== YMMR / {strict.label()} (strict quorum) ===")
+    for line in report.summary_lines():
+        print(f"  {line}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The project metadata lives in ``pyproject.toml`` (PEP 621).  This file exists
+so that ``pip install -e .`` works in offline environments whose setuptools
+lacks the ``wheel`` package required for PEP 660 editable installs.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,104 @@
+"""Probabilistically Bounded Staleness (PBS) for practical partial quorums.
+
+A reproduction of Bailis et al., *Probabilistically Bounded Staleness for
+Practical Partial Quorums* (VLDB 2012).  The package provides:
+
+* ``repro.core`` — PBS k-staleness, monotonic reads, t-visibility,
+  ⟨k, t⟩-staleness, the WARS Monte Carlo model, and SLA-driven configuration.
+* ``repro.latency`` — latency distributions, the paper's production fits, and
+  the percentile-summary fitting procedure.
+* ``repro.cluster`` — a discrete-event Dynamo-style replicated key-value store
+  used to validate the analytical models.
+* ``repro.workloads`` — key, arrival, and operation-mix generators.
+* ``repro.montecarlo`` — t-visibility sweeps, latency CDFs, convergence tools.
+* ``repro.analysis`` — staleness measurement, statistics, and validation.
+* ``repro.experiments`` — one module per table/figure in the paper.
+
+Quickstart
+----------
+>>> from repro import PBSPredictor, ReplicaConfig, production_fit
+>>> predictor = PBSPredictor(production_fit("LNKD-SSD"), ReplicaConfig(n=3, r=1, w=1))
+>>> report = predictor.report(trials=10_000, rng=0)
+>>> report.consistency_at_commit > 0.5
+True
+"""
+
+from repro.core import (
+    CASSANDRA_DEFAULT,
+    RIAK_DEFAULT,
+    ConfigurationEvaluation,
+    KStalenessModel,
+    KTStalenessModel,
+    LoadModel,
+    MonotonicReadsModel,
+    PBSPredictor,
+    PBSReport,
+    ReplicaConfig,
+    SLAOptimizer,
+    SLATarget,
+    WARSModel,
+    WARSTrialResult,
+    iter_configs,
+)
+from repro.exceptions import (
+    AnalysisError,
+    ConfigurationError,
+    DistributionError,
+    ExperimentError,
+    PBSError,
+    SimulationError,
+    WorkloadError,
+)
+from repro.latency import (
+    ExponentialLatency,
+    LatencyDistribution,
+    MixtureDistribution,
+    ParetoLatency,
+    WARSDistributions,
+    lnkd_disk,
+    lnkd_ssd,
+    production_fit,
+    wan,
+    ymmr,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # Core
+    "CASSANDRA_DEFAULT",
+    "RIAK_DEFAULT",
+    "ConfigurationEvaluation",
+    "KStalenessModel",
+    "KTStalenessModel",
+    "LoadModel",
+    "MonotonicReadsModel",
+    "PBSPredictor",
+    "PBSReport",
+    "ReplicaConfig",
+    "SLAOptimizer",
+    "SLATarget",
+    "WARSModel",
+    "WARSTrialResult",
+    "iter_configs",
+    # Exceptions
+    "AnalysisError",
+    "ConfigurationError",
+    "DistributionError",
+    "ExperimentError",
+    "PBSError",
+    "SimulationError",
+    "WorkloadError",
+    # Latency
+    "ExponentialLatency",
+    "LatencyDistribution",
+    "MixtureDistribution",
+    "ParetoLatency",
+    "WARSDistributions",
+    "lnkd_disk",
+    "lnkd_ssd",
+    "production_fit",
+    "wan",
+    "ymmr",
+]

@@ -1,0 +1,121 @@
+"""Exporting experiment results to CSV and JSON.
+
+The benchmark harness and CLI print plain-text tables; downstream users often
+want machine-readable artifacts instead (to plot the figures, diff runs in CI,
+or archive alongside EXPERIMENTS.md).  These helpers serialise
+:class:`~repro.experiments.registry.ExperimentResult` objects and raw row
+lists without requiring any dependency beyond the standard library.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from repro.exceptions import AnalysisError
+
+__all__ = ["rows_to_csv", "rows_to_json", "export_result", "load_rows_json"]
+
+
+def _normalise_value(value: object) -> object:
+    """Convert row values to JSON/CSV-friendly primitives (recursing into containers)."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_normalise_value(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): _normalise_value(item) for key, item in value.items()}
+    return str(value)
+
+
+def _collect_columns(rows: Sequence[Mapping[str, object]]) -> list[str]:
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    return columns
+
+
+def rows_to_csv(rows: Sequence[Mapping[str, object]], path: str | Path) -> Path:
+    """Write rows to a CSV file (columns are the union of row keys, in first-seen order)."""
+    if not rows:
+        raise AnalysisError("cannot export an empty row set")
+    destination = Path(path)
+    destination.parent.mkdir(parents=True, exist_ok=True)
+    columns = _collect_columns(rows)
+    with destination.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=columns, restval="")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({key: _normalise_value(value) for key, value in row.items()})
+    return destination
+
+
+def rows_to_json(
+    rows: Sequence[Mapping[str, object]],
+    path: str | Path,
+    metadata: Mapping[str, object] | None = None,
+) -> Path:
+    """Write rows (plus optional metadata) to a JSON file."""
+    if not rows:
+        raise AnalysisError("cannot export an empty row set")
+    destination = Path(path)
+    destination.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "metadata": {key: _normalise_value(value) for key, value in (metadata or {}).items()},
+        "rows": [
+            {key: _normalise_value(value) for key, value in row.items()} for row in rows
+        ],
+    }
+    destination.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return destination
+
+
+def export_result(result, directory: str | Path, formats: Sequence[str] = ("csv", "json")) -> list[Path]:
+    """Export an :class:`ExperimentResult` to ``<directory>/<experiment_id>.{csv,json}``.
+
+    Returns the list of files written.  ``result`` is typed loosely to avoid an
+    import cycle with the experiments package; any object with
+    ``experiment_id``, ``title``, ``paper_artifact``, ``rows``, and ``notes``
+    attributes works.
+    """
+    if not formats:
+        raise AnalysisError("at least one export format is required")
+    output_directory = Path(directory)
+    written: list[Path] = []
+    for fmt in formats:
+        if fmt == "csv":
+            written.append(
+                rows_to_csv(result.rows, output_directory / f"{result.experiment_id}.csv")
+            )
+        elif fmt == "json":
+            written.append(
+                rows_to_json(
+                    result.rows,
+                    output_directory / f"{result.experiment_id}.json",
+                    metadata={
+                        "experiment_id": result.experiment_id,
+                        "title": result.title,
+                        "paper_artifact": result.paper_artifact,
+                        "notes": list(result.notes),
+                    },
+                )
+            )
+        else:
+            raise AnalysisError(f"unknown export format {fmt!r}; expected 'csv' or 'json'")
+    return written
+
+
+def load_rows_json(path: str | Path) -> list[dict[str, object]]:
+    """Load rows back from a JSON file written by :func:`rows_to_json`."""
+    source = Path(path)
+    if not source.exists():
+        raise AnalysisError(f"no such export file: {source}")
+    payload = json.loads(source.read_text())
+    rows = payload.get("rows")
+    if not isinstance(rows, list):
+        raise AnalysisError(f"{source} does not look like an exported result (missing rows)")
+    return rows

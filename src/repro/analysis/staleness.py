@@ -1,0 +1,163 @@
+"""Measuring staleness from cluster traces.
+
+These functions turn a :class:`~repro.cluster.tracing.TraceLog` into the
+quantities the paper reports:
+
+* **t-visibility** — for every completed read, how long after the latest
+  commit did it start, and did it observe that commit?  Binning those
+  observations gives the empirical probability-of-consistency curve that the
+  §5.2 validation compares against the WARS prediction.
+* **k-staleness** — how many committed versions behind was each read?  The
+  distribution of version lags validates the Equation 2 closed form.
+* **operation latency** — read and write latencies extracted from the traces
+  for the latency half of the validation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.statistics import BinnedSeries, binned_fraction
+from repro.cluster.tracing import TraceLog
+from repro.exceptions import AnalysisError
+
+__all__ = [
+    "StalenessObservation",
+    "observe_staleness",
+    "consistency_by_time",
+    "measured_t_visibility",
+    "version_lags",
+    "k_staleness_fraction",
+    "operation_latencies",
+]
+
+
+@dataclass(frozen=True)
+class StalenessObservation:
+    """One read's staleness outcome relative to the latest prior commit."""
+
+    operation_id: int
+    key: str
+    #: Time between the latest prior commit and the read's start (ms).
+    t_since_commit_ms: float
+    #: Whether the read returned that latest committed version (or newer).
+    consistent: bool
+    #: Number of committed versions the returned value lagged behind (0 = fresh).
+    version_lag: int
+
+
+def observe_staleness(trace_log: TraceLog, key: str | None = None) -> list[StalenessObservation]:
+    """Extract per-read staleness observations from a trace log.
+
+    Reads that start before any write commits are skipped (there is nothing to
+    be stale against).  Reads may return versions newer than the latest commit
+    at their start time (in-flight writes); the paper counts these as
+    consistent, and so do we.
+    """
+    observations: list[StalenessObservation] = []
+    for read in trace_log.completed_reads(key):
+        committed = [
+            write
+            for write in trace_log.committed_writes(read.key)
+            if write.committed_ms <= read.started_ms
+        ]
+        if not committed:
+            continue
+        latest = max(committed, key=lambda write: write.version)
+        t_since_commit = read.started_ms - latest.committed_ms
+        returned = read.returned_version
+        consistent = returned is not None and returned >= latest.version
+        if consistent:
+            lag = 0
+        elif returned is None:
+            lag = len(committed)
+        else:
+            lag = sum(1 for write in committed if write.version > returned)
+        observations.append(
+            StalenessObservation(
+                operation_id=read.operation_id,
+                key=read.key,
+                t_since_commit_ms=float(t_since_commit),
+                consistent=consistent,
+                version_lag=lag,
+            )
+        )
+    return observations
+
+
+def consistency_by_time(
+    observations: Sequence[StalenessObservation], bin_edges: Sequence[float]
+) -> BinnedSeries:
+    """Empirical P(consistent read) binned by time since the latest commit."""
+    if not observations:
+        raise AnalysisError("no staleness observations to bin")
+    return binned_fraction(
+        [obs.t_since_commit_ms for obs in observations],
+        [obs.consistent for obs in observations],
+        bin_edges,
+    )
+
+
+def measured_t_visibility(
+    observations: Sequence[StalenessObservation], target_probability: float
+) -> float:
+    """Smallest observed ``t`` beyond which the running consistency fraction meets the target.
+
+    Sorts observations by ``t`` and finds the smallest threshold such that the
+    fraction of consistent reads among observations with ``t >= threshold``
+    reaches the target.  Returns ``inf`` when even the largest observed ``t``
+    does not reach the target.
+    """
+    if not observations:
+        raise AnalysisError("no staleness observations available")
+    if not 0.0 < target_probability <= 1.0:
+        raise AnalysisError(
+            f"target probability must be in (0, 1], got {target_probability}"
+        )
+    ordered = sorted(observations, key=lambda obs: obs.t_since_commit_ms)
+    consistent_flags = np.array([obs.consistent for obs in ordered], dtype=float)
+    # Suffix means: fraction consistent among reads with t >= t_i.
+    suffix_fraction = np.cumsum(consistent_flags[::-1])[::-1] / np.arange(
+        len(ordered), 0, -1
+    )
+    for observation, fraction in zip(ordered, suffix_fraction):
+        if fraction >= target_probability:
+            return observation.t_since_commit_ms
+    return float("inf")
+
+
+def version_lags(observations: Sequence[StalenessObservation]) -> np.ndarray:
+    """Array of per-read version lags (0 = returned the freshest committed version)."""
+    if not observations:
+        raise AnalysisError("no staleness observations available")
+    return np.array([obs.version_lag for obs in observations], dtype=int)
+
+
+def k_staleness_fraction(observations: Sequence[StalenessObservation], k: int) -> float:
+    """Measured probability that reads were within ``k`` versions of the freshest commit."""
+    if k < 1:
+        raise AnalysisError(f"version tolerance k must be >= 1, got {k}")
+    lags = version_lags(observations)
+    return float(np.mean(lags < k))
+
+
+def operation_latencies(trace_log: TraceLog) -> tuple[np.ndarray, np.ndarray]:
+    """``(read_latencies, write_latencies)`` in ms for completed operations."""
+    reads = np.array(
+        [trace.latency_ms for trace in trace_log.reads if trace.latency_ms is not None],
+        dtype=float,
+    )
+    writes = np.array(
+        [
+            trace.commit_latency_ms
+            for trace in trace_log.writes
+            if trace.commit_latency_ms is not None
+        ],
+        dtype=float,
+    )
+    if reads.size == 0 and writes.size == 0:
+        raise AnalysisError("trace log contains no completed operations")
+    return reads, writes

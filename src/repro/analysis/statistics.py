@@ -1,0 +1,116 @@
+"""Statistical helpers shared by the analysis and experiment code.
+
+The fitting-oriented metrics (RMSE, N-RMSE, percentile tables) live in
+:mod:`repro.latency.percentiles`; this module re-exports them for convenience
+and adds the aggregate helpers used when comparing measured and predicted
+behaviour (empirical CDFs, binned means, bootstrap confidence intervals).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import AnalysisError
+from repro.latency.base import as_rng
+from repro.latency.percentiles import normalized_rmse, percentile_table, rmse
+
+__all__ = [
+    "rmse",
+    "normalized_rmse",
+    "percentile_table",
+    "empirical_cdf",
+    "binned_fraction",
+    "bootstrap_mean_interval",
+    "BinnedSeries",
+]
+
+
+def empirical_cdf(samples: Sequence[float], grid: Sequence[float]) -> list[tuple[float, float]]:
+    """``(x, P(sample <= x))`` for each grid point."""
+    data = np.sort(np.asarray(samples, dtype=float))
+    if data.size == 0:
+        raise AnalysisError("cannot compute a CDF from an empty sample")
+    points = np.asarray(list(grid), dtype=float)
+    fractions = np.searchsorted(data, points, side="right") / data.size
+    return [(float(x), float(f)) for x, f in zip(points, fractions)]
+
+
+@dataclass(frozen=True)
+class BinnedSeries:
+    """A fraction-of-successes series over bins of an explanatory variable."""
+
+    bin_edges: tuple[float, ...]
+    bin_centers: tuple[float, ...]
+    fractions: tuple[float, ...]
+    counts: tuple[int, ...]
+
+    def as_rows(self) -> list[dict[str, float]]:
+        """Rows with bin center, success fraction, and sample count."""
+        return [
+            {"bin_center": center, "fraction": fraction, "count": float(count)}
+            for center, fraction, count in zip(self.bin_centers, self.fractions, self.counts)
+        ]
+
+
+def binned_fraction(
+    x_values: Sequence[float],
+    successes: Sequence[bool],
+    bin_edges: Sequence[float],
+) -> BinnedSeries:
+    """Fraction of successes per bin of ``x_values``.
+
+    Bins with no observations report a fraction of ``nan`` so callers can skip
+    them rather than silently treating them as zero.
+    """
+    xs = np.asarray(x_values, dtype=float)
+    wins = np.asarray(successes, dtype=bool)
+    if xs.shape != wins.shape:
+        raise AnalysisError("x values and successes must have the same length")
+    edges = np.asarray(list(bin_edges), dtype=float)
+    if edges.size < 2 or np.any(np.diff(edges) <= 0):
+        raise AnalysisError("bin edges must be strictly increasing with at least two values")
+    indices = np.digitize(xs, edges) - 1
+    centers = (edges[:-1] + edges[1:]) / 2.0
+    fractions: list[float] = []
+    counts: list[int] = []
+    for bin_index in range(edges.size - 1):
+        mask = indices == bin_index
+        count = int(np.sum(mask))
+        counts.append(count)
+        fractions.append(float(np.mean(wins[mask])) if count else float("nan"))
+    return BinnedSeries(
+        bin_edges=tuple(float(e) for e in edges),
+        bin_centers=tuple(float(c) for c in centers),
+        fractions=tuple(fractions),
+        counts=tuple(counts),
+    )
+
+
+def bootstrap_mean_interval(
+    samples: Sequence[float],
+    confidence: float = 0.95,
+    resamples: int = 2_000,
+    rng: np.random.Generator | int | None = 0,
+) -> tuple[float, float, float]:
+    """``(mean, lower, upper)`` bootstrap confidence interval for the mean."""
+    data = np.asarray(samples, dtype=float)
+    if data.size == 0:
+        raise AnalysisError("cannot bootstrap an empty sample")
+    if not 0.0 < confidence < 1.0:
+        raise AnalysisError(f"confidence must be in (0, 1), got {confidence}")
+    generator = as_rng(rng)
+    means = np.array(
+        [
+            float(np.mean(generator.choice(data, size=data.size, replace=True)))
+            for _ in range(resamples)
+        ]
+    )
+    alpha = (1.0 - confidence) / 2.0
+    return (
+        float(np.mean(data)),
+        float(np.quantile(means, alpha)),
+        float(np.quantile(means, 1.0 - alpha)),
+    )

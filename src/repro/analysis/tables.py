@@ -1,0 +1,79 @@
+"""Plain-text table rendering for experiment output.
+
+The benchmark harness and CLI print the paper's tables and figure series as
+aligned text so results can be diffed across runs without any plotting
+dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.exceptions import AnalysisError
+
+__all__ = ["format_table", "format_curve", "format_kv"]
+
+
+def _format_cell(value: object, precision: int) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if value == float("inf"):
+            return "inf"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+    precision: int = 3,
+    title: str | None = None,
+) -> str:
+    """Render a list of row mappings as an aligned text table.
+
+    ``columns`` fixes the column order; by default the keys of the first row
+    are used.  Missing values render as ``-``.
+    """
+    if not rows:
+        raise AnalysisError("cannot format an empty table")
+    if columns is None:
+        columns = list(rows[0].keys())
+    header = list(columns)
+    body = [[_format_cell(row.get(column, "-"), precision) for column in header] for row in rows]
+    widths = [
+        max(len(header[i]), max(len(line[i]) for line in body)) for i in range(len(header))
+    ]
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(name.ljust(width) for name, width in zip(header, widths)))
+    lines.append("  ".join("-" * width for width in widths))
+    for line in body:
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(line, widths)))
+    return "\n".join(lines)
+
+
+def format_curve(
+    points: Sequence[tuple[float, float]],
+    x_label: str = "t_ms",
+    y_label: str = "p_consistent",
+    precision: int = 4,
+    title: str | None = None,
+) -> str:
+    """Render an (x, y) series as a two-column table."""
+    rows = [{x_label: x, y_label: y} for x, y in points]
+    return format_table(rows, columns=[x_label, y_label], precision=precision, title=title)
+
+
+def format_kv(pairs: Mapping[str, object], precision: int = 3, title: str | None = None) -> str:
+    """Render a mapping as aligned ``key: value`` lines."""
+    if not pairs:
+        raise AnalysisError("cannot format an empty key-value block")
+    width = max(len(key) for key in pairs)
+    lines = [title] if title else []
+    for key, value in pairs.items():
+        lines.append(f"{key.ljust(width)} : {_format_cell(value, precision)}")
+    return "\n".join(lines)

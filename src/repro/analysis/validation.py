@@ -1,0 +1,163 @@
+"""Predicted-vs-observed validation of the WARS model (paper §5.2).
+
+The paper validates its Monte Carlo predictor by running an instrumented
+Cassandra cluster with known (exponential) message-latency distributions,
+measuring staleness and operation latency, and comparing against predictions:
+average t-visibility RMSE of 0.28% and latency N-RMSE of 0.48%.
+
+:func:`run_validation` reproduces that experiment against the
+:class:`~repro.cluster.store.DynamoCluster` substrate: the *same* WARS
+distributions drive both the cluster simulator (per-message delays) and the
+analytical predictor, the cluster runs the single-key overwrite workload, and
+the two consistency curves / latency percentile sets are compared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.staleness import (
+    StalenessObservation,
+    consistency_by_time,
+    observe_staleness,
+    operation_latencies,
+)
+from repro.analysis.statistics import rmse
+from repro.cluster.client import WorkloadRunner
+from repro.cluster.store import DynamoCluster
+from repro.core.quorum import ReplicaConfig
+from repro.core.wars import WARSModel
+from repro.exceptions import AnalysisError
+from repro.latency.base import as_rng
+from repro.latency.percentiles import normalized_rmse
+from repro.latency.production import WARSDistributions
+from repro.workloads.operations import validation_workload
+
+__all__ = ["ValidationResult", "run_validation"]
+
+
+@dataclass(frozen=True)
+class ValidationResult:
+    """Outcome of one predicted-vs-observed comparison."""
+
+    config: ReplicaConfig
+    #: Time-bin centres (ms) where the consistency curves were compared.
+    bin_centers_ms: tuple[float, ...]
+    measured_consistency: tuple[float, ...]
+    predicted_consistency: tuple[float, ...]
+    #: RMSE between measured and predicted probability-of-consistency curves.
+    consistency_rmse: float
+    #: N-RMSE between measured and predicted read latency percentiles.
+    read_latency_nrmse: float
+    #: N-RMSE between measured and predicted write latency percentiles.
+    write_latency_nrmse: float
+    observations: int
+
+    def summary_lines(self) -> list[str]:
+        """Human-readable validation summary."""
+        return [
+            f"configuration: {self.config.label()}",
+            f"staleness observations: {self.observations}",
+            f"consistency curve RMSE: {self.consistency_rmse * 100:.2f}%",
+            f"read latency N-RMSE: {self.read_latency_nrmse * 100:.2f}%",
+            f"write latency N-RMSE: {self.write_latency_nrmse * 100:.2f}%",
+        ]
+
+
+def _compare_curves(
+    observations: Sequence[StalenessObservation],
+    predicted_result,
+    bin_edges: Sequence[float],
+) -> tuple[list[float], list[float], list[float]]:
+    """Bin measured observations and evaluate the prediction at the bin centres."""
+    binned = consistency_by_time(observations, bin_edges)
+    centers: list[float] = []
+    measured: list[float] = []
+    predicted: list[float] = []
+    for center, fraction, count in zip(binned.bin_centers, binned.fractions, binned.counts):
+        if count == 0 or not np.isfinite(fraction):
+            continue
+        centers.append(center)
+        measured.append(fraction)
+        predicted.append(predicted_result.consistency_probability(max(center, 0.0)))
+    if not centers:
+        raise AnalysisError("no populated time bins; widen the bin edges or add reads")
+    return centers, measured, predicted
+
+
+def run_validation(
+    distributions: WARSDistributions,
+    config: ReplicaConfig,
+    writes: int = 500,
+    write_interval_ms: float = 100.0,
+    read_offsets_ms: Sequence[float] = (1.0, 2.0, 5.0, 10.0, 20.0, 40.0, 60.0, 80.0),
+    prediction_trials: int = 100_000,
+    latency_percentiles: Sequence[float] = tuple(float(p) for p in range(1, 100)),
+    bin_width_ms: float = 5.0,
+    rng: np.random.Generator | int | None = 0,
+) -> ValidationResult:
+    """Run the §5.2 validation experiment for one configuration.
+
+    The cluster overwrites a single key ``writes`` times, issuing reads at the
+    given offsets after each write; the WARS predictor is evaluated with the
+    same latency distributions; and the consistency curves plus latency
+    percentiles are compared.
+    """
+    if writes < 10:
+        raise AnalysisError(f"at least 10 writes are required for validation, got {writes}")
+    generator = as_rng(rng)
+
+    # --- Measured side: run the workload on the discrete-event cluster. ---
+    cluster = DynamoCluster(config=config, distributions=distributions, rng=generator)
+    operations = validation_workload(
+        key="validation-key",
+        writes=writes,
+        write_interval_ms=write_interval_ms,
+        read_offsets_ms=read_offsets_ms,
+    )
+    WorkloadRunner(cluster).run(operations)
+    observations = observe_staleness(cluster.trace_log, key="validation-key")
+    if not observations:
+        raise AnalysisError("the validation workload produced no staleness observations")
+    measured_reads, measured_writes = operation_latencies(cluster.trace_log)
+
+    # --- Predicted side: WARS Monte Carlo with the same distributions. ---
+    predictor = WARSModel(distributions=distributions, config=config)
+    predicted_result = predictor.sample(prediction_trials, generator)
+
+    max_t = max(obs.t_since_commit_ms for obs in observations)
+    bin_edges = np.arange(0.0, max_t + bin_width_ms, bin_width_ms)
+    if bin_edges.size < 2:
+        bin_edges = np.array([0.0, max(max_t, bin_width_ms)])
+    centers, measured_curve, predicted_curve = _compare_curves(
+        observations, predicted_result, bin_edges
+    )
+
+    predicted_read_percentiles = [
+        predicted_result.read_latency_percentile(p) for p in latency_percentiles
+    ]
+    predicted_write_percentiles = [
+        predicted_result.write_latency_percentile(p) for p in latency_percentiles
+    ]
+    measured_read_percentiles = list(np.percentile(measured_reads, list(latency_percentiles)))
+    measured_write_percentiles = list(
+        np.percentile(measured_writes, list(latency_percentiles))
+    )
+
+    return ValidationResult(
+        config=config,
+        bin_centers_ms=tuple(centers),
+        measured_consistency=tuple(measured_curve),
+        predicted_consistency=tuple(predicted_curve),
+        consistency_rmse=rmse(predicted_curve, measured_curve),
+        read_latency_nrmse=normalized_rmse(
+            predicted_read_percentiles, measured_read_percentiles
+        ),
+        write_latency_nrmse=normalized_rmse(
+            predicted_write_percentiles, measured_write_percentiles
+        ),
+        observations=len(observations),
+    )

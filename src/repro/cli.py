@@ -1,0 +1,132 @@
+"""Command-line interface for the PBS reproduction.
+
+Usage (installed as ``pbs-repro``)::
+
+    pbs-repro list                      # list available experiments
+    pbs-repro run figure6               # run one experiment and print its table
+    pbs-repro run table4 --trials 50000 --seed 7
+    pbs-repro run all --trials 20000    # run every experiment
+    pbs-repro predict --fit LNKD-DISK --n 3 --r 1 --w 1
+                                        # one-off prediction for a configuration
+
+``predict`` mirrors the interactive demo the paper links to: given a latency
+environment and an (N, R, W) choice, print consistency-at-commit, t-visibility
+targets, k-staleness, and operation latency percentiles.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.core.predictor import PBSPredictor
+from repro.core.quorum import ReplicaConfig
+from repro.exceptions import PBSError
+from repro.experiments.registry import list_experiments, run_experiment
+from repro.latency.production import PRODUCTION_FIT_NAMES, production_fit
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed separately for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="pbs-repro",
+        description="Probabilistically Bounded Staleness (PBS) reproduction toolkit",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list available experiments")
+
+    run_parser = subparsers.add_parser("run", help="run one experiment (or 'all')")
+    run_parser.add_argument("experiment", help="experiment id from 'pbs-repro list', or 'all'")
+    run_parser.add_argument(
+        "--trials", type=int, default=50_000, help="Monte Carlo trials / workload size"
+    )
+    run_parser.add_argument("--seed", type=int, default=0, help="random seed")
+    run_parser.add_argument(
+        "--precision", type=int, default=3, help="decimal places in printed tables"
+    )
+    run_parser.add_argument(
+        "--export",
+        metavar="DIR",
+        default=None,
+        help="also write <experiment>.csv and <experiment>.json files to this directory",
+    )
+
+    predict_parser = subparsers.add_parser(
+        "predict", help="predict staleness and latency for one configuration"
+    )
+    predict_parser.add_argument(
+        "--fit",
+        default="LNKD-DISK",
+        choices=list(PRODUCTION_FIT_NAMES),
+        help="production latency environment",
+    )
+    predict_parser.add_argument("--n", type=int, default=3, help="replication factor N")
+    predict_parser.add_argument("--r", type=int, default=1, help="read quorum size R")
+    predict_parser.add_argument("--w", type=int, default=1, help="write quorum size W")
+    predict_parser.add_argument("--trials", type=int, default=100_000)
+    predict_parser.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _command_list() -> int:
+    for experiment_id, description in list_experiments():
+        print(f"{experiment_id:24s} {description}")
+    return 0
+
+
+def _command_run(
+    experiment: str, trials: int, seed: int, precision: int, export_dir: str | None
+) -> int:
+    if experiment == "all":
+        experiment_ids = [experiment_id for experiment_id, _ in list_experiments()]
+    else:
+        experiment_ids = [experiment]
+    for experiment_id in experiment_ids:
+        result = run_experiment(experiment_id, trials=trials, rng=seed)
+        print(result.to_text(precision=precision))
+        if export_dir is not None:
+            from repro.analysis.export import export_result
+
+            for path in export_result(result, export_dir):
+                print(f"exported: {path}")
+        print()
+    return 0
+
+
+def _command_predict(fit: str, n: int, r: int, w: int, trials: int, seed: int) -> int:
+    config = ReplicaConfig(n=n, r=r, w=w)
+    kwargs = {"replica_count": n} if fit.upper() == "WAN" else {}
+    predictor = PBSPredictor(production_fit(fit, **kwargs), config)
+    report = predictor.report(trials=trials, rng=seed)
+    print(f"latency environment: {fit}")
+    for line in report.summary_lines():
+        print(line)
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "list":
+            return _command_list()
+        if args.command == "run":
+            return _command_run(
+                args.experiment, args.trials, args.seed, args.precision, args.export
+            )
+        if args.command == "predict":
+            return _command_predict(args.fit, args.n, args.r, args.w, args.trials, args.seed)
+        parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+        return 2  # pragma: no cover
+    except PBSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,46 @@
+"""Simulated wall-clock for the discrete-event cluster.
+
+All times are floating-point milliseconds since simulation start, matching the
+units used by the latency distributions and the analytical models.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import SimulationError
+
+__all__ = ["SimulationClock"]
+
+
+class SimulationClock:
+    """A monotonically non-decreasing simulated clock."""
+
+    def __init__(self, start_ms: float = 0.0) -> None:
+        if start_ms < 0:
+            raise SimulationError(f"clock cannot start at a negative time, got {start_ms}")
+        self._now_ms = float(start_ms)
+
+    @property
+    def now_ms(self) -> float:
+        """Current simulated time in milliseconds."""
+        return self._now_ms
+
+    def advance_to(self, time_ms: float) -> None:
+        """Move the clock forward to ``time_ms``.
+
+        Raises :class:`SimulationError` on attempts to move backwards, which
+        would indicate a mis-ordered event queue.
+        """
+        if time_ms < self._now_ms:
+            raise SimulationError(
+                f"clock cannot move backwards (now={self._now_ms}, requested={time_ms})"
+            )
+        self._now_ms = float(time_ms)
+
+    def reset(self, start_ms: float = 0.0) -> None:
+        """Reset the clock (used when reusing a simulator across experiments)."""
+        if start_ms < 0:
+            raise SimulationError(f"clock cannot be reset to a negative time, got {start_ms}")
+        self._now_ms = float(start_ms)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<SimulationClock now={self._now_ms:.3f}ms>"

@@ -1,0 +1,448 @@
+"""Read and write coordinators for the Dynamo-style store.
+
+The coordinator implements the protocol shown in Figure 1 of the paper: every
+operation is forwarded to all ``N`` replicas of the key, and the operation
+returns to the client after the first ``W`` acknowledgements (writes) or ``R``
+responses (reads).  Remaining messages keep flowing and are recorded as late
+responses — exactly the behaviour that makes quorums "expand" and that the
+asynchronous staleness detector (§4.3) exploits.
+
+The coordinator is also where the optional anti-entropy hooks attach:
+
+* **read repair** — after the last response for a read arrives, push the
+  newest observed version to any replica that returned something older;
+* **hinted handoff** — when a write message targets a crashed replica, hand
+  the write to a fallback node that replays it on recovery.
+
+Both are disabled by default, matching the paper's conservative assumptions
+(§4.2), and can be switched on for ablation experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.cluster.membership import Membership
+from repro.cluster.messages import next_operation_id
+from repro.cluster.network import Network
+from repro.cluster.node import StorageNode
+from repro.cluster.simulator import Simulator
+from repro.cluster.tracing import ReadTrace, TraceLog, WriteTrace
+from repro.cluster.versioning import LamportClock, VectorClock, VersionedValue, Version
+from repro.core.quorum import ReplicaConfig
+from repro.exceptions import SimulationError
+
+__all__ = ["Coordinator", "WriteHandle", "ReadHandle"]
+
+
+@dataclass
+class WriteHandle:
+    """Client-visible handle for an in-flight write."""
+
+    trace: WriteTrace
+    payload: VersionedValue
+    acks_received: int = 0
+    finished: bool = False
+    on_complete: Optional[Callable[[WriteTrace], None]] = None
+    #: Fallback nodes already holding a sloppy-quorum copy for this write.
+    used_fallbacks: set[str] = field(default_factory=set)
+    _timeout_event: object = field(default=None, repr=False)
+
+    @property
+    def committed(self) -> bool:
+        """True once the write quorum acknowledged."""
+        return self.trace.committed
+
+
+@dataclass
+class ReadHandle:
+    """Client-visible handle for an in-flight read."""
+
+    trace: ReadTrace
+    expected_responses: int
+    responses: dict[str, Optional[VersionedValue]] = field(default_factory=dict)
+    finished: bool = False
+    value: Optional[VersionedValue] = None
+    on_complete: Optional[Callable[[ReadTrace], None]] = None
+    _timeout_event: object = field(default=None, repr=False)
+
+    @property
+    def completed(self) -> bool:
+        """True once the read quorum was assembled (and the op did not time out)."""
+        return self.trace.completed
+
+
+class Coordinator:
+    """Coordinates quorum reads and writes for one logical client entry point."""
+
+    def __init__(
+        self,
+        coordinator_id: str,
+        simulator: Simulator,
+        membership: Membership,
+        network: Network,
+        config: ReplicaConfig,
+        trace_log: TraceLog,
+        read_repair: bool = False,
+        hinted_handoff: bool = False,
+        sloppy_quorum: bool = False,
+        timeout_ms: float = 60_000.0,
+        read_fanout_all: bool = True,
+    ) -> None:
+        if timeout_ms <= 0:
+            raise SimulationError(f"operation timeout must be positive, got {timeout_ms}")
+        self.coordinator_id = coordinator_id
+        self._simulator = simulator
+        self._membership = membership
+        self._network = network
+        self._config = config
+        self._trace_log = trace_log
+        self._read_repair = read_repair
+        self._hinted_handoff = hinted_handoff
+        # Dynamo's "sloppy quorum": when a home replica is down, the write is
+        # redirected to the next healthy node on the ring and that node's
+        # acknowledgement counts toward W (availability over placement).
+        self._sloppy_quorum = sloppy_quorum
+        self._timeout_ms = timeout_ms
+        # Dynamo sends reads to all N replicas; Voldemort sends to only R
+        # (§2.3).  Staleness is unaffected but load and late responses differ.
+        self._read_fanout_all = read_fanout_all
+        self._lamport = LamportClock()
+        self._clock_vector = VectorClock()
+        self.repairs_sent = 0
+        self.hints_stored = 0
+        self.hints_replayed = 0
+        #: Hints held on behalf of crashed replicas: node id → list of payloads.
+        self._pending_hints: dict[str, list[VersionedValue]] = {}
+
+    # ------------------------------------------------------------------
+    # Write path.
+    # ------------------------------------------------------------------
+    def write(
+        self,
+        key: str,
+        value: object,
+        on_complete: Optional[Callable[[WriteTrace], None]] = None,
+    ) -> WriteHandle:
+        """Issue a write: forward to all N replicas, commit after W acknowledgements."""
+        now = self._simulator.now_ms
+        timestamp = self._lamport.tick()
+        self._clock_vector = self._clock_vector.increment(self.coordinator_id)
+        version = Version(timestamp=timestamp, writer=self.coordinator_id)
+        payload = VersionedValue(
+            key=key,
+            value=value,
+            version=version,
+            vector_clock=self._clock_vector,
+            write_started_ms=now,
+        )
+        trace = WriteTrace(
+            operation_id=next_operation_id(),
+            key=key,
+            version=version,
+            coordinator=self.coordinator_id,
+            started_ms=now,
+        )
+        handle = WriteHandle(trace=trace, payload=payload, on_complete=on_complete)
+        self._trace_log.record_write(trace)
+
+        replicas = self._membership.preference_list(key, self._config.n)
+        for replica in replicas:
+            self._send_write(replica, handle)
+
+        handle._timeout_event = self._simulator.schedule(
+            self._timeout_ms,
+            lambda: self._write_timeout(handle),
+            label=f"write-timeout:{trace.operation_id}",
+        )
+        return handle
+
+    def _send_write(self, replica: StorageNode, handle: WriteHandle) -> None:
+        """Send the write message for one replica (the W leg)."""
+        if not self._network.delivers(self.coordinator_id, replica.node_id):
+            handle.trace.dropped_replicas.add(replica.node_id)
+            return
+        delay = self._network.write_delay(replica.node_id)
+        self._simulator.schedule(
+            delay,
+            lambda: self._deliver_write(replica, handle),
+            label=f"write-deliver:{handle.trace.operation_id}:{replica.node_id}",
+        )
+
+    def _deliver_write(self, replica: StorageNode, handle: WriteHandle) -> None:
+        """The write message arrives at a replica; apply it and send the ack (A leg)."""
+        now = self._simulator.now_ms
+        if not replica.alive:
+            handle.trace.dropped_replicas.add(replica.node_id)
+            if self._hinted_handoff:
+                self._store_hint(replica.node_id, handle.payload)
+            if self._sloppy_quorum:
+                self._redirect_to_fallback(replica, handle)
+            return
+        replica.apply_write(handle.payload, now)
+        handle.trace.replica_arrivals_ms[replica.node_id] = now
+        if not self._network.delivers(replica.node_id, self.coordinator_id):
+            return
+        ack_delay = self._network.ack_delay(replica.node_id)
+        self._simulator.schedule(
+            ack_delay,
+            lambda: self._receive_ack(replica.node_id, handle),
+            label=f"write-ack:{handle.trace.operation_id}:{replica.node_id}",
+        )
+
+    def _receive_ack(self, replica_id: str, handle: WriteHandle) -> None:
+        """An acknowledgement reaches the coordinator; commit at the W-th one."""
+        now = self._simulator.now_ms
+        handle.trace.ack_arrivals_ms[replica_id] = now
+        handle.acks_received += 1
+        if handle.finished or handle.trace.committed:
+            return
+        if handle.acks_received >= self._config.w:
+            handle.trace.committed_ms = now
+            handle.finished = True
+            if handle._timeout_event is not None:
+                handle._timeout_event.cancel()
+            if handle.on_complete is not None:
+                handle.on_complete(handle.trace)
+
+    def _write_timeout(self, handle: WriteHandle) -> None:
+        """Fail the write if the quorum never assembled within the timeout."""
+        if handle.finished:
+            return
+        handle.finished = True
+        if handle.on_complete is not None:
+            handle.on_complete(handle.trace)
+
+    # ------------------------------------------------------------------
+    # Sloppy quorums.
+    # ------------------------------------------------------------------
+    def _redirect_to_fallback(self, failed_replica: StorageNode, handle: WriteHandle) -> None:
+        """Send the write to the next healthy non-replica node on the ring.
+
+        The fallback's acknowledgement counts toward the write quorum, which is
+        what keeps Dynamo-style writes available when home replicas are down.
+        Each failed home replica consumes a distinct fallback.
+        """
+        key = handle.payload.key
+        candidates = self._membership.extended_preference_list(
+            key, len(self._membership)
+        )
+        home_ids = {
+            node.node_id for node in self._membership.preference_list(key, self._config.n)
+        }
+        fallback: Optional[StorageNode] = None
+        for candidate in candidates:
+            if candidate.node_id in home_ids or candidate.node_id in handle.used_fallbacks:
+                continue
+            if candidate.alive:
+                fallback = candidate
+                break
+        if fallback is None:
+            return
+        handle.used_fallbacks.add(fallback.node_id)
+        if not self._network.delivers(self.coordinator_id, fallback.node_id):
+            return
+        delay = self._network.write_delay(fallback.node_id)
+        self._simulator.schedule(
+            delay,
+            lambda: self._deliver_sloppy_write(fallback, failed_replica, handle),
+            label=f"sloppy-write:{handle.trace.operation_id}:{fallback.node_id}",
+        )
+
+    def _deliver_sloppy_write(
+        self, fallback: StorageNode, intended: StorageNode, handle: WriteHandle
+    ) -> None:
+        """The redirected write arrives at the fallback node."""
+        now = self._simulator.now_ms
+        if not fallback.alive:
+            return
+        fallback.apply_write(handle.payload, now)
+        handle.trace.replica_arrivals_ms[fallback.node_id] = now
+        if self._hinted_handoff:
+            # The fallback holds the data on behalf of the intended replica;
+            # keep a hint so it can be replayed after recovery.
+            self._store_hint(intended.node_id, handle.payload)
+        if not self._network.delivers(fallback.node_id, self.coordinator_id):
+            return
+        ack_delay = self._network.ack_delay(fallback.node_id)
+        self._simulator.schedule(
+            ack_delay,
+            lambda: self._receive_ack(fallback.node_id, handle),
+            label=f"sloppy-ack:{handle.trace.operation_id}:{fallback.node_id}",
+        )
+
+    # ------------------------------------------------------------------
+    # Hinted handoff.
+    # ------------------------------------------------------------------
+    def _store_hint(self, intended_replica: str, payload: VersionedValue) -> None:
+        """Keep a hint for a crashed replica; replayed on the next write/read touching it."""
+        self._pending_hints.setdefault(intended_replica, []).append(payload)
+        self.hints_stored += 1
+
+    def replay_hints(self, replica: StorageNode) -> int:
+        """Push held hints to a recovered replica (called by the store's maintenance loop)."""
+        if not replica.alive:
+            return 0
+        hints = self._pending_hints.pop(replica.node_id, [])
+        replayed = 0
+        for payload in hints:
+            delay = self._network.write_delay(replica.node_id)
+            self._simulator.schedule(
+                delay,
+                lambda p=payload: replica.apply_write(p, self._simulator.now_ms),
+                label=f"hint-replay:{replica.node_id}",
+            )
+            replayed += 1
+        self.hints_replayed += replayed
+        return replayed
+
+    @property
+    def pending_hint_count(self) -> int:
+        """Hints currently held for crashed replicas."""
+        return sum(len(hints) for hints in self._pending_hints.values())
+
+    # ------------------------------------------------------------------
+    # Read path.
+    # ------------------------------------------------------------------
+    def read(
+        self,
+        key: str,
+        on_complete: Optional[Callable[[ReadTrace], None]] = None,
+    ) -> ReadHandle:
+        """Issue a read: forward to replicas, return the newest of the first R responses."""
+        now = self._simulator.now_ms
+        trace = ReadTrace(
+            operation_id=next_operation_id(),
+            key=key,
+            coordinator=self.coordinator_id,
+            started_ms=now,
+        )
+        replicas = self._membership.preference_list(key, self._config.n)
+        if not self._read_fanout_all:
+            replicas = replicas[: self._config.r]
+        handle = ReadHandle(
+            trace=trace, expected_responses=len(replicas), on_complete=on_complete
+        )
+        self._trace_log.record_read(trace)
+
+        for replica in replicas:
+            self._send_read(replica, key, handle)
+
+        handle._timeout_event = self._simulator.schedule(
+            self._timeout_ms,
+            lambda: self._read_timeout(handle),
+            label=f"read-timeout:{trace.operation_id}",
+        )
+        return handle
+
+    def _send_read(self, replica: StorageNode, key: str, handle: ReadHandle) -> None:
+        """Send the read request for one replica (the R leg)."""
+        if not self._network.delivers(self.coordinator_id, replica.node_id):
+            handle.expected_responses -= 1
+            return
+        delay = self._network.read_delay(replica.node_id)
+        self._simulator.schedule(
+            delay,
+            lambda: self._deliver_read(replica, key, handle),
+            label=f"read-deliver:{handle.trace.operation_id}:{replica.node_id}",
+        )
+
+    def _deliver_read(self, replica: StorageNode, key: str, handle: ReadHandle) -> None:
+        """The read request arrives at a replica; send back its current version (S leg)."""
+        if not replica.alive:
+            handle.expected_responses -= 1
+            self._maybe_run_read_repair(handle)
+            return
+        payload = replica.read(key)
+        if not self._network.delivers(replica.node_id, self.coordinator_id):
+            handle.expected_responses -= 1
+            self._maybe_run_read_repair(handle)
+            return
+        delay = self._network.response_delay(replica.node_id)
+        self._simulator.schedule(
+            delay,
+            lambda: self._receive_response(replica.node_id, payload, handle),
+            label=f"read-response:{handle.trace.operation_id}:{replica.node_id}",
+        )
+
+    def _receive_response(
+        self,
+        replica_id: str,
+        payload: Optional[VersionedValue],
+        handle: ReadHandle,
+    ) -> None:
+        """A replica's response reaches the coordinator."""
+        now = self._simulator.now_ms
+        handle.trace.response_arrivals_ms[replica_id] = now
+        handle.responses[replica_id] = payload
+        version = payload.version if payload is not None else None
+
+        if not handle.finished and len(handle.trace.quorum_responses) < self._config.r:
+            handle.trace.quorum_responses[replica_id] = version
+            if len(handle.trace.quorum_responses) >= self._config.r:
+                self._complete_read(handle)
+        else:
+            handle.trace.late_responses[replica_id] = version
+
+        self._maybe_run_read_repair(handle)
+
+    def _complete_read(self, handle: ReadHandle) -> None:
+        """Assemble the result from the first R responses and return to the client."""
+        now = self._simulator.now_ms
+        quorum_payloads = [
+            handle.responses[replica_id]
+            for replica_id in handle.trace.quorum_responses
+            if handle.responses.get(replica_id) is not None
+        ]
+        newest: Optional[VersionedValue] = None
+        for payload in quorum_payloads:
+            if newest is None or payload.version > newest.version:
+                newest = payload
+        handle.value = newest
+        handle.trace.returned_version = newest.version if newest is not None else None
+        handle.trace.completed_ms = now
+        handle.finished = True
+        if handle._timeout_event is not None:
+            handle._timeout_event.cancel()
+        if handle.on_complete is not None:
+            handle.on_complete(handle.trace)
+
+    def _read_timeout(self, handle: ReadHandle) -> None:
+        """Fail the read if fewer than R responses arrived within the timeout."""
+        if handle.finished:
+            return
+        handle.finished = True
+        handle.trace.timed_out = True
+        if handle.on_complete is not None:
+            handle.on_complete(handle.trace)
+
+    # ------------------------------------------------------------------
+    # Read repair.
+    # ------------------------------------------------------------------
+    def _maybe_run_read_repair(self, handle: ReadHandle) -> None:
+        """After the final response, push the newest version to out-of-date replicas."""
+        if not self._read_repair:
+            return
+        responses_seen = len(handle.responses)
+        if responses_seen < handle.expected_responses or responses_seen == 0:
+            return
+        newest: Optional[VersionedValue] = None
+        for payload in handle.responses.values():
+            if payload is not None and (newest is None or payload.version > newest.version):
+                newest = payload
+        if newest is None:
+            return
+        for replica_id, payload in handle.responses.items():
+            is_stale = payload is None or payload.version < newest.version
+            if not is_stale:
+                continue
+            replica = self._membership.node(replica_id)
+            delay = self._network.write_delay(replica_id)
+            self._simulator.schedule(
+                delay,
+                lambda r=replica, p=newest: r.apply_write(p, self._simulator.now_ms),
+                label=f"read-repair:{handle.trace.operation_id}:{replica_id}",
+            )
+            handle.trace.repairs_issued += 1
+            self.repairs_sent += 1

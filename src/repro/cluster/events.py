@@ -1,0 +1,89 @@
+"""Event records and the priority queue driving the discrete-event simulator.
+
+Events are ordered by scheduled time; ties are broken by an insertion sequence
+number so simulation runs are fully deterministic for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.exceptions import SimulationError
+
+__all__ = ["Event", "EventQueue"]
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Attributes
+    ----------
+    time_ms:
+        Simulated time at which the event fires.
+    sequence:
+        Monotonic tie-breaker assigned by the queue.
+    action:
+        Zero-argument callable invoked when the event fires.
+    label:
+        Optional human-readable tag used in error messages and traces.
+    cancelled:
+        Cancelled events remain in the heap but are skipped when popped.
+    """
+
+    time_ms: float
+    sequence: int
+    action: Callable[[], None] = field(compare=False)
+    label: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark this event so the simulator skips it."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A deterministic min-heap of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def push(self, time_ms: float, action: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``action`` at absolute simulated time ``time_ms``."""
+        if time_ms < 0:
+            raise SimulationError(f"cannot schedule an event at negative time {time_ms}")
+        event = Event(
+            time_ms=float(time_ms),
+            sequence=next(self._counter),
+            action=action,
+            label=label,
+        )
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event | None:
+        """Remove and return the earliest non-cancelled event, or ``None`` if empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> float | None:
+        """Return the firing time of the next non-cancelled event without removing it."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time_ms
+
+    def clear(self) -> None:
+        """Drop every pending event."""
+        self._heap.clear()

@@ -1,0 +1,97 @@
+"""Fail-stop failure injection (paper §6, "Failure modes").
+
+The paper's evaluation focuses on steady-state behaviour and notes that
+fail-stop failures appear as latency spikes / tail-probability mass in the
+WARS distributions.  The :class:`FailureInjector` lets ablation experiments
+quantify that directly: crash and recover nodes on a schedule (deterministic
+or sampled), and observe the effect on measured t-visibility and operation
+availability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.cluster.membership import Membership
+from repro.cluster.simulator import Simulator
+from repro.exceptions import ConfigurationError
+
+__all__ = ["FailureEvent", "FailureInjector"]
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """One scheduled crash/recovery pair for a node."""
+
+    node_id: str
+    crash_at_ms: float
+    recover_at_ms: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.crash_at_ms < 0:
+            raise ConfigurationError(f"crash time must be non-negative, got {self.crash_at_ms}")
+        if self.recover_at_ms is not None and self.recover_at_ms <= self.crash_at_ms:
+            raise ConfigurationError(
+                f"recovery time {self.recover_at_ms} must follow crash time {self.crash_at_ms}"
+            )
+
+
+class FailureInjector:
+    """Schedules fail-stop crashes and recoveries on the simulator."""
+
+    def __init__(self, simulator: Simulator, membership: Membership) -> None:
+        self._simulator = simulator
+        self._membership = membership
+        self._events: list[FailureEvent] = []
+
+    @property
+    def scheduled_events(self) -> Sequence[FailureEvent]:
+        """Failure events scheduled so far."""
+        return tuple(self._events)
+
+    def schedule(self, event: FailureEvent) -> None:
+        """Schedule one crash (and optional recovery)."""
+        node = self._membership.node(event.node_id)
+        self._events.append(event)
+        self._simulator.schedule_at(
+            event.crash_at_ms, node.crash, label=f"crash:{event.node_id}"
+        )
+        if event.recover_at_ms is not None:
+            self._simulator.schedule_at(
+                event.recover_at_ms, node.recover, label=f"recover:{event.node_id}"
+            )
+
+    def schedule_crash(
+        self, node_id: str, at_ms: float, downtime_ms: float | None = None
+    ) -> FailureEvent:
+        """Convenience wrapper building and scheduling a :class:`FailureEvent`."""
+        recover_at = None if downtime_ms is None else at_ms + downtime_ms
+        event = FailureEvent(node_id=node_id, crash_at_ms=at_ms, recover_at_ms=recover_at)
+        self.schedule(event)
+        return event
+
+    def schedule_random_failures(
+        self,
+        mean_time_to_failure_ms: float,
+        mean_downtime_ms: float,
+        horizon_ms: float,
+    ) -> list[FailureEvent]:
+        """Poisson crash arrivals with exponential downtimes, per node, up to a horizon.
+
+        This mirrors the paper's back-of-envelope failure discussion (crashes
+        per machine per year with a fixed expected downtime), scaled to
+        simulation time.
+        """
+        if mean_time_to_failure_ms <= 0 or mean_downtime_ms <= 0 or horizon_ms <= 0:
+            raise ConfigurationError("failure model parameters must be positive")
+        rng = self._simulator.rng
+        events: list[FailureEvent] = []
+        for node_id in self._membership.node_ids:
+            time_ms = float(rng.exponential(mean_time_to_failure_ms))
+            while time_ms < horizon_ms:
+                downtime = float(rng.exponential(mean_downtime_ms))
+                event = self.schedule_crash(node_id, time_ms, downtime)
+                events.append(event)
+                time_ms += downtime + float(rng.exponential(mean_time_to_failure_ms))
+        return events

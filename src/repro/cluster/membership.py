@@ -1,0 +1,110 @@
+"""Cluster membership: the node roster and per-key replica lookup.
+
+Dynamo-style systems use one quorum system per key (§2.2): the membership
+component owns the consistent-hash ring and answers "which N nodes replicate
+this key?".  It also tracks liveness so coordinators can consult a single
+source of truth when deciding whether to hint writes for failed replicas.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.cluster.node import StorageNode
+from repro.cluster.ring import ConsistentHashRing
+from repro.exceptions import ConfigurationError
+
+__all__ = ["Membership"]
+
+
+class Membership:
+    """Node roster, placement, and liveness for one cluster."""
+
+    def __init__(self, node_ids: Iterable[str], virtual_nodes: int = 64) -> None:
+        ids = list(node_ids)
+        if not ids:
+            raise ConfigurationError("a cluster requires at least one node")
+        if len(set(ids)) != len(ids):
+            raise ConfigurationError(f"duplicate node identifiers in {ids}")
+        self._nodes: dict[str, StorageNode] = {
+            node_id: StorageNode(node_id=node_id) for node_id in ids
+        }
+        self._ring = ConsistentHashRing(ids, virtual_nodes=virtual_nodes)
+
+    # ------------------------------------------------------------------
+    # Roster.
+    # ------------------------------------------------------------------
+    @property
+    def node_ids(self) -> list[str]:
+        """All node identifiers, in insertion order."""
+        return list(self._nodes)
+
+    @property
+    def nodes(self) -> Mapping[str, StorageNode]:
+        """Mapping of node id → node object."""
+        return dict(self._nodes)
+
+    def node(self, node_id: str) -> StorageNode:
+        """Look up one node by id."""
+        try:
+            return self._nodes[node_id]
+        except KeyError as exc:
+            raise ConfigurationError(f"unknown node {node_id!r}") from exc
+
+    def add_node(self, node_id: str) -> StorageNode:
+        """Add a new (empty) node to the cluster and the ring."""
+        if node_id in self._nodes:
+            raise ConfigurationError(f"node {node_id!r} already exists")
+        node = StorageNode(node_id=node_id)
+        self._nodes[node_id] = node
+        self._ring.add_node(node_id)
+        return node
+
+    def remove_node(self, node_id: str) -> None:
+        """Permanently remove a node from the cluster and the ring."""
+        self.node(node_id)
+        del self._nodes[node_id]
+        self._ring.remove_node(node_id)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    # ------------------------------------------------------------------
+    # Placement and liveness.
+    # ------------------------------------------------------------------
+    def preference_list(self, key: str, n: int) -> list[StorageNode]:
+        """The ``n`` replica nodes for ``key`` (alive or not), in ring order."""
+        return [self.node(node_id) for node_id in self._ring.preference_list(key, n)]
+
+    def alive_nodes(self) -> list[StorageNode]:
+        """Nodes currently alive."""
+        return [node for node in self._nodes.values() if node.alive]
+
+    def failed_nodes(self) -> list[StorageNode]:
+        """Nodes currently crashed."""
+        return [node for node in self._nodes.values() if not node.alive]
+
+    def extended_preference_list(self, key: str, count: int) -> list[StorageNode]:
+        """The first ``count`` nodes in ring order for ``key`` (capped at the cluster size).
+
+        The nodes beyond the first ``n`` are the hinted-handoff / sloppy-quorum
+        fallback candidates, in the order Dynamo would try them.
+        """
+        capped = min(count, len(self._nodes))
+        return [self.node(node_id) for node_id in self._ring.preference_list(key, capped)]
+
+    def fallback_for(self, key: str, n: int, failed_node_id: str) -> StorageNode | None:
+        """The first non-preference-list node, used as a hinted-handoff holder.
+
+        Returns ``None`` when every node is already in the preference list.
+        """
+        preference_ids = {node.node_id for node in self.preference_list(key, n)}
+        if failed_node_id not in preference_ids:
+            raise ConfigurationError(
+                f"node {failed_node_id!r} is not a replica for key {key!r}"
+            )
+        extended = self._ring.preference_list(key, min(len(self._nodes), n + 1))
+        for node_id in extended:
+            if node_id not in preference_ids:
+                return self.node(node_id)
+        return None

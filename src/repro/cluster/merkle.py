@@ -1,0 +1,95 @@
+"""Merkle trees over key ranges for active anti-entropy.
+
+Dynamo and Cassandra summarise replica contents with Merkle trees so that two
+replicas can find divergent key ranges by exchanging a logarithmic number of
+hashes rather than full contents (§4.2; Cassandra only does this when a repair
+is requested manually).  This implementation hashes (key, version) pairs into
+a fixed number of leaf buckets by key hash, then builds a binary hash tree
+over the buckets.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.cluster.versioning import Version
+from repro.exceptions import ConfigurationError
+
+__all__ = ["MerkleTree", "diff_buckets"]
+
+
+def _hash_text(text: str) -> str:
+    return hashlib.sha1(text.encode("utf-8")).hexdigest()
+
+
+def _bucket_for(key: str, bucket_count: int) -> int:
+    digest = hashlib.md5(key.encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "big") % bucket_count
+
+
+@dataclass(frozen=True)
+class MerkleTree:
+    """An immutable Merkle summary of a replica's (key → version) contents."""
+
+    bucket_count: int
+    bucket_hashes: tuple[str, ...]
+    levels: tuple[tuple[str, ...], ...]
+
+    @classmethod
+    def build(
+        cls, contents: Mapping[str, Version], bucket_count: int = 64
+    ) -> "MerkleTree":
+        """Build a tree from a mapping of key to its newest version."""
+        if bucket_count < 1 or bucket_count & (bucket_count - 1):
+            raise ConfigurationError(
+                f"bucket count must be a positive power of two, got {bucket_count}"
+            )
+        buckets: list[list[str]] = [[] for _ in range(bucket_count)]
+        for key in sorted(contents):
+            version = contents[key]
+            buckets[_bucket_for(key, bucket_count)].append(
+                f"{key}@{version.timestamp}:{version.writer}"
+            )
+        bucket_hashes = tuple(_hash_text("|".join(bucket)) for bucket in buckets)
+
+        levels: list[tuple[str, ...]] = [bucket_hashes]
+        current = bucket_hashes
+        while len(current) > 1:
+            paired = tuple(
+                _hash_text(current[i] + current[i + 1]) for i in range(0, len(current), 2)
+            )
+            levels.append(paired)
+            current = paired
+        return cls(bucket_count=bucket_count, bucket_hashes=bucket_hashes, levels=tuple(levels))
+
+    @property
+    def root_hash(self) -> str:
+        """The root digest summarising the entire key space."""
+        return self.levels[-1][0]
+
+    def differing_buckets(self, other: "MerkleTree") -> list[int]:
+        """Return the leaf bucket indices whose hashes differ between two trees."""
+        if self.bucket_count != other.bucket_count:
+            raise ConfigurationError(
+                "cannot diff Merkle trees with different bucket counts "
+                f"({self.bucket_count} vs {other.bucket_count})"
+            )
+        if self.root_hash == other.root_hash:
+            return []
+        return [
+            index
+            for index, (mine, theirs) in enumerate(
+                zip(self.bucket_hashes, other.bucket_hashes)
+            )
+            if mine != theirs
+        ]
+
+
+def diff_buckets(
+    contents: Mapping[str, Version], bucket_indices: Iterable[int], bucket_count: int
+) -> list[str]:
+    """Return the keys from ``contents`` that fall into the given leaf buckets."""
+    wanted = set(bucket_indices)
+    return [key for key in contents if _bucket_for(key, bucket_count) in wanted]

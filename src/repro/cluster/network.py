@@ -1,0 +1,115 @@
+"""Network delay model for the cluster simulator.
+
+The simulator's message delays are drawn from the same
+:class:`~repro.latency.production.WARSDistributions` objects used by the
+analytical Monte Carlo model, which is what makes the §5.2 validation an
+apples-to-apples comparison: both the simulator and the predictor consume the
+identical latency model, and any disagreement is due to protocol behaviour
+rather than different inputs.
+
+Message loss and partitions are modelled here as well so failure ablations
+do not need to touch the coordinator logic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.latency.base import LatencyDistribution
+from repro.latency.composite import PerReplicaLatency
+from repro.latency.production import WARSDistributions
+
+__all__ = ["Network"]
+
+
+@dataclass
+class Network:
+    """Samples one-way message delays and applies loss/partition policies.
+
+    Parameters
+    ----------
+    distributions:
+        The WARS one-way latency distributions.
+    rng:
+        Random generator shared with the simulator.
+    replica_slots:
+        Maps replica node ids to slot indices for per-replica distributions
+        (the WAN scenario).  Optional for IID distributions.
+    loss_probability:
+        Independent probability that any one-way message is dropped.
+    """
+
+    distributions: WARSDistributions
+    rng: np.random.Generator
+    replica_slots: dict[str, int] = field(default_factory=dict)
+    loss_probability: float = 0.0
+    _partitioned: set[frozenset[str]] = field(default_factory=set, repr=False)
+    dropped_messages: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss_probability < 1.0:
+            raise ConfigurationError(
+                f"loss probability must be in [0, 1), got {self.loss_probability}"
+            )
+
+    # ------------------------------------------------------------------
+    # Delay sampling.
+    # ------------------------------------------------------------------
+    def _sample(self, distribution: LatencyDistribution, replica: str) -> float:
+        if isinstance(distribution, PerReplicaLatency):
+            slot = self.replica_slots.get(replica)
+            if slot is None:
+                raise ConfigurationError(
+                    f"replica {replica!r} has no slot assignment for per-replica latencies"
+                )
+            if not 0 <= slot < distribution.replica_count:
+                raise ConfigurationError(
+                    f"replica {replica!r} slot {slot} outside per-replica distribution "
+                    f"of size {distribution.replica_count}"
+                )
+            return float(distribution.replicas[slot].sample(1, self.rng)[0])
+        return float(distribution.sample(1, self.rng)[0])
+
+    def write_delay(self, replica: str) -> float:
+        """One-way delay for the coordinator → replica write message (``W``)."""
+        return self._sample(self.distributions.w, replica)
+
+    def ack_delay(self, replica: str) -> float:
+        """One-way delay for the replica → coordinator acknowledgement (``A``)."""
+        return self._sample(self.distributions.a, replica)
+
+    def read_delay(self, replica: str) -> float:
+        """One-way delay for the coordinator → replica read request (``R``)."""
+        return self._sample(self.distributions.r, replica)
+
+    def response_delay(self, replica: str) -> float:
+        """One-way delay for the replica → coordinator read response (``S``)."""
+        return self._sample(self.distributions.s, replica)
+
+    # ------------------------------------------------------------------
+    # Loss and partitions.
+    # ------------------------------------------------------------------
+    def partition(self, side_a: str, side_b: str) -> None:
+        """Drop all messages between two endpoints until :meth:`heal` is called."""
+        self._partitioned.add(frozenset((side_a, side_b)))
+
+    def heal(self, side_a: str, side_b: str) -> None:
+        """Remove a previously installed partition (no-op if absent)."""
+        self._partitioned.discard(frozenset((side_a, side_b)))
+
+    def heal_all(self) -> None:
+        """Remove every partition."""
+        self._partitioned.clear()
+
+    def delivers(self, sender: str, receiver: str) -> bool:
+        """Decide whether a message between two endpoints is delivered."""
+        if frozenset((sender, receiver)) in self._partitioned:
+            self.dropped_messages += 1
+            return False
+        if self.loss_probability and self.rng.random() < self.loss_probability:
+            self.dropped_messages += 1
+            return False
+        return True

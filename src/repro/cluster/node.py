@@ -1,0 +1,140 @@
+"""Replica storage nodes.
+
+Each :class:`StorageNode` holds the newest version it has seen for every key
+(newest in the coordinator-assigned total order), plus optional causal
+siblings when concurrent vector clocks are detected.  Nodes are deliberately
+passive: the coordinator and anti-entropy machinery drive all messaging, and
+nodes only apply writes and answer reads, mirroring the thin replica role in
+Dynamo-style systems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cluster.merkle import MerkleTree
+from repro.cluster.versioning import Causality, Version, VersionedValue
+from repro.exceptions import SimulationError
+
+__all__ = ["StorageNode", "ApplyResult"]
+
+
+@dataclass(frozen=True)
+class ApplyResult:
+    """Outcome of applying a write at a replica."""
+
+    applied: bool
+    superseded_version: Optional[Version]
+
+
+@dataclass
+class StorageNode:
+    """A single replica: versioned key-value storage plus liveness state."""
+
+    node_id: str
+    alive: bool = True
+    _data: dict[str, VersionedValue] = field(default_factory=dict, repr=False)
+    _siblings: dict[str, list[VersionedValue]] = field(default_factory=dict, repr=False)
+    #: Arrival time (ms) of the newest version per key, used by staleness analysis.
+    _arrival_ms: dict[str, float] = field(default_factory=dict, repr=False)
+    applied_writes: int = 0
+    served_reads: int = 0
+    dropped_messages: int = 0
+
+    # ------------------------------------------------------------------
+    # Liveness.
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Fail-stop the node: it drops all messages until recovery."""
+        self.alive = False
+
+    def recover(self) -> None:
+        """Bring the node back; its pre-crash data is intact (fail-stop, not amnesia)."""
+        self.alive = True
+
+    # ------------------------------------------------------------------
+    # Write path.
+    # ------------------------------------------------------------------
+    def apply_write(self, payload: VersionedValue, at_ms: float) -> ApplyResult:
+        """Apply a write carried by a :class:`~repro.cluster.messages.WriteRequest`.
+
+        The newest version in the total order wins.  Concurrent vector clocks
+        are retained as siblings so conflict-aware readers can observe them.
+        Returns whether the payload was applied and the version it replaced.
+        """
+        if not self.alive:
+            self.dropped_messages += 1
+            return ApplyResult(applied=False, superseded_version=None)
+        current = self._data.get(payload.key)
+        if current is not None and not payload.supersedes(current):
+            # Stale or duplicate write: keep as a sibling only if causally concurrent.
+            if payload.vector_clock.compare(current.vector_clock) is Causality.CONCURRENT:
+                self._siblings.setdefault(payload.key, []).append(payload)
+            return ApplyResult(applied=False, superseded_version=None)
+        self._data[payload.key] = payload
+        self._arrival_ms[payload.key] = at_ms
+        self._siblings.pop(payload.key, None)
+        self.applied_writes += 1
+        return ApplyResult(
+            applied=True,
+            superseded_version=current.version if current is not None else None,
+        )
+
+    # ------------------------------------------------------------------
+    # Read path.
+    # ------------------------------------------------------------------
+    def read(self, key: str) -> Optional[VersionedValue]:
+        """Return the newest locally stored version of ``key`` (``None`` if absent)."""
+        if not self.alive:
+            self.dropped_messages += 1
+            return None
+        self.served_reads += 1
+        return self._data.get(key)
+
+    def siblings(self, key: str) -> list[VersionedValue]:
+        """Causally concurrent versions retained alongside the newest one."""
+        return list(self._siblings.get(key, ()))
+
+    def version_of(self, key: str) -> Optional[Version]:
+        """The version currently stored for ``key`` regardless of liveness."""
+        stored = self._data.get(key)
+        return stored.version if stored is not None else None
+
+    def arrival_time_ms(self, key: str) -> Optional[float]:
+        """When the currently stored version of ``key`` arrived at this replica."""
+        return self._arrival_ms.get(key)
+
+    # ------------------------------------------------------------------
+    # Anti-entropy support.
+    # ------------------------------------------------------------------
+    def key_count(self) -> int:
+        """Number of keys stored locally."""
+        return len(self._data)
+
+    def keys(self) -> list[str]:
+        """All keys stored locally."""
+        return list(self._data)
+
+    def snapshot_versions(self) -> dict[str, Version]:
+        """Mapping of key → stored version, used to build Merkle summaries."""
+        return {key: value.version for key, value in self._data.items()}
+
+    def merkle_tree(self, bucket_count: int = 64) -> MerkleTree:
+        """Merkle summary of this node's contents."""
+        return MerkleTree.build(self.snapshot_versions(), bucket_count)
+
+    def stored_value(self, key: str) -> Optional[VersionedValue]:
+        """Direct storage access (no liveness check); used by anti-entropy and tests."""
+        return self._data.get(key)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._data
+
+    def validate(self) -> None:
+        """Internal consistency check used by property tests."""
+        for key, value in self._data.items():
+            if value.key != key:
+                raise SimulationError(
+                    f"node {self.node_id}: stored value for {key!r} claims key {value.key!r}"
+                )

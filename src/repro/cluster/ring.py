@@ -1,0 +1,126 @@
+"""Consistent-hash ring and replica placement.
+
+Dynamo-style stores map each key onto a preference list of ``N`` distinct
+physical nodes by walking a consistent-hash ring of virtual nodes (§2.2).
+The ring here uses a deterministic (seed-free) hash so placement is stable
+across runs and processes, and supports node addition/removal so the
+membership and failure-injection machinery can reuse it.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Iterable, Sequence
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["ConsistentHashRing"]
+
+
+def _stable_hash(text: str) -> int:
+    """A deterministic 64-bit hash (Python's ``hash`` is salted per process)."""
+    digest = hashlib.md5(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class ConsistentHashRing:
+    """Consistent hashing with virtual nodes.
+
+    Parameters
+    ----------
+    nodes:
+        Initial physical node identifiers.
+    virtual_nodes:
+        Number of ring positions ("tokens") per physical node.  More tokens
+        smooth out key-ownership imbalance.
+    """
+
+    def __init__(self, nodes: Iterable[str] = (), virtual_nodes: int = 64) -> None:
+        if virtual_nodes < 1:
+            raise ConfigurationError(f"virtual node count must be >= 1, got {virtual_nodes}")
+        self._virtual_nodes = virtual_nodes
+        self._ring: list[tuple[int, str]] = []
+        self._tokens: list[int] = []
+        self._nodes: set[str] = set()
+        for node in nodes:
+            self.add_node(node)
+
+    # ------------------------------------------------------------------
+    # Membership.
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> frozenset[str]:
+        """The physical nodes currently on the ring."""
+        return frozenset(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def add_node(self, node: str) -> None:
+        """Add a physical node (and its virtual tokens) to the ring."""
+        if not node:
+            raise ConfigurationError("node identifier must be non-empty")
+        if node in self._nodes:
+            raise ConfigurationError(f"node {node!r} is already on the ring")
+        self._nodes.add(node)
+        for token_index in range(self._virtual_nodes):
+            token = _stable_hash(f"{node}#{token_index}")
+            position = bisect.bisect(self._tokens, token)
+            self._tokens.insert(position, token)
+            self._ring.insert(position, (token, node))
+
+    def remove_node(self, node: str) -> None:
+        """Remove a physical node and all of its tokens."""
+        if node not in self._nodes:
+            raise ConfigurationError(f"node {node!r} is not on the ring")
+        self._nodes.discard(node)
+        keep = [(token, owner) for token, owner in self._ring if owner != node]
+        self._ring = keep
+        self._tokens = [token for token, _ in keep]
+
+    # ------------------------------------------------------------------
+    # Placement.
+    # ------------------------------------------------------------------
+    def primary(self, key: str) -> str:
+        """Return the first node clockwise from the key's position."""
+        return self.preference_list(key, 1)[0]
+
+    def preference_list(self, key: str, n: int) -> list[str]:
+        """Return the ``n`` distinct physical nodes responsible for ``key``.
+
+        Walks the ring clockwise from the key's hash, skipping virtual nodes
+        belonging to already-selected physical nodes — the standard Dynamo
+        preference-list construction.
+        """
+        if n < 1:
+            raise ConfigurationError(f"preference list size must be >= 1, got {n}")
+        if n > len(self._nodes):
+            raise ConfigurationError(
+                f"preference list of {n} requested but only {len(self._nodes)} nodes exist"
+            )
+        key_token = _stable_hash(key)
+        start = bisect.bisect(self._tokens, key_token) % len(self._ring)
+        selected: list[str] = []
+        seen: set[str] = set()
+        index = start
+        while len(selected) < n:
+            _, owner = self._ring[index]
+            if owner not in seen:
+                seen.add(owner)
+                selected.append(owner)
+            index = (index + 1) % len(self._ring)
+        return selected
+
+    def ownership_fractions(self, sample_keys: Sequence[str]) -> dict[str, float]:
+        """Fraction of sample keys whose primary replica is each node.
+
+        A diagnostic used by tests to confirm virtual nodes balance ownership.
+        """
+        if not sample_keys:
+            raise ConfigurationError("at least one sample key is required")
+        counts: dict[str, int] = {node: 0 for node in self._nodes}
+        for key in sample_keys:
+            counts[self.primary(key)] += 1
+        total = len(sample_keys)
+        return {node: count / total for node, count in counts.items()}

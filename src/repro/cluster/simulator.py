@@ -1,0 +1,127 @@
+"""Deterministic discrete-event simulation loop.
+
+The :class:`Simulator` owns the clock, the event queue, and the random number
+generator shared by every component of the cluster.  Components schedule work
+with :meth:`Simulator.schedule` (relative delays) or
+:meth:`Simulator.schedule_at` (absolute times); :meth:`Simulator.run` drains
+the queue in time order.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.cluster.clock import SimulationClock
+from repro.cluster.events import Event, EventQueue
+from repro.exceptions import SimulationError
+from repro.latency.base import as_rng
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """Event loop shared by all cluster components.
+
+    Parameters
+    ----------
+    rng:
+        Seed or generator used for every stochastic choice in the simulation
+        (message delays, workload sampling, failure injection), making runs
+        reproducible end to end.
+    max_events:
+        Safety valve against runaway event storms; exceeded runs raise
+        :class:`SimulationError`.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator | int | None = None,
+        max_events: int = 50_000_000,
+    ) -> None:
+        if max_events <= 0:
+            raise SimulationError(f"max_events must be positive, got {max_events}")
+        self.clock = SimulationClock()
+        self.rng = as_rng(rng)
+        self._queue = EventQueue()
+        self._max_events = max_events
+        self._processed = 0
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Scheduling.
+    # ------------------------------------------------------------------
+    @property
+    def now_ms(self) -> float:
+        """Current simulated time in milliseconds."""
+        return self.clock.now_ms
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still waiting to fire."""
+        return len(self._queue)
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events processed so far."""
+        return self._processed
+
+    def schedule(self, delay_ms: float, action: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``action`` to fire ``delay_ms`` milliseconds from now."""
+        if delay_ms < 0:
+            raise SimulationError(f"cannot schedule an event in the past (delay {delay_ms})")
+        return self._queue.push(self.now_ms + delay_ms, action, label)
+
+    def schedule_at(self, time_ms: float, action: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``action`` to fire at absolute simulated time ``time_ms``."""
+        if time_ms < self.now_ms:
+            raise SimulationError(
+                f"cannot schedule an event in the past (now={self.now_ms}, at={time_ms})"
+            )
+        return self._queue.push(time_ms, action, label)
+
+    # ------------------------------------------------------------------
+    # Execution.
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Process the next event.  Returns ``False`` when the queue is empty."""
+        event = self._queue.pop()
+        if event is None:
+            return False
+        self.clock.advance_to(event.time_ms)
+        self._processed += 1
+        if self._processed > self._max_events:
+            raise SimulationError(
+                f"simulation exceeded {self._max_events} events; possible event storm"
+            )
+        event.action()
+        return True
+
+    def run(self, until_ms: float | None = None) -> None:
+        """Drain the event queue, optionally stopping once the clock passes ``until_ms``.
+
+        With ``until_ms`` given, events scheduled after the horizon stay in the
+        queue and the clock is advanced exactly to the horizon.
+        """
+        if self._running:
+            raise SimulationError("simulator is not re-entrant; run() called recursively")
+        self._running = True
+        try:
+            while True:
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if until_ms is not None and next_time > until_ms:
+                    break
+                self.step()
+            if until_ms is not None and until_ms > self.now_ms:
+                self.clock.advance_to(until_ms)
+        finally:
+            self._running = False
+
+    def reset(self) -> None:
+        """Clear all pending events and rewind the clock to zero."""
+        self._queue.clear()
+        self.clock.reset()
+        self._processed = 0

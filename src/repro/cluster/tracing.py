@@ -1,0 +1,150 @@
+"""Per-operation trace records.
+
+The validation methodology of §5.2 hinges on instrumenting the store: every
+write records when each replica received it and when it committed, and every
+read records which replicas answered among the first ``R`` and which version
+was returned.  These traces are what the analysis package consumes to measure
+empirical t-visibility, k-staleness, and the WARS latency components.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cluster.versioning import Version
+
+__all__ = ["WriteTrace", "ReadTrace", "TraceLog"]
+
+
+@dataclass
+class WriteTrace:
+    """Lifecycle of a single write operation."""
+
+    operation_id: int
+    key: str
+    version: Version
+    coordinator: str
+    started_ms: float
+    #: Per-replica arrival time of the write message (the W leg), by node id.
+    replica_arrivals_ms: dict[str, float] = field(default_factory=dict)
+    #: Per-replica acknowledgement arrival time at the coordinator (W + A legs).
+    ack_arrivals_ms: dict[str, float] = field(default_factory=dict)
+    #: Time the coordinator had collected W acknowledgements (commit), if ever.
+    committed_ms: Optional[float] = None
+    #: Replicas whose write message was dropped (failure or partition).
+    dropped_replicas: set[str] = field(default_factory=set)
+
+    @property
+    def committed(self) -> bool:
+        """True when the coordinator received its write quorum."""
+        return self.committed_ms is not None
+
+    @property
+    def commit_latency_ms(self) -> Optional[float]:
+        """Commit (write operation) latency, or ``None`` for uncommitted writes."""
+        if self.committed_ms is None:
+            return None
+        return self.committed_ms - self.started_ms
+
+    def arrival_offsets_from_commit(self) -> dict[str, float]:
+        """Per-replica arrival time relative to commit (negative = before commit)."""
+        if self.committed_ms is None:
+            return {}
+        return {
+            replica: arrival - self.committed_ms
+            for replica, arrival in self.replica_arrivals_ms.items()
+        }
+
+
+@dataclass
+class ReadTrace:
+    """Lifecycle of a single read operation."""
+
+    operation_id: int
+    key: str
+    coordinator: str
+    started_ms: float
+    #: The first R responses (node id → version returned, None when replica was empty).
+    quorum_responses: dict[str, Optional[Version]] = field(default_factory=dict)
+    #: Responses that arrived after the operation already returned.
+    late_responses: dict[str, Optional[Version]] = field(default_factory=dict)
+    #: Per-replica response arrival time at the coordinator (R + S legs).
+    response_arrivals_ms: dict[str, float] = field(default_factory=dict)
+    #: Version the coordinator returned to the client (None = key not found).
+    returned_version: Optional[Version] = None
+    completed_ms: Optional[float] = None
+    timed_out: bool = False
+    #: Number of read-repair pushes this read triggered (0 when disabled).
+    repairs_issued: int = 0
+
+    @property
+    def completed(self) -> bool:
+        """True when the coordinator assembled a read quorum before timing out."""
+        return self.completed_ms is not None and not self.timed_out
+
+    @property
+    def latency_ms(self) -> Optional[float]:
+        """Read operation latency, or ``None`` for timed-out reads."""
+        if self.completed_ms is None:
+            return None
+        return self.completed_ms - self.started_ms
+
+
+@dataclass
+class TraceLog:
+    """Accumulates traces for a simulation run and answers staleness queries."""
+
+    writes: list[WriteTrace] = field(default_factory=list)
+    reads: list[ReadTrace] = field(default_factory=list)
+
+    def record_write(self, trace: WriteTrace) -> None:
+        """Append a write trace."""
+        self.writes.append(trace)
+
+    def record_read(self, trace: ReadTrace) -> None:
+        """Append a read trace."""
+        self.reads.append(trace)
+
+    # ------------------------------------------------------------------
+    # Queries used by the analysis package.
+    # ------------------------------------------------------------------
+    def committed_writes(self, key: str | None = None) -> list[WriteTrace]:
+        """All committed writes, optionally restricted to one key, in commit order."""
+        selected = [
+            trace
+            for trace in self.writes
+            if trace.committed and (key is None or trace.key == key)
+        ]
+        return sorted(selected, key=lambda trace: trace.committed_ms)  # type: ignore[arg-type, return-value]
+
+    def completed_reads(self, key: str | None = None) -> list[ReadTrace]:
+        """All completed reads, optionally restricted to one key, in start order."""
+        selected = [
+            trace
+            for trace in self.reads
+            if trace.completed and (key is None or trace.key == key)
+        ]
+        return sorted(selected, key=lambda trace: trace.started_ms)
+
+    def latest_committed_version_before(self, key: str, time_ms: float) -> Optional[Version]:
+        """The newest version of ``key`` whose commit time is <= ``time_ms``."""
+        latest: Optional[Version] = None
+        for trace in self.writes:
+            if trace.key != key or not trace.committed:
+                continue
+            if trace.committed_ms <= time_ms and (latest is None or trace.version > latest):
+                latest = trace.version
+        return latest
+
+    def commit_time_of(self, key: str, version: Version) -> Optional[float]:
+        """Commit time of a specific version, or ``None`` if it never committed."""
+        for trace in self.writes:
+            if trace.key == key and trace.version == version and trace.committed:
+                return trace.committed_ms
+        return None
+
+    def clear(self) -> None:
+        """Drop all recorded traces."""
+        self.writes.clear()
+        self.reads.clear()

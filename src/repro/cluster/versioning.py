@@ -1,0 +1,168 @@
+"""Version ordering for the Dynamo-style store.
+
+The paper assumes "a total ordering of versions ... easily achievable using
+globally synchronized clocks or a causal ordering provided by mechanisms such
+as vector clocks with commutative merge functions" (§2.1, footnote 2).  This
+module provides both:
+
+* :class:`LamportClock` / :class:`Version` — a total order built from a
+  (logical timestamp, writer id) pair, which is what the coordinator-assigned
+  version numbers in the validation experiments use; and
+* :class:`VectorClock` — a causal partial order with a commutative,
+  associative merge, used by the conflict-detection paths (siblings) and the
+  property-based tests.
+
+A :class:`VersionedValue` bundles a value with its version and the (simulated)
+commit metadata needed for staleness accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Mapping
+
+from repro.exceptions import SimulationError
+
+__all__ = ["LamportClock", "Version", "VectorClock", "Causality", "VersionedValue"]
+
+
+class LamportClock:
+    """A per-process Lamport logical clock."""
+
+    def __init__(self, start: int = 0) -> None:
+        if start < 0:
+            raise SimulationError(f"logical clock cannot start below zero, got {start}")
+        self._time = int(start)
+
+    @property
+    def time(self) -> int:
+        """Current logical time."""
+        return self._time
+
+    def tick(self) -> int:
+        """Advance the clock for a local event and return the new time."""
+        self._time += 1
+        return self._time
+
+    def observe(self, other_time: int) -> int:
+        """Merge in a timestamp observed on a received message, then tick."""
+        if other_time < 0:
+            raise SimulationError(f"observed timestamp cannot be negative, got {other_time}")
+        self._time = max(self._time, int(other_time)) + 1
+        return self._time
+
+
+@dataclass(frozen=True, order=True)
+class Version:
+    """A totally ordered version identifier: (logical timestamp, writer id).
+
+    Ordering is lexicographic, so two writes with the same logical timestamp
+    are ordered deterministically by their writer identifier — the standard
+    Lamport total-order construction.
+    """
+
+    timestamp: int
+    writer: str
+
+    def __post_init__(self) -> None:
+        if self.timestamp < 0:
+            raise SimulationError(f"version timestamp cannot be negative, got {self.timestamp}")
+
+    def is_newer_than(self, other: "Version | None") -> bool:
+        """True when this version supersedes ``other`` (``None`` means no version)."""
+        if other is None:
+            return True
+        return self > other
+
+
+class Causality(Enum):
+    """Relationship between two vector clocks."""
+
+    EQUAL = "equal"
+    BEFORE = "before"
+    AFTER = "after"
+    CONCURRENT = "concurrent"
+
+
+@dataclass(frozen=True)
+class VectorClock:
+    """An immutable vector clock keyed by node identifier."""
+
+    counters: Mapping[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for node, count in self.counters.items():
+            if count < 0:
+                raise SimulationError(f"vector clock entry for {node!r} is negative: {count}")
+        object.__setattr__(self, "counters", dict(self.counters))
+
+    def increment(self, node: str) -> "VectorClock":
+        """Return a new clock with ``node``'s counter advanced by one."""
+        counters = dict(self.counters)
+        counters[node] = counters.get(node, 0) + 1
+        return VectorClock(counters)
+
+    def merge(self, other: "VectorClock") -> "VectorClock":
+        """Element-wise maximum — the commutative, associative merge."""
+        counters = dict(self.counters)
+        for node, count in other.counters.items():
+            counters[node] = max(counters.get(node, 0), count)
+        return VectorClock(counters)
+
+    def compare(self, other: "VectorClock") -> Causality:
+        """Determine the causal relationship between two clocks."""
+        keys = set(self.counters) | set(other.counters)
+        less_somewhere = False
+        greater_somewhere = False
+        for key in keys:
+            mine = self.counters.get(key, 0)
+            theirs = other.counters.get(key, 0)
+            if mine < theirs:
+                less_somewhere = True
+            elif mine > theirs:
+                greater_somewhere = True
+        if not less_somewhere and not greater_somewhere:
+            return Causality.EQUAL
+        if less_somewhere and not greater_somewhere:
+            return Causality.BEFORE
+        if greater_somewhere and not less_somewhere:
+            return Causality.AFTER
+        return Causality.CONCURRENT
+
+    def dominates(self, other: "VectorClock") -> bool:
+        """True when this clock causally supersedes or equals ``other``."""
+        return self.compare(other) in (Causality.AFTER, Causality.EQUAL)
+
+
+@dataclass(frozen=True)
+class VersionedValue:
+    """A value stored at a replica along with its version metadata.
+
+    Attributes
+    ----------
+    key / value:
+        The logical key and its payload.
+    version:
+        Totally ordered version identifier assigned by the write coordinator.
+    vector_clock:
+        Causal history, used for sibling detection in conflict-aware reads.
+    write_started_ms:
+        Simulated time at which the coordinator began the write.
+    """
+
+    key: str
+    value: object
+    version: Version
+    vector_clock: VectorClock = field(default_factory=VectorClock)
+    write_started_ms: float = 0.0
+
+    def supersedes(self, other: "VersionedValue | None") -> bool:
+        """Total-order comparison used when replicas decide whether to overwrite."""
+        if other is None:
+            return True
+        if other.key != self.key:
+            raise SimulationError(
+                f"cannot compare versions of different keys ({self.key!r} vs {other.key!r})"
+            )
+        return self.version.is_newer_than(other.version)

@@ -1,0 +1,82 @@
+"""Core PBS models: the paper's primary contribution.
+
+Closed-form k-staleness and monotonic reads, load/capacity corollaries, the
+t-visibility bound for expanding quorums, ⟨k, t⟩-staleness, the WARS Monte
+Carlo model, the high-level :class:`~repro.core.predictor.PBSPredictor`, and
+the SLA-driven configuration search.
+"""
+
+from repro.core.kstaleness import (
+    KStalenessModel,
+    consistency_probability,
+    k_for_target_probability,
+    probability_nonintersection,
+    staleness_probability,
+)
+from repro.core.ktstaleness import (
+    KTStalenessModel,
+    kt_consistency_probability,
+    kt_staleness_probability,
+)
+from repro.core.load import (
+    LoadModel,
+    capacity_from_load,
+    epsilon_intersecting_load,
+    k_staleness_load,
+    monotonic_reads_load,
+)
+from repro.core.monotonic import (
+    MonotonicReadsModel,
+    monotonic_reads_probability,
+    strict_monotonic_reads_probability,
+)
+from repro.core.predictor import PBSPredictor, PBSReport
+from repro.core.quorum import CASSANDRA_DEFAULT, RIAK_DEFAULT, ReplicaConfig, iter_configs
+from repro.core.sla import ConfigurationEvaluation, SLAOptimizer, SLATarget
+from repro.core.tvisibility import (
+    EmpiricalPropagation,
+    ExponentialPropagation,
+    InstantaneousPropagation,
+    WritePropagationModel,
+    staleness_upper_bound,
+    visibility_curve,
+    visibility_lower_bound,
+)
+from repro.core.wars import WARSModel, WARSTrialResult
+
+__all__ = [
+    "KStalenessModel",
+    "consistency_probability",
+    "k_for_target_probability",
+    "probability_nonintersection",
+    "staleness_probability",
+    "KTStalenessModel",
+    "kt_consistency_probability",
+    "kt_staleness_probability",
+    "LoadModel",
+    "capacity_from_load",
+    "epsilon_intersecting_load",
+    "k_staleness_load",
+    "monotonic_reads_load",
+    "MonotonicReadsModel",
+    "monotonic_reads_probability",
+    "strict_monotonic_reads_probability",
+    "PBSPredictor",
+    "PBSReport",
+    "CASSANDRA_DEFAULT",
+    "RIAK_DEFAULT",
+    "ReplicaConfig",
+    "iter_configs",
+    "ConfigurationEvaluation",
+    "SLAOptimizer",
+    "SLATarget",
+    "EmpiricalPropagation",
+    "ExponentialPropagation",
+    "InstantaneousPropagation",
+    "WritePropagationModel",
+    "staleness_upper_bound",
+    "visibility_curve",
+    "visibility_lower_bound",
+    "WARSModel",
+    "WARSTrialResult",
+]

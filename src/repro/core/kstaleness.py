@@ -1,0 +1,133 @@
+"""PBS k-staleness: closed-form staleness bounds across versions (paper §3.1).
+
+For non-expanding probabilistic quorums where the read and write quorums are
+chosen uniformly at random, the probability that a read quorum misses the most
+recent write is (Equation 1)::
+
+    p_s = C(N - W, R) / C(N, R)
+
+and the probability of missing *all* of the last ``k`` independent writes is
+``p_s ** k`` (Equation 2).  A read therefore returns a value within ``k``
+versions of the latest committed version with probability ``1 - p_s ** k``.
+
+These closed forms are exact for fixed (non-expanding) quorums and are upper
+bounds on staleness for expanding partial quorums (Dynamo-style systems with
+anti-entropy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import comb
+from typing import Iterable, Sequence
+
+from repro.core.quorum import ReplicaConfig
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "probability_nonintersection",
+    "staleness_probability",
+    "consistency_probability",
+    "k_for_target_probability",
+    "KStalenessModel",
+]
+
+
+def probability_nonintersection(config: ReplicaConfig) -> float:
+    """Equation 1: probability a random read quorum misses a random write quorum.
+
+    Counts the read quorums drawn entirely from the ``N - W`` replicas outside
+    the write quorum, over all possible read quorums.  Strict quorums
+    (``R + W > N``) give exactly zero.
+    """
+    if config.r + config.w > config.n:
+        return 0.0
+    return comb(config.n - config.w, config.r) / comb(config.n, config.r)
+
+
+def staleness_probability(config: ReplicaConfig, k: int) -> float:
+    """Equation 2: probability a read misses all of the last ``k`` committed versions."""
+    if k < 1:
+        raise ConfigurationError(f"version tolerance k must be >= 1, got {k}")
+    return probability_nonintersection(config) ** k
+
+
+def consistency_probability(config: ReplicaConfig, k: int = 1) -> float:
+    """Probability that a read returns a value within ``k`` versions of the latest.
+
+    ``k = 1`` is the classic probabilistic-quorum consistency probability.
+    """
+    return 1.0 - staleness_probability(config, k)
+
+
+def k_for_target_probability(config: ReplicaConfig, target: float) -> int:
+    """Smallest ``k`` such that the read is within ``k`` versions with probability >= target.
+
+    Raises :class:`ConfigurationError` if the target is unreachable (only
+    possible when ``p_s == 1``, i.e. read and write quorums can never
+    intersect, which cannot happen for valid configurations with R, W >= 1).
+    """
+    if not 0.0 <= target < 1.0 and target != 1.0:
+        raise ConfigurationError(f"target probability must be in [0, 1], got {target}")
+    p_s = probability_nonintersection(config)
+    if p_s == 0.0:
+        return 1
+    if target == 1.0:
+        raise ConfigurationError(
+            "a partial quorum cannot guarantee consistency with probability exactly 1"
+        )
+    k = 1
+    probability = 1.0 - p_s
+    while probability < target:
+        k += 1
+        probability = 1.0 - p_s**k
+        if k > 10_000_000:  # pragma: no cover - defensive guard
+            raise ConfigurationError("target probability requires an implausibly large k")
+    return k
+
+
+@dataclass(frozen=True)
+class KStalenessModel:
+    """Convenience wrapper bundling the closed-form k-staleness results for a config.
+
+    This mirrors the way the paper presents §3.1: one replication
+    configuration, evaluated across a range of ``k`` values.
+    """
+
+    config: ReplicaConfig
+
+    @property
+    def p_nonintersection(self) -> float:
+        """Equation 1 for this configuration."""
+        return probability_nonintersection(self.config)
+
+    def staleness(self, k: int) -> float:
+        """Equation 2: probability of reading data more than ``k`` versions stale."""
+        return staleness_probability(self.config, k)
+
+    def consistency(self, k: int = 1) -> float:
+        """Probability of reading data within ``k`` versions of the latest."""
+        return consistency_probability(self.config, k)
+
+    def consistency_curve(self, ks: Iterable[int]) -> list[tuple[int, float]]:
+        """Return ``(k, P(within k versions))`` pairs for plotting or tables."""
+        return [(k, self.consistency(k)) for k in ks]
+
+    def expected_staleness_versions(self) -> float:
+        """Expected number of versions by which a read lags the latest commit.
+
+        The read is stale by at least ``k`` versions with probability
+        ``p_s ** k``, so the expectation of the (geometric-tailed) staleness is
+        ``sum_{k>=1} p_s^k = p_s / (1 - p_s)``.
+        """
+        p_s = self.p_nonintersection
+        if p_s >= 1.0:  # pragma: no cover - unreachable for valid configs
+            return float("inf")
+        return p_s / (1.0 - p_s)
+
+    def table(self, ks: Sequence[int] = (1, 2, 3, 5, 10)) -> list[dict[str, float]]:
+        """Rows matching the §3.1 in-text examples: k vs probability of freshness."""
+        return [
+            {"k": float(k), "p_consistent": self.consistency(k), "p_stale": self.staleness(k)}
+            for k in ks
+        ]

@@ -1,0 +1,113 @@
+"""Quorum-system load and capacity bounds under staleness tolerance (paper §3.3).
+
+The *load* of a quorum system (Naor & Wool) is the access frequency of its
+busiest member under the best possible access strategy; *capacity* is the
+reciprocal.  Malkhi et al. show an ε-intersecting probabilistic quorum system
+has load at least ``(1 - sqrt(ε)) / sqrt(N)``... the paper's §3.3 observes that
+tolerating ``k`` versions of staleness only requires each of the ``k``
+constituent systems to be ``ε = p^(1/k)``-intersecting, giving the improved
+lower bound::
+
+    load >= (1 - p)^(1 / (2k)) / sqrt(N)
+
+(with ``p`` the tolerated probability of inconsistency), and analogously for
+monotonic reads with ``C = 1 + γ_gw / γ_cr`` in place of ``k``.  Staleness
+tolerance therefore *lowers* the required load and raises capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import sqrt
+from typing import Iterable
+
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "epsilon_intersecting_load",
+    "k_staleness_load",
+    "monotonic_reads_load",
+    "capacity_from_load",
+    "LoadModel",
+]
+
+
+def _validate_probability(value: float, name: str) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ConfigurationError(f"{name} must be in [0, 1], got {value}")
+
+
+def _validate_n(n: int) -> None:
+    if n < 1:
+        raise ConfigurationError(f"replica count must be >= 1, got {n}")
+
+
+def epsilon_intersecting_load(n: int, epsilon: float) -> float:
+    """Malkhi et al. lower bound on the load of an ε-intersecting quorum system.
+
+    ``load >= (1 - sqrt(ε)) / sqrt(N)``.
+    """
+    _validate_n(n)
+    _validate_probability(epsilon, "epsilon")
+    return (1.0 - sqrt(epsilon)) / sqrt(n)
+
+
+def k_staleness_load(n: int, p: float, k: int) -> float:
+    """§3.3 lower bound on load when tolerating staleness of ``k`` versions.
+
+    ``load >= (1 - p)^(1/(2k)) / sqrt(N)`` where ``p`` is the tolerated
+    probability of inconsistency.  Equivalent to
+    :func:`epsilon_intersecting_load` with ``ε = p^(1/k)``.
+    """
+    _validate_n(n)
+    _validate_probability(p, "inconsistency probability")
+    if k < 1:
+        raise ConfigurationError(f"version tolerance k must be >= 1, got {k}")
+    return (1.0 - p) ** (1.0 / (2.0 * k)) / sqrt(n)
+
+
+def monotonic_reads_load(n: int, p: float, global_write_rate: float, client_read_rate: float) -> float:
+    """§3.3 load lower bound for PBS monotonic reads: exponent ``C = 1 + γ_gw/γ_cr``."""
+    if global_write_rate < 0:
+        raise ConfigurationError(f"global write rate must be non-negative, got {global_write_rate}")
+    if client_read_rate <= 0:
+        raise ConfigurationError(f"client read rate must be positive, got {client_read_rate}")
+    _validate_n(n)
+    _validate_probability(p, "inconsistency probability")
+    c = 1.0 + global_write_rate / client_read_rate
+    return (1.0 - p) ** (1.0 / (2.0 * c)) / sqrt(n)
+
+
+def capacity_from_load(load: float) -> float:
+    """Capacity is the reciprocal of load (Naor & Wool, Corollary 3.9)."""
+    if load <= 0:
+        raise ConfigurationError(f"load must be positive to define capacity, got {load}")
+    return 1.0 / load
+
+
+@dataclass(frozen=True)
+class LoadModel:
+    """Load/capacity comparisons for a replica count and inconsistency tolerance."""
+
+    n: int
+    p: float
+
+    def __post_init__(self) -> None:
+        _validate_n(self.n)
+        _validate_probability(self.p, "inconsistency probability")
+
+    def strict_load(self) -> float:
+        """Load bound with no staleness tolerance (ε-intersecting with ε = p)."""
+        return epsilon_intersecting_load(self.n, self.p)
+
+    def staleness_tolerant_load(self, k: int) -> float:
+        """Load bound when tolerating ``k`` versions of staleness."""
+        return k_staleness_load(self.n, self.p, k)
+
+    def load_curve(self, ks: Iterable[int]) -> list[tuple[int, float]]:
+        """Return ``(k, load_bound)`` pairs showing load shrinking with k."""
+        return [(k, self.staleness_tolerant_load(k)) for k in ks]
+
+    def capacity_improvement(self, k: int) -> float:
+        """Ratio of k-tolerant capacity to 1-version capacity (>= 1)."""
+        return self.staleness_tolerant_load(1) / self.staleness_tolerant_load(k)

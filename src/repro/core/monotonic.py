@@ -1,0 +1,121 @@
+"""PBS monotonic-reads consistency (paper §3.2).
+
+Monotonic reads is the session guarantee that a client never observes older
+data than it has already read.  The paper shows it is a special case of
+k-staleness: if the system-wide write rate to a key is ``γ_gw`` and the
+client's read rate from that key is ``γ_cr``, then ``γ_gw / γ_cr`` versions
+are written between consecutive client reads, so the client reads
+monotonically with probability (Equation 3)::
+
+    1 - p_s ** (1 + γ_gw / γ_cr)
+
+For *strict* monotonic reads (the client must observe strictly newer data when
+it exists), the exponent drops to ``γ_gw / γ_cr``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.kstaleness import probability_nonintersection
+from repro.core.quorum import ReplicaConfig
+from repro.exceptions import ConfigurationError
+
+__all__ = ["MonotonicReadsModel", "monotonic_reads_probability", "strict_monotonic_reads_probability"]
+
+
+def _version_ratio(global_write_rate: float, client_read_rate: float) -> float:
+    """Return γ_gw / γ_cr after validating both rates."""
+    if global_write_rate < 0:
+        raise ConfigurationError(f"global write rate must be non-negative, got {global_write_rate}")
+    if client_read_rate <= 0:
+        raise ConfigurationError(f"client read rate must be positive, got {client_read_rate}")
+    return global_write_rate / client_read_rate
+
+
+def monotonic_reads_probability(
+    config: ReplicaConfig, global_write_rate: float, client_read_rate: float
+) -> float:
+    """Equation 3: probability a client's next read is no older than its last read."""
+    exponent = 1.0 + _version_ratio(global_write_rate, client_read_rate)
+    return 1.0 - probability_nonintersection(config) ** exponent
+
+
+def strict_monotonic_reads_probability(
+    config: ReplicaConfig, global_write_rate: float, client_read_rate: float
+) -> float:
+    """Probability of reading *strictly newer* data when newer versions exist.
+
+    Uses exponent ``γ_gw / γ_cr`` as described in §3.2.  When no writes occur
+    between reads (ratio 0) the exponent is 0, so the probability is 0 — there
+    is nothing newer to observe, matching the paper's definition.
+    """
+    exponent = _version_ratio(global_write_rate, client_read_rate)
+    if exponent == 0.0:
+        return 0.0
+    return 1.0 - probability_nonintersection(config) ** exponent
+
+
+@dataclass(frozen=True)
+class MonotonicReadsModel:
+    """Monotonic-reads predictions for one configuration and workload rates.
+
+    Attributes
+    ----------
+    config:
+        The (N, R, W) replication configuration.
+    global_write_rate:
+        γ_gw — system-wide writes per second to the data item.
+    client_read_rate:
+        γ_cr — this client's reads per second from the data item.
+    """
+
+    config: ReplicaConfig
+    global_write_rate: float
+    client_read_rate: float
+
+    @property
+    def versions_between_reads(self) -> float:
+        """Expected number of versions committed between consecutive client reads."""
+        return _version_ratio(self.global_write_rate, self.client_read_rate)
+
+    @property
+    def effective_k(self) -> float:
+        """The k-staleness exponent used for the (non-strict) monotonic reads bound."""
+        return 1.0 + self.versions_between_reads
+
+    def probability(self) -> float:
+        """Probability of monotonic reads (Equation 3)."""
+        return monotonic_reads_probability(
+            self.config, self.global_write_rate, self.client_read_rate
+        )
+
+    def strict_probability(self) -> float:
+        """Probability of strict monotonic reads."""
+        return strict_monotonic_reads_probability(
+            self.config, self.global_write_rate, self.client_read_rate
+        )
+
+    def required_read_rate_for(self, target: float) -> float:
+        """Client read rate needed to achieve a target monotonic-reads probability.
+
+        Solves ``1 - p_s^(1 + γ_gw/γ_cr) >= target`` for ``γ_cr``, holding the
+        write rate fixed.  Useful for the admission-control discussion in
+        §3.2.  Returns ``0`` if the target is met even at infinitesimal read
+        rates, and raises if the target is unattainable at any read rate.
+        """
+        import math
+
+        if not 0.0 <= target < 1.0:
+            raise ConfigurationError(f"target probability must be in [0, 1), got {target}")
+        p_s = probability_nonintersection(self.config)
+        if p_s == 0.0:
+            return 0.0
+        # Required exponent: k such that 1 - p_s^k >= target.
+        required_exponent = math.log(1.0 - target) / math.log(p_s)
+        if required_exponent <= 1.0:
+            # Even a single version of slack (k=1) suffices at any read rate.
+            return 0.0
+        if self.global_write_rate == 0.0:
+            return 0.0
+        return self.global_write_rate / (required_exponent - 1.0)

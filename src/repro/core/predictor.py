@@ -1,0 +1,195 @@
+"""High-level PBS prediction API.
+
+:class:`PBSPredictor` ties the closed-form k-staleness results, the WARS
+Monte Carlo t-visibility machinery, and the ⟨k, t⟩ combination into a single
+object that mirrors how an operator would consume PBS: pick a replication
+configuration and a latency environment, then ask "how eventual?" and
+"how consistent?".
+
+Example
+-------
+>>> from repro import PBSPredictor, ReplicaConfig, production_fit
+>>> predictor = PBSPredictor(production_fit("LNKD-SSD"), ReplicaConfig(n=3, r=1, w=1))
+>>> report = predictor.report(trials=20_000, rng=0)
+>>> 0.0 <= report.consistency_at_commit <= 1.0
+True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.kstaleness import KStalenessModel
+from repro.core.ktstaleness import kt_consistency_probability
+from repro.core.monotonic import MonotonicReadsModel
+from repro.core.quorum import ReplicaConfig
+from repro.core.tvisibility import EmpiricalPropagation
+from repro.core.wars import WARSModel, WARSTrialResult
+from repro.exceptions import ConfigurationError
+from repro.latency.base import as_rng
+from repro.latency.production import WARSDistributions
+
+__all__ = ["PBSReport", "PBSPredictor"]
+
+#: Latency percentiles included in :class:`PBSReport`, matching Table 4's focus
+#: on tail latency plus the medians quoted in §5.6.
+_REPORT_PERCENTILES: tuple[float, ...] = (50.0, 95.0, 99.0, 99.9)
+
+
+@dataclass(frozen=True)
+class PBSReport:
+    """A bundled prediction for one configuration and latency environment."""
+
+    config: ReplicaConfig
+    trials: int
+    #: Probability a read immediately after commit (t = 0) is consistent.
+    consistency_at_commit: float
+    #: t (ms) needed for 99.9% probability of consistent reads.
+    t_visibility_999: float
+    #: t (ms) needed for 99% probability of consistent reads.
+    t_visibility_99: float
+    #: Closed-form probability of reading one of the last k versions (k = 1, 2, 3).
+    k_staleness: Mapping[int, float]
+    #: Read latency percentiles (ms) keyed by percentile.
+    read_latency_ms: Mapping[float, float]
+    #: Write (commit) latency percentiles (ms) keyed by percentile.
+    write_latency_ms: Mapping[float, float]
+
+    def summary_lines(self) -> list[str]:
+        """Human-readable summary, one finding per line."""
+        lines = [
+            f"configuration: {self.config.label()} "
+            f"({'strict' if self.config.is_strict else 'partial'} quorum)",
+            f"P(consistent read immediately after commit) = {self.consistency_at_commit:.4f}",
+            f"t-visibility for 99%   consistent reads = {self.t_visibility_99:.2f} ms",
+            f"t-visibility for 99.9% consistent reads = {self.t_visibility_999:.2f} ms",
+        ]
+        for k, probability in sorted(self.k_staleness.items()):
+            lines.append(f"P(read within {k} version{'s' if k > 1 else ''}) = {probability:.4f}")
+        lines.append(
+            "read latency ms (p50/p99/p99.9) = "
+            f"{self.read_latency_ms[50.0]:.2f} / {self.read_latency_ms[99.0]:.2f} / "
+            f"{self.read_latency_ms[99.9]:.2f}"
+        )
+        lines.append(
+            "write latency ms (p50/p99/p99.9) = "
+            f"{self.write_latency_ms[50.0]:.2f} / {self.write_latency_ms[99.0]:.2f} / "
+            f"{self.write_latency_ms[99.9]:.2f}"
+        )
+        return lines
+
+
+@dataclass(frozen=True)
+class PBSPredictor:
+    """Predict staleness and latency for a replication configuration.
+
+    Parameters
+    ----------
+    distributions:
+        The WARS one-way latency distributions describing the deployment.
+    config:
+        The (N, R, W) configuration to evaluate.
+    """
+
+    distributions: WARSDistributions
+    config: ReplicaConfig
+
+    # ------------------------------------------------------------------
+    # Closed-form predictions.
+    # ------------------------------------------------------------------
+    def k_staleness(self) -> KStalenessModel:
+        """Closed-form k-staleness model (paper §3.1) for this configuration."""
+        return KStalenessModel(self.config)
+
+    def monotonic_reads(
+        self, global_write_rate: float, client_read_rate: float
+    ) -> MonotonicReadsModel:
+        """Monotonic-reads model (paper §3.2) for the given workload rates."""
+        return MonotonicReadsModel(
+            config=self.config,
+            global_write_rate=global_write_rate,
+            client_read_rate=client_read_rate,
+        )
+
+    # ------------------------------------------------------------------
+    # Monte Carlo predictions.
+    # ------------------------------------------------------------------
+    def wars(self) -> WARSModel:
+        """The underlying WARS Monte Carlo model."""
+        return WARSModel(distributions=self.distributions, config=self.config)
+
+    def simulate(
+        self, trials: int = 100_000, rng: np.random.Generator | int | None = None
+    ) -> WARSTrialResult:
+        """Run a batch of WARS trials and return the raw result."""
+        return self.wars().sample(trials, rng)
+
+    def t_visibility(
+        self,
+        target_probability: float = 0.999,
+        trials: int = 100_000,
+        rng: np.random.Generator | int | None = None,
+    ) -> float:
+        """Time (ms) after commit needed to reach the target consistency probability."""
+        return self.simulate(trials, rng).t_visibility(target_probability)
+
+    def consistency_curve(
+        self,
+        times_ms: Sequence[float],
+        trials: int = 100_000,
+        rng: np.random.Generator | int | None = None,
+    ) -> list[tuple[float, float]]:
+        """``(t, P(consistent))`` pairs over a grid of times since commit."""
+        return self.simulate(trials, rng).consistency_curve(times_ms)
+
+    def kt_staleness(
+        self,
+        k: int,
+        t_ms: float,
+        trials: int = 100_000,
+        rng: np.random.Generator | int | None = None,
+    ) -> float:
+        """Monte-Carlo-backed ⟨k, t⟩-staleness consistency probability (paper §3.5).
+
+        Uses the simulated write-arrival delays to build an empirical
+        propagation model, then applies Equation 5.
+        """
+        result = self.simulate(trials, rng)
+        arrivals = result.write_arrivals_ms - result.commit_latencies_ms[:, None]
+        propagation = EmpiricalPropagation(arrival_delays_ms=arrivals)
+        return kt_consistency_probability(self.config, propagation, k, t_ms)
+
+    # ------------------------------------------------------------------
+    # Bundled report.
+    # ------------------------------------------------------------------
+    def report(
+        self,
+        trials: int = 100_000,
+        rng: np.random.Generator | int | None = None,
+        ks: Sequence[int] = (1, 2, 3),
+    ) -> PBSReport:
+        """Produce a :class:`PBSReport` summarising latency and staleness predictions."""
+        if trials < 100:
+            raise ConfigurationError(
+                f"at least 100 trials are required for a meaningful report, got {trials}"
+            )
+        generator = as_rng(rng)
+        result = self.simulate(trials, generator)
+        staleness_model = self.k_staleness()
+        return PBSReport(
+            config=self.config,
+            trials=trials,
+            consistency_at_commit=result.probability_never_stale(),
+            t_visibility_999=result.t_visibility(0.999),
+            t_visibility_99=result.t_visibility(0.99),
+            k_staleness={k: staleness_model.consistency(k) for k in ks},
+            read_latency_ms={
+                p: result.read_latency_percentile(p) for p in _REPORT_PERCENTILES
+            },
+            write_latency_ms={
+                p: result.write_latency_percentile(p) for p in _REPORT_PERCENTILES
+            },
+        )

@@ -1,0 +1,204 @@
+"""SLA-driven replication configuration (paper §6, "Latency/Staleness SLAs").
+
+The paper observes that PBS turns replication tuning into a small optimisation
+problem: the configuration space is only ``O(N^2)`` per replication factor, so
+an operator can exhaustively evaluate every (N, R, W) choice against measured
+latency distributions and pick the one that best satisfies a service level
+agreement combining
+
+* an operation-latency target (e.g. "99.9th percentile read latency <= 10 ms"),
+* a staleness target (e.g. "99.9% of reads consistent within 20 ms of commit"),
+* a minimum durability / availability requirement (a floor on ``W`` and ``N``).
+
+:class:`SLAOptimizer` implements that search over WARS Monte Carlo evaluations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.core.quorum import ReplicaConfig, iter_configs
+from repro.core.wars import WARSModel, WARSTrialResult
+from repro.exceptions import ConfigurationError
+from repro.latency.base import as_rng
+from repro.latency.production import WARSDistributions
+
+__all__ = ["SLATarget", "ConfigurationEvaluation", "SLAOptimizer"]
+
+
+@dataclass(frozen=True)
+class SLATarget:
+    """A combined latency/staleness/durability service-level target.
+
+    Attributes
+    ----------
+    read_latency_ms / write_latency_ms:
+        Upper bounds on operation latency at ``latency_percentile``.  ``None``
+        disables the corresponding constraint.
+    latency_percentile:
+        Percentile at which the latency bounds apply (the paper uses 99.9).
+    t_visibility_ms:
+        Upper bound on the time after commit needed to reach
+        ``consistency_probability`` probability of consistent reads.  ``None``
+        disables the staleness constraint.
+    consistency_probability:
+        The probability level for the staleness constraint (default 99.9%).
+    min_write_quorum:
+        Durability floor: the minimum acceptable ``W``.
+    min_replication:
+        Availability floor: the minimum acceptable ``N``.
+    """
+
+    read_latency_ms: float | None = None
+    write_latency_ms: float | None = None
+    latency_percentile: float = 99.9
+    t_visibility_ms: float | None = None
+    consistency_probability: float = 0.999
+    min_write_quorum: int = 1
+    min_replication: int = 1
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.latency_percentile <= 100.0:
+            raise ConfigurationError(
+                f"latency percentile must be in (0, 100], got {self.latency_percentile}"
+            )
+        if not 0.0 < self.consistency_probability <= 1.0:
+            raise ConfigurationError(
+                "consistency probability must be in (0, 1], got "
+                f"{self.consistency_probability}"
+            )
+        if self.min_write_quorum < 1:
+            raise ConfigurationError(
+                f"minimum write quorum must be >= 1, got {self.min_write_quorum}"
+            )
+        if self.min_replication < 1:
+            raise ConfigurationError(
+                f"minimum replication must be >= 1, got {self.min_replication}"
+            )
+
+
+@dataclass(frozen=True)
+class ConfigurationEvaluation:
+    """The measured behaviour of one (N, R, W) configuration under a workload."""
+
+    config: ReplicaConfig
+    read_latency_ms: float
+    write_latency_ms: float
+    t_visibility_ms: float
+    consistency_at_commit: float
+    meets_target: bool
+    violations: tuple[str, ...] = field(default_factory=tuple)
+
+    @property
+    def combined_latency_ms(self) -> float:
+        """Read + write tail latency; the paper's headline trade-off metric."""
+        return self.read_latency_ms + self.write_latency_ms
+
+
+class SLAOptimizer:
+    """Exhaustive (N, R, W) search against an :class:`SLATarget`.
+
+    Parameters
+    ----------
+    distributions:
+        WARS latency distributions, or a callable mapping a replication factor
+        to distributions (needed when the latency model depends on N, as in
+        the WAN scenario).
+    replication_factors:
+        The N values to consider (defaults to 1 through 5).
+    trials:
+        Monte Carlo trials per configuration.
+    """
+
+    def __init__(
+        self,
+        distributions: WARSDistributions | Callable[[int], WARSDistributions],
+        replication_factors: Sequence[int] = (1, 2, 3, 4, 5),
+        trials: int = 50_000,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        if trials < 100:
+            raise ConfigurationError(f"at least 100 trials are required, got {trials}")
+        if not replication_factors:
+            raise ConfigurationError("at least one replication factor is required")
+        self._distributions = distributions
+        self._replication_factors = tuple(sorted(set(replication_factors)))
+        self._trials = trials
+        self._rng = as_rng(rng)
+
+    def _distributions_for(self, n: int) -> WARSDistributions:
+        if callable(self._distributions):
+            return self._distributions(n)
+        return self._distributions
+
+    def _candidate_configs(self, target: SLATarget) -> Iterable[ReplicaConfig]:
+        for n in self._replication_factors:
+            if n < target.min_replication:
+                continue
+            for config in iter_configs(n):
+                if config.w >= target.min_write_quorum:
+                    yield config
+
+    def evaluate(self, config: ReplicaConfig, target: SLATarget) -> ConfigurationEvaluation:
+        """Evaluate one configuration against the target."""
+        model = WARSModel(
+            distributions=self._distributions_for(config.n), config=config
+        )
+        result: WARSTrialResult = model.sample(self._trials, self._rng)
+        read_latency = result.read_latency_percentile(target.latency_percentile)
+        write_latency = result.write_latency_percentile(target.latency_percentile)
+        t_visibility = result.t_visibility(target.consistency_probability)
+
+        violations: list[str] = []
+        if target.read_latency_ms is not None and read_latency > target.read_latency_ms:
+            violations.append(
+                f"read latency {read_latency:.2f} ms exceeds {target.read_latency_ms:.2f} ms"
+            )
+        if target.write_latency_ms is not None and write_latency > target.write_latency_ms:
+            violations.append(
+                f"write latency {write_latency:.2f} ms exceeds {target.write_latency_ms:.2f} ms"
+            )
+        if target.t_visibility_ms is not None and t_visibility > target.t_visibility_ms:
+            violations.append(
+                f"t-visibility {t_visibility:.2f} ms exceeds {target.t_visibility_ms:.2f} ms"
+            )
+
+        return ConfigurationEvaluation(
+            config=config,
+            read_latency_ms=read_latency,
+            write_latency_ms=write_latency,
+            t_visibility_ms=t_visibility,
+            consistency_at_commit=result.probability_never_stale(),
+            meets_target=not violations,
+            violations=tuple(violations),
+        )
+
+    def evaluate_all(self, target: SLATarget) -> list[ConfigurationEvaluation]:
+        """Evaluate every candidate configuration, sorted by combined tail latency."""
+        evaluations = [
+            self.evaluate(config, target) for config in self._candidate_configs(target)
+        ]
+        if not evaluations:
+            raise ConfigurationError(
+                "no candidate configurations satisfy the durability/availability floors"
+            )
+        return sorted(evaluations, key=lambda e: e.combined_latency_ms)
+
+    def best(self, target: SLATarget) -> ConfigurationEvaluation | None:
+        """Return the lowest-latency configuration meeting the target, or ``None``.
+
+        Ties are broken toward lower combined read+write tail latency, then
+        toward higher durability (larger ``W``), matching the paper's framing
+        that replication for durability can be decoupled from replication for
+        latency.
+        """
+        feasible = [
+            evaluation for evaluation in self.evaluate_all(target) if evaluation.meets_target
+        ]
+        if not feasible:
+            return None
+        feasible.sort(key=lambda e: (e.combined_latency_ms, -e.config.w))
+        return feasible[0]

@@ -1,0 +1,197 @@
+"""PBS t-visibility for expanding partial quorums (paper §3.4).
+
+Real Dynamo-style quorums *expand*: the coordinator sends every write to all
+``N`` replicas and considers the write committed after ``W`` acknowledgements,
+but the remaining replicas continue to receive the write afterwards
+(anti-entropy).  t-visibility asks: what is the probability that a read
+starting ``t`` seconds after a write commits observes that write?
+
+Equation 4 of the paper gives a closed-form *upper bound* on the probability
+of staleness in terms of the write-propagation CDF ``P_w(c, t)`` — the
+probability that at least ``c`` replicas hold the version ``t`` seconds after
+commit::
+
+    p_st = C(N-W, R)/C(N, R)
+           + Σ_{c in (W, N]} C(N-c, R)/C(N, R) · [P_w(c+1, t) − P_w(c, t)]
+
+This module implements that bound for an arbitrary propagation model.  The
+:class:`WritePropagationModel` interface is satisfied both by simple analytic
+models (e.g. exponential per-replica propagation) and by empirical propagation
+curves measured from the cluster simulator.
+
+Note the paper's convention: ``P_w(c, t)`` is the probability that *at least*
+``c`` replicas have the version at time ``t``; by definition ``P_w(c, 0) = 1``
+for all ``c <= W``.  The term ``P_w(c+1, t) − P_w(c, t)`` is therefore
+negative as written in the paper; we implement the equivalent (and clearly
+non-negative) formulation using the probability that *exactly* ``c`` replicas
+hold the version.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from math import comb, exp
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.quorum import ReplicaConfig
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "WritePropagationModel",
+    "ExponentialPropagation",
+    "EmpiricalPropagation",
+    "InstantaneousPropagation",
+    "staleness_upper_bound",
+    "visibility_lower_bound",
+]
+
+
+class WritePropagationModel(abc.ABC):
+    """Distribution of the number of replicas holding a version ``t`` ms after commit."""
+
+    @abc.abstractmethod
+    def replica_count_pmf(self, config: ReplicaConfig, t_ms: float) -> np.ndarray:
+        """Return an array ``pmf`` of length ``N + 1`` where ``pmf[c]`` is the
+        probability that exactly ``c`` replicas hold the version ``t_ms``
+        milliseconds after the write commits.
+
+        Implementations must guarantee ``pmf[c] == 0`` for ``c < W`` (the write
+        quorum already holds the version at commit time) and the entries must
+        sum to 1.
+        """
+
+    def cumulative(self, config: ReplicaConfig, t_ms: float) -> np.ndarray:
+        """Return ``P_w(c, t)``: probability at least ``c`` replicas hold the version."""
+        pmf = self.replica_count_pmf(config, t_ms)
+        # Reverse cumulative sum: P(at least c) = sum_{j >= c} pmf[j].
+        return np.cumsum(pmf[::-1])[::-1]
+
+
+@dataclass(frozen=True)
+class InstantaneousPropagation(WritePropagationModel):
+    """No anti-entropy at all: exactly the ``W`` quorum replicas ever hold the version.
+
+    This reduces Equation 4 to Equation 1 and is used to cross-check the two
+    closed forms against each other.
+    """
+
+    def replica_count_pmf(self, config: ReplicaConfig, t_ms: float) -> np.ndarray:
+        pmf = np.zeros(config.n + 1)
+        pmf[config.w] = 1.0
+        return pmf
+
+
+@dataclass(frozen=True)
+class ExponentialPropagation(WritePropagationModel):
+    """Each non-quorum replica independently receives the write after an Exp(rate) delay.
+
+    A simple analytic stand-in for anti-entropy: after ``t`` ms, each of the
+    ``N - W`` replicas outside the original write quorum has received the
+    version independently with probability ``1 - exp(-rate * t)``.
+    """
+
+    rate_per_ms: float
+
+    def __post_init__(self) -> None:
+        if self.rate_per_ms <= 0:
+            raise ConfigurationError(
+                f"propagation rate must be positive, got {self.rate_per_ms}"
+            )
+
+    def replica_count_pmf(self, config: ReplicaConfig, t_ms: float) -> np.ndarray:
+        if t_ms < 0:
+            raise ConfigurationError(f"time since commit must be non-negative, got {t_ms}")
+        n, w = config.n, config.w
+        p_received = 1.0 - exp(-self.rate_per_ms * t_ms)
+        pmf = np.zeros(n + 1)
+        remaining = n - w
+        for extra in range(remaining + 1):
+            pmf[w + extra] = (
+                comb(remaining, extra)
+                * p_received**extra
+                * (1.0 - p_received) ** (remaining - extra)
+            )
+        return pmf
+
+
+@dataclass(frozen=True)
+class EmpiricalPropagation(WritePropagationModel):
+    """Propagation model backed by measured per-replica arrival delays.
+
+    ``arrival_delays_ms`` holds, for each observed write, the sorted one-way
+    delays (relative to commit time) at which each replica received the write;
+    negative values mean the replica already had the version at commit.  This
+    is exactly what the cluster simulator's tracing produces.
+    """
+
+    arrival_delays_ms: np.ndarray  # shape (writes, N)
+
+    def __post_init__(self) -> None:
+        delays = np.asarray(self.arrival_delays_ms, dtype=float)
+        if delays.ndim != 2 or delays.size == 0:
+            raise ConfigurationError("arrival delays must form a non-empty (writes, N) matrix")
+        object.__setattr__(self, "arrival_delays_ms", delays)
+
+    def replica_count_pmf(self, config: ReplicaConfig, t_ms: float) -> np.ndarray:
+        delays = self.arrival_delays_ms
+        if delays.shape[1] != config.n:
+            raise ConfigurationError(
+                f"arrival-delay matrix has {delays.shape[1]} replicas but config.n={config.n}"
+            )
+        counts = np.sum(delays <= t_ms, axis=1)
+        counts = np.clip(counts, config.w, config.n)
+        pmf = np.bincount(counts, minlength=config.n + 1).astype(float)
+        return pmf / pmf.sum()
+
+
+def staleness_upper_bound(
+    config: ReplicaConfig, propagation: WritePropagationModel, t_ms: float
+) -> float:
+    """Equation 4: upper bound on the probability a read at time ``t`` is stale.
+
+    The read quorum of size ``R`` is chosen uniformly at random; if ``c``
+    replicas hold the version, the read misses it with probability
+    ``C(N - c, R) / C(N, R)``.  Summing over the propagation distribution of
+    ``c`` yields the bound.
+    """
+    if t_ms < 0:
+        raise ConfigurationError(f"time since commit must be non-negative, got {t_ms}")
+    n, r = config.n, config.r
+    pmf = propagation.replica_count_pmf(config, t_ms)
+    if len(pmf) != n + 1:
+        raise ConfigurationError(
+            f"propagation pmf has length {len(pmf)}, expected N + 1 = {n + 1}"
+        )
+    total = float(np.sum(pmf))
+    if not np.isclose(total, 1.0, atol=1e-9):
+        raise ConfigurationError(f"propagation pmf must sum to 1, got {total}")
+    denominator = comb(n, r)
+    probability = 0.0
+    for c in range(config.w, n + 1):
+        if pmf[c] == 0.0:
+            continue
+        misses = comb(n - c, r) if n - c >= r else 0
+        probability += pmf[c] * misses / denominator
+    return float(min(max(probability, 0.0), 1.0))
+
+
+def visibility_lower_bound(
+    config: ReplicaConfig, propagation: WritePropagationModel, t_ms: float
+) -> float:
+    """Lower bound on the probability of a consistent read ``t`` ms after commit."""
+    return 1.0 - staleness_upper_bound(config, propagation, t_ms)
+
+
+def visibility_curve(
+    config: ReplicaConfig,
+    propagation: WritePropagationModel,
+    times_ms: Sequence[float],
+) -> list[tuple[float, float]]:
+    """Evaluate the visibility lower bound over a grid of times since commit."""
+    return [(float(t), visibility_lower_bound(config, propagation, t)) for t in times_ms]
+
+
+__all__.append("visibility_curve")

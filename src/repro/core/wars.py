@@ -1,0 +1,224 @@
+"""The WARS model of Dynamo-style operation latency and staleness (paper §4, §5.1).
+
+WARS names the four one-way message delays between a coordinator and a
+replica:
+
+* ``W`` — coordinator → replica, carrying the write,
+* ``A`` — replica → coordinator, acknowledging the write,
+* ``R`` — coordinator → replica, carrying the read request,
+* ``S`` — replica → coordinator, carrying the read response.
+
+A write *commits* when the coordinator has ``W`` (the quorum size)
+acknowledgements; its commit latency is therefore the ``W``-th smallest of the
+per-replica ``W[i] + A[i]`` sums.  A read returns once ``R`` responses arrive,
+i.e. after the ``R``-th smallest ``R[i] + S[i]``.  The read is **stale** when
+every one of the first ``R`` responding replicas received the read request
+before it received the latest write: for responder ``i``,
+``wt + t + R[i] < W[i]`` where ``wt`` is the commit latency and ``t`` the time
+between commit and the start of the read.
+
+The analytic formulation involves coupled order statistics, so the paper (and
+this module) evaluates it by Monte Carlo.  The key observation used here is
+that each simulated operation pair yields a *staleness threshold*::
+
+    threshold = min over first-R responders of (W[i] − R[i]) − wt
+
+and the read is consistent exactly when ``t >= threshold``.  One set of trials
+therefore produces the entire t-visibility curve (the empirical CDF of the
+thresholds) as well as read- and write-latency distributions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.quorum import ReplicaConfig
+from repro.exceptions import ConfigurationError, DistributionError
+from repro.latency.base import LatencyDistribution, as_rng
+from repro.latency.composite import PerReplicaLatency
+from repro.latency.production import WARSDistributions
+
+__all__ = ["WARSTrialResult", "WARSModel"]
+
+
+def _sample_pair_matrices(
+    outbound: LatencyDistribution,
+    inbound: LatencyDistribution,
+    trials: int,
+    n: int,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sample the (outbound, inbound) delay matrices for one coordinator's messages.
+
+    Both matrices have shape ``(trials, n)``.  When either distribution is
+    per-replica, the same per-trial column permutation is applied to both so
+    that "which replica is local" is consistent for a given coordinator, while
+    remaining random across trials (the paper's WAN scenario).
+    """
+
+    def draw(distribution: LatencyDistribution) -> np.ndarray:
+        if isinstance(distribution, PerReplicaLatency):
+            if distribution.replica_count != n:
+                raise DistributionError(
+                    f"per-replica distribution has {distribution.replica_count} replicas "
+                    f"but the configuration requires N={n}"
+                )
+            return distribution.sample_matrix(trials, rng)
+        return distribution.sample(trials * n, rng).reshape(trials, n)
+
+    outbound_matrix = draw(outbound)
+    inbound_matrix = draw(inbound)
+
+    per_replica = isinstance(outbound, PerReplicaLatency) or isinstance(
+        inbound, PerReplicaLatency
+    )
+    if per_replica:
+        # One permutation per trial, shared by the outbound and inbound legs.
+        permutations = np.argsort(rng.random((trials, n)), axis=1)
+        row_index = np.arange(trials)[:, None]
+        outbound_matrix = outbound_matrix[row_index, permutations]
+        inbound_matrix = inbound_matrix[row_index, permutations]
+    return outbound_matrix, inbound_matrix
+
+
+@dataclass(frozen=True)
+class WARSTrialResult:
+    """Vectorised outcome of a batch of WARS Monte Carlo trials.
+
+    Each of the arrays has one entry per simulated write/read pair.
+    """
+
+    config: ReplicaConfig
+    commit_latencies_ms: np.ndarray
+    read_latencies_ms: np.ndarray
+    staleness_thresholds_ms: np.ndarray
+    #: Per-trial, per-replica write arrival times (W delays); useful for
+    #: building empirical propagation models.
+    write_arrivals_ms: np.ndarray = field(repr=False, default=None)  # type: ignore[assignment]
+
+    @property
+    def trials(self) -> int:
+        """Number of simulated operations in this batch."""
+        return int(self.commit_latencies_ms.size)
+
+    def consistency_probability(self, t_ms: float) -> float:
+        """Fraction of trials whose read, started ``t_ms`` after commit, is consistent."""
+        if t_ms < 0:
+            raise ConfigurationError(f"time since commit must be non-negative, got {t_ms}")
+        return float(np.mean(self.staleness_thresholds_ms <= t_ms))
+
+    def consistency_curve(self, times_ms: Sequence[float]) -> list[tuple[float, float]]:
+        """Return ``(t, P(consistent at t))`` for each requested time since commit."""
+        thresholds = np.sort(self.staleness_thresholds_ms)
+        times = np.asarray(list(times_ms), dtype=float)
+        if np.any(times < 0):
+            raise ConfigurationError("times since commit must be non-negative")
+        counts = np.searchsorted(thresholds, times, side="right")
+        probabilities = counts / thresholds.size
+        return [(float(t), float(p)) for t, p in zip(times, probabilities)]
+
+    def t_visibility(self, target_probability: float) -> float:
+        """Smallest ``t`` (ms) at which the probability of consistency reaches the target.
+
+        This is the paper's "t-visibility for p_st = 1 - target" quantity, e.g.
+        ``target_probability=0.999`` reproduces the Table 4 columns.  Returns
+        0.0 when even immediately-after-commit reads already meet the target.
+        """
+        if not 0.0 < target_probability <= 1.0:
+            raise ConfigurationError(
+                f"target probability must be in (0, 1], got {target_probability}"
+            )
+        thresholds = np.sort(self.staleness_thresholds_ms)
+        index = int(np.ceil(target_probability * thresholds.size)) - 1
+        index = min(max(index, 0), thresholds.size - 1)
+        return float(max(thresholds[index], 0.0))
+
+    def read_latency_percentile(self, percentile: float) -> float:
+        """Read operation latency (ms) at the given percentile."""
+        return float(np.percentile(self.read_latencies_ms, percentile))
+
+    def write_latency_percentile(self, percentile: float) -> float:
+        """Write (commit) latency (ms) at the given percentile."""
+        return float(np.percentile(self.commit_latencies_ms, percentile))
+
+    def probability_never_stale(self) -> float:
+        """Fraction of trials that are consistent even at ``t = 0``."""
+        return self.consistency_probability(0.0)
+
+
+@dataclass(frozen=True)
+class WARSModel:
+    """Monte Carlo evaluator for Dynamo-style t-visibility under the WARS model.
+
+    Parameters
+    ----------
+    distributions:
+        The four one-way latency distributions (``W``, ``A``, ``R``, ``S``).
+    config:
+        The (N, R, W) replication configuration being evaluated.
+    """
+
+    distributions: WARSDistributions
+    config: ReplicaConfig
+
+    def sample(
+        self, trials: int, rng: np.random.Generator | int | None = None
+    ) -> WARSTrialResult:
+        """Run ``trials`` simulated write/read pairs and return the batched result."""
+        if trials < 1:
+            raise ConfigurationError(f"trial count must be >= 1, got {trials}")
+        generator = as_rng(rng)
+        n, r, w = self.config.n, self.config.r, self.config.w
+
+        write_delays, ack_delays = _sample_pair_matrices(
+            self.distributions.w, self.distributions.a, trials, n, generator
+        )
+        read_delays, response_delays = _sample_pair_matrices(
+            self.distributions.r, self.distributions.s, trials, n, generator
+        )
+
+        # Commit latency: W-th smallest of per-replica (write + ack) round trips.
+        write_round_trips = write_delays + ack_delays
+        commit_latencies = np.partition(write_round_trips, w - 1, axis=1)[:, w - 1]
+
+        # Read latency: R-th smallest of per-replica (request + response) round trips.
+        read_round_trips = read_delays + response_delays
+        read_latencies = np.partition(read_round_trips, r - 1, axis=1)[:, r - 1]
+
+        # The first R responders are those with the smallest (R + S) round trips.
+        responder_order = np.argsort(read_round_trips, axis=1, kind="stable")[:, :r]
+        row_index = np.arange(trials)[:, None]
+        responder_write_delays = write_delays[row_index, responder_order]
+        responder_read_delays = read_delays[row_index, responder_order]
+
+        # Replica i (among the first R responders) returns fresh data iff
+        # commit_latency + t + R[i] >= W[i]; the read is consistent iff any
+        # responder is fresh, i.e. t >= min_i (W[i] - R[i]) - commit_latency.
+        per_responder_thresholds = responder_write_delays - responder_read_delays
+        staleness_thresholds = (
+            np.min(per_responder_thresholds, axis=1) - commit_latencies
+        )
+
+        return WARSTrialResult(
+            config=self.config,
+            commit_latencies_ms=commit_latencies,
+            read_latencies_ms=read_latencies,
+            staleness_thresholds_ms=staleness_thresholds,
+            write_arrivals_ms=write_delays,
+        )
+
+    def consistency_probability(
+        self,
+        t_ms: float,
+        trials: int = 100_000,
+        rng: np.random.Generator | int | None = None,
+    ) -> float:
+        """Convenience wrapper: sample and report P(consistent read) at one ``t``."""
+        return self.sample(trials, rng).consistency_probability(t_ms)
+
+    def with_config(self, config: ReplicaConfig) -> "WARSModel":
+        """Return a model sharing this model's distributions with a new configuration."""
+        return WARSModel(distributions=self.distributions, config=config)

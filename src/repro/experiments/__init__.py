@@ -1,0 +1,19 @@
+"""Experiments: one module per table/figure in the paper's evaluation.
+
+Use the registry to discover and run them::
+
+    from repro.experiments import list_experiments, run_experiment
+    for experiment_id, description in list_experiments():
+        print(experiment_id, "-", description)
+    result = run_experiment("figure6", trials=50_000, rng=0)
+    print(result.to_text())
+"""
+
+from repro.experiments.registry import (
+    ExperimentResult,
+    get_experiment,
+    list_experiments,
+    run_experiment,
+)
+
+__all__ = ["ExperimentResult", "get_experiment", "list_experiments", "run_experiment"]

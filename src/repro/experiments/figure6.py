@@ -1,0 +1,69 @@
+"""Figure 6: t-visibility for the production latency fits.
+
+For each production environment and the partial-quorum configurations
+(R=1,W=1), (R=1,W=2), (R=2,W=1) at N=3, report the probability of consistency
+over a grid of times since commit — the series plotted in Figure 6 — plus the
+commit-time probability and 99.9% t-visibility quoted in §5.6.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.quorum import ReplicaConfig
+from repro.core.wars import WARSModel
+from repro.experiments.registry import ExperimentResult, register
+from repro.latency.base import as_rng
+from repro.latency.production import lnkd_disk, lnkd_ssd, wan, ymmr
+
+__all__ = ["run_figure6", "FIGURE6_CONFIGS"]
+
+#: The (R, W) series shown in Figure 6.
+FIGURE6_CONFIGS: tuple[ReplicaConfig, ...] = (
+    ReplicaConfig(n=3, r=1, w=1),
+    ReplicaConfig(n=3, r=1, w=2),
+    ReplicaConfig(n=3, r=2, w=1),
+)
+
+_TIMES_MS: tuple[float, ...] = (0.0, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 250.0, 1000.0)
+
+
+@register("figure6", "Figure 6: t-visibility for production fits, (R,W) in {(1,1),(1,2),(2,1)}")
+def run_figure6(
+    trials: int = 100_000, rng: np.random.Generator | int | None = 0
+) -> ExperimentResult:
+    """Consistency-vs-t series for each production environment and partial quorum."""
+    generator = as_rng(rng)
+    environments = {
+        "LNKD-SSD": lnkd_ssd(),
+        "LNKD-DISK": lnkd_disk(),
+        "YMMR": ymmr(),
+        "WAN": wan(),
+    }
+    rows = []
+    for name, distributions in environments.items():
+        for config in FIGURE6_CONFIGS:
+            result = WARSModel(distributions=distributions, config=config).sample(
+                trials, generator
+            )
+            row: dict[str, object] = {
+                "environment": name,
+                "config": config.label(),
+                "p_at_commit": result.consistency_probability(0.0),
+            }
+            for t_ms in _TIMES_MS:
+                row[f"p@t={t_ms:g}ms"] = result.consistency_probability(t_ms)
+            row["t_visibility_99.9_ms"] = result.t_visibility(0.999)
+            rows.append(row)
+    return ExperimentResult(
+        experiment_id="figure6",
+        title="t-visibility for production operation latencies",
+        paper_artifact="Figure 6 / Section 5.6",
+        rows=rows,
+        notes=(
+            f"{trials} Monte Carlo trials per environment/configuration; N=3.",
+            "Expected shapes: LNKD-SSD ~97% consistent immediately after commit and >99.9% "
+            "within a few ms; LNKD-DISK ~44% at commit; YMMR's long write tail delays 99.9% "
+            "consistency to beyond one second; WAN stays low until ~75 ms have passed.",
+        ),
+    )

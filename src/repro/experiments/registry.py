@@ -1,0 +1,104 @@
+"""Experiment registry.
+
+Every table and figure in the paper's evaluation has a corresponding
+experiment module that produces an :class:`ExperimentResult`.  The registry
+maps stable experiment identifiers (used by the CLI, the benchmark harness,
+and EXPERIMENTS.md) to those runner functions.
+
+Each runner accepts two keyword arguments:
+
+* ``trials`` — Monte Carlo trials (or workload size) controlling fidelity;
+* ``rng`` — a seed or :class:`numpy.random.Generator` for reproducibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+from repro.analysis.tables import format_table
+from repro.exceptions import ExperimentError
+
+__all__ = ["ExperimentResult", "register", "get_experiment", "list_experiments", "run_experiment"]
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """The output of one experiment: tabular rows plus context."""
+
+    experiment_id: str
+    title: str
+    #: The paper artifact this reproduces ("Figure 4", "Table 4", ...).
+    paper_artifact: str
+    rows: Sequence[Mapping[str, object]]
+    #: Extra free-form notes (assumptions, trial counts, observed shapes).
+    notes: Sequence[str] = field(default_factory=tuple)
+    columns: Sequence[str] | None = None
+
+    def to_text(self, precision: int = 3) -> str:
+        """Render the result as an aligned text table with a header and notes."""
+        parts = [f"== {self.title} ({self.paper_artifact}) =="]
+        parts.append(format_table(list(self.rows), columns=self.columns, precision=precision))
+        if self.notes:
+            parts.append("")
+            parts.extend(f"note: {note}" for note in self.notes)
+        return "\n".join(parts)
+
+
+#: Runner signature: (trials, rng) -> ExperimentResult.
+ExperimentRunner = Callable[..., ExperimentResult]
+
+_REGISTRY: dict[str, tuple[str, ExperimentRunner]] = {}
+
+
+def register(experiment_id: str, description: str) -> Callable[[ExperimentRunner], ExperimentRunner]:
+    """Decorator registering an experiment runner under a stable identifier."""
+
+    def decorator(runner: ExperimentRunner) -> ExperimentRunner:
+        if experiment_id in _REGISTRY:
+            raise ExperimentError(f"experiment {experiment_id!r} is already registered")
+        _REGISTRY[experiment_id] = (description, runner)
+        return runner
+
+    return decorator
+
+
+def list_experiments() -> list[tuple[str, str]]:
+    """Return ``(experiment_id, description)`` pairs in registration order."""
+    _ensure_loaded()
+    return [(experiment_id, entry[0]) for experiment_id, entry in _REGISTRY.items()]
+
+
+def get_experiment(experiment_id: str) -> ExperimentRunner:
+    """Look up a runner by identifier."""
+    _ensure_loaded()
+    try:
+        return _REGISTRY[experiment_id][1]
+    except KeyError as exc:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; known experiments: {known}"
+        ) from exc
+
+
+def run_experiment(experiment_id: str, **kwargs: object) -> ExperimentResult:
+    """Run one experiment by identifier."""
+    return get_experiment(experiment_id)(**kwargs)
+
+
+def _ensure_loaded() -> None:
+    """Import the experiment modules so their ``@register`` decorators run."""
+    # Imported lazily to avoid import cycles (experiment modules import this one).
+    from repro.experiments import (  # noqa: F401
+        ablations,
+        figure4,
+        figure5,
+        figure6,
+        figure7,
+        load,
+        section3_examples,
+        sla,
+        table1_2_3,
+        table4,
+        validation,
+    )

@@ -1,0 +1,135 @@
+"""Tables 1–3: production latency summaries and the mixture fits derived from them.
+
+Three related outputs:
+
+* the published single-node summary statistics (Tables 1 and 2), included
+  verbatim as the fitting targets;
+* the Table 3 mixture fits evaluated at those same percentiles, showing the
+  N-RMSE between fit and published summary;
+* a re-run of the §5.5 fitting procedure on the published percentiles,
+  demonstrating that the pipeline recovers mixtures of comparable quality.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.registry import ExperimentResult, register
+from repro.latency.base import as_rng
+from repro.latency.fitting import evaluate_fit, fit_pareto_exponential
+from repro.latency.production import (
+    LINKEDIN_DISK_SUMMARY,
+    LINKEDIN_SSD_SUMMARY,
+    YAMMER_READ_SUMMARY,
+    YAMMER_WRITE_SUMMARY,
+    lnkd_disk,
+    lnkd_ssd,
+    ymmr,
+)
+
+__all__ = ["run_table1_2_3", "run_fit_reproduction"]
+
+
+@register("table1-2-3", "Tables 1-3: production latency summaries vs the Table 3 mixture fits")
+def run_table1_2_3(
+    trials: int = 200_000, rng: np.random.Generator | int | None = 0
+) -> ExperimentResult:
+    """Evaluate each Table 3 fit against the corresponding published summary."""
+    generator = as_rng(rng)
+    # Each entry: (fit name, one-way distribution, published summary, note on the
+    # comparison).  One-way fits are compared against *round-trip style* node
+    # summaries only in shape, so the interesting column is the percentile set
+    # of the fit itself plus the published reference alongside.
+    cases = [
+        ("LNKD-SSD W=A=R=S", lnkd_ssd().w, LINKEDIN_SSD_SUMMARY, "Table 1 (SSD)"),
+        ("LNKD-DISK W", lnkd_disk().w, LINKEDIN_DISK_SUMMARY, "Table 1 (15k RPM disk)"),
+        ("YMMR W", ymmr().w, YAMMER_WRITE_SUMMARY, "Table 2 (writes)"),
+        ("YMMR A=R=S", ymmr().r, YAMMER_READ_SUMMARY, "Table 2 (reads)"),
+    ]
+    rows = []
+    for name, distribution, summary, source in cases:
+        described = distribution.describe(
+            percentiles=tuple(sorted(p for p in summary.percentiles if 0.0 < p < 100.0)),
+            samples=trials,
+            rng=generator,
+        )
+        row: dict[str, object] = {
+            "fit": name,
+            "source": source,
+            "fit_mean_ms": described.mean,
+            "published_mean_ms": summary.mean,
+        }
+        for percentile in sorted(described.percentiles):
+            row[f"fit_p{percentile:g}_ms"] = described.percentiles[percentile]
+            row[f"published_p{percentile:g}_ms"] = summary.percentiles.get(
+                percentile, float("nan")
+            )
+        rows.append(row)
+    return ExperimentResult(
+        experiment_id="table1-2-3",
+        title="Production latency summaries and Table 3 fits",
+        paper_artifact="Tables 1, 2, and 3",
+        rows=rows,
+        notes=(
+            "Published summaries are single-node operation latencies; the Table 3 fits are "
+            "one-way message latencies derived under the paper's IID / symmetric assumptions, "
+            "so only orders of magnitude and tail behaviour are expected to align.",
+        ),
+    )
+
+
+@register("table3-refit", "§5.5 fitting procedure re-run on the published percentile summaries")
+def run_fit_reproduction(
+    trials: int = 100_000, rng: np.random.Generator | int | None = 0
+) -> ExperimentResult:
+    """Re-derive Pareto+exponential mixtures from the published Yammer percentiles."""
+    cases = [
+        (
+            "YMMR write (Table 2)",
+            {
+                50.0: 5.73,
+                75.0: 6.50,
+                95.0: 8.48,
+                98.0: 10.36,
+                99.0: 131.73,
+                99.9: 435.83,
+            },
+            8.62,
+        ),
+        (
+            "YMMR read (Table 2)",
+            {50.0: 3.75, 75.0: 4.17, 95.0: 5.2, 98.0: 6.045, 99.0: 6.59, 99.9: 32.89},
+            9.23,
+        ),
+        (
+            "LNKD-DISK (Table 1)",
+            {50.0: 4.0, 95.0: 15.0, 99.0: 25.0},
+            4.85,
+        ),
+    ]
+    rows = []
+    for name, percentiles, mean_hint in cases:
+        fit = fit_pareto_exponential(percentiles, mean_hint=mean_hint)
+        rows.append(
+            {
+                "target": name,
+                "pareto_weight": fit.pareto_weight,
+                "pareto_xm": fit.xm,
+                "pareto_alpha": fit.alpha,
+                "exp_lambda": fit.exponential_rate,
+                "n_rmse_pct": fit.n_rmse * 100.0,
+                "check_n_rmse_pct": evaluate_fit(fit.distribution, percentiles, seed=1) * 100.0,
+            }
+        )
+    return ExperimentResult(
+        experiment_id="table3-refit",
+        title="Mixture fitting from percentile summaries",
+        paper_artifact="Table 3 / Section 5.5",
+        rows=rows,
+        notes=(
+            "Fits a Pareto body + exponential tail to published percentile summaries; the "
+            "paper reports N-RMSE between 0.06% and 1.84% for its fits.",
+            "The Table 1 disk row adds an assumed median (4 ms) since the published summary "
+            "only lists mean/95th/99th.",
+        ),
+    )

@@ -1,0 +1,101 @@
+"""Latency-distribution substrate for the PBS reproduction.
+
+This subpackage provides every latency model used by the paper's evaluation:
+parametric distributions (exponential, Pareto, uniform, normal, …), the
+Table 3 production mixture fits, empirical distributions built from traces,
+per-replica composites for the WAN scenario, and the §5.5 fitting procedure
+that derives mixtures from percentile summaries.
+"""
+
+from repro.latency.base import (
+    DEFAULT_PERCENTILES,
+    DistributionSummary,
+    LatencyDistribution,
+    as_rng,
+)
+from repro.latency.composite import (
+    PerReplicaLatency,
+    ReplicaLatencyModel,
+    uniform_replica_model,
+    wan_replica_model,
+)
+from repro.latency.distributions import (
+    ConstantLatency,
+    ExponentialLatency,
+    LogNormalLatency,
+    NormalLatency,
+    ParetoLatency,
+    ScaledLatency,
+    ShiftedLatency,
+    UniformLatency,
+)
+from repro.latency.empirical import EmpiricalDistribution, QuantileTableDistribution
+from repro.latency.fitting import FitResult, evaluate_fit, fit_pareto_exponential
+from repro.latency.mixture import (
+    MixtureComponent,
+    MixtureDistribution,
+    pareto_exponential_mixture,
+)
+from repro.latency.percentiles import (
+    merge_percentile_tables,
+    normalized_rmse,
+    percentile_table,
+    rmse,
+    summary_from_samples,
+)
+from repro.latency.production import (
+    LINKEDIN_DISK_SUMMARY,
+    LINKEDIN_SSD_SUMMARY,
+    PRODUCTION_FIT_NAMES,
+    WARSDistributions,
+    YAMMER_READ_SUMMARY,
+    YAMMER_WRITE_SUMMARY,
+    lnkd_disk,
+    lnkd_ssd,
+    production_fit,
+    wan,
+    ymmr,
+)
+
+__all__ = [
+    "DEFAULT_PERCENTILES",
+    "DistributionSummary",
+    "LatencyDistribution",
+    "as_rng",
+    "PerReplicaLatency",
+    "ReplicaLatencyModel",
+    "uniform_replica_model",
+    "wan_replica_model",
+    "ConstantLatency",
+    "ExponentialLatency",
+    "LogNormalLatency",
+    "NormalLatency",
+    "ParetoLatency",
+    "ScaledLatency",
+    "ShiftedLatency",
+    "UniformLatency",
+    "EmpiricalDistribution",
+    "QuantileTableDistribution",
+    "FitResult",
+    "evaluate_fit",
+    "fit_pareto_exponential",
+    "MixtureComponent",
+    "MixtureDistribution",
+    "pareto_exponential_mixture",
+    "merge_percentile_tables",
+    "normalized_rmse",
+    "percentile_table",
+    "rmse",
+    "summary_from_samples",
+    "LINKEDIN_DISK_SUMMARY",
+    "LINKEDIN_SSD_SUMMARY",
+    "PRODUCTION_FIT_NAMES",
+    "WARSDistributions",
+    "YAMMER_READ_SUMMARY",
+    "YAMMER_WRITE_SUMMARY",
+    "lnkd_disk",
+    "lnkd_ssd",
+    "production_fit",
+    "wan",
+    "ymmr",
+]

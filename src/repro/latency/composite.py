@@ -1,0 +1,131 @@
+"""Per-replica composite latency models.
+
+Most of the paper treats the four WARS distributions as IID across replicas.
+The WAN scenario (§5.5) breaks that symmetry: exactly one replica is local
+(small delay) while the remaining replicas sit in remote datacenters and every
+message to or from them pays an extra 75 ms.  :class:`PerReplicaLatency`
+captures that pattern — a different distribution per replica slot — while
+still exposing enough structure for the Monte Carlo kernel to sample
+efficiently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import DistributionError
+from repro.latency.base import LatencyDistribution
+from repro.latency.distributions import ShiftedLatency
+
+__all__ = ["PerReplicaLatency", "ReplicaLatencyModel", "uniform_replica_model", "wan_replica_model"]
+
+
+@dataclass(frozen=True, repr=False)
+class PerReplicaLatency(LatencyDistribution):
+    """A latency model that assigns a distinct distribution to each replica slot.
+
+    When used as a plain :class:`LatencyDistribution` (``sample``), it draws
+    from the replica slots uniformly at random, which matches the paper's
+    assumption that the client's coordinator (and therefore which replica is
+    "local") is chosen uniformly per operation.  The richer
+    :meth:`sample_matrix` form draws one latency per replica and is what the
+    WARS Monte Carlo kernel uses.
+    """
+
+    replicas: tuple[LatencyDistribution, ...]
+    name: str = "per-replica"
+
+    def __post_init__(self) -> None:
+        if not self.replicas:
+            raise DistributionError("per-replica latency requires at least one replica")
+
+    @property
+    def replica_count(self) -> int:
+        return len(self.replicas)
+
+    def sample(self, size: int, rng: np.random.Generator) -> np.ndarray:
+        choices = rng.integers(0, self.replica_count, size=size)
+        samples = np.empty(size, dtype=float)
+        for index, distribution in enumerate(self.replicas):
+            mask = choices == index
+            count = int(np.sum(mask))
+            if count:
+                samples[mask] = distribution.sample(count, rng)
+        return self.validate_samples(samples)
+
+    def sample_matrix(self, trials: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw a ``(trials, replica_count)`` latency matrix, one column per replica."""
+        columns = [
+            distribution.sample(trials, rng) for distribution in self.replicas
+        ]
+        return np.column_stack(columns)
+
+    def mean(self) -> float:
+        return float(np.mean([distribution.mean() for distribution in self.replicas]))
+
+
+@dataclass(frozen=True)
+class ReplicaLatencyModel:
+    """The four WARS distributions, each possibly replica-dependent.
+
+    This is a convenience bundle used by the WAN scenario and by failure
+    ablations where a subset of replicas is slow.  ``n`` is the replica count
+    implied by the per-replica models (or ``None`` when all four components
+    are IID and any N is acceptable).
+    """
+
+    write: LatencyDistribution
+    ack: LatencyDistribution
+    read: LatencyDistribution
+    response: LatencyDistribution
+
+    def implied_replica_count(self) -> int | None:
+        """Return the replica count if any component is per-replica, else ``None``."""
+        counts = {
+            component.replica_count
+            for component in (self.write, self.ack, self.read, self.response)
+            if isinstance(component, PerReplicaLatency)
+        }
+        if not counts:
+            return None
+        if len(counts) > 1:
+            raise DistributionError(
+                f"inconsistent per-replica counts across WARS components: {sorted(counts)}"
+            )
+        return counts.pop()
+
+
+def uniform_replica_model(
+    distribution: LatencyDistribution, replica_count: int, name: str = "uniform-replicas"
+) -> PerReplicaLatency:
+    """Replicate one distribution across ``replica_count`` identical replica slots."""
+    if replica_count <= 0:
+        raise DistributionError(f"replica count must be positive, got {replica_count}")
+    return PerReplicaLatency(replicas=tuple([distribution] * replica_count), name=name)
+
+
+def wan_replica_model(
+    local: LatencyDistribution,
+    replica_count: int,
+    wan_delay_ms: float = 75.0,
+    local_replicas: int = 1,
+    name: str = "wan",
+) -> PerReplicaLatency:
+    """Build the paper's WAN scenario: some local replicas, the rest remote.
+
+    Each remote replica's one-way latency is the local distribution shifted by
+    ``wan_delay_ms`` (the paper uses 75 ms one-way, i.e. 150 ms round trip).
+    """
+    if replica_count <= 0:
+        raise DistributionError(f"replica count must be positive, got {replica_count}")
+    if not 0 <= local_replicas <= replica_count:
+        raise DistributionError(
+            f"local replica count must be between 0 and {replica_count}, got {local_replicas}"
+        )
+    remote = ShiftedLatency(base=local, offset=wan_delay_ms, name=f"{local.name}+wan")
+    replicas: list[LatencyDistribution] = [local] * local_replicas
+    replicas.extend([remote] * (replica_count - local_replicas))
+    return PerReplicaLatency(replicas=tuple(replicas), name=name)

@@ -1,0 +1,138 @@
+"""Empirical latency distributions built from observed samples.
+
+The paper validates WARS by instrumenting a live store, collecting per-message
+latencies, and replaying the *empirical* distributions through the Monte Carlo
+predictor (§5.2).  :class:`EmpiricalDistribution` supports exactly that flow:
+collect samples from the cluster simulator (or from a real system's logs),
+wrap them, and feed them to :class:`repro.core.wars.WARSModel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import DistributionError
+from repro.latency.base import LatencyDistribution
+
+__all__ = ["EmpiricalDistribution", "QuantileTableDistribution"]
+
+
+@dataclass(frozen=True, repr=False)
+class EmpiricalDistribution(LatencyDistribution):
+    """Resample-with-replacement distribution over observed latencies (ms)."""
+
+    observations: np.ndarray
+    name: str = "empirical"
+
+    def __post_init__(self) -> None:
+        observations = np.asarray(self.observations, dtype=float)
+        if observations.ndim != 1 or observations.size == 0:
+            raise DistributionError("empirical distribution requires a non-empty 1-D sample")
+        if np.any(~np.isfinite(observations)) or np.any(observations < 0):
+            raise DistributionError("empirical observations must be finite and non-negative")
+        object.__setattr__(self, "observations", observations)
+
+    @classmethod
+    def from_samples(
+        cls, samples: Iterable[float], name: str = "empirical"
+    ) -> "EmpiricalDistribution":
+        """Build from any iterable of latency observations."""
+        return cls(observations=np.fromiter(samples, dtype=float), name=name)
+
+    def sample(self, size: int, rng: np.random.Generator) -> np.ndarray:
+        return rng.choice(self.observations, size=size, replace=True)
+
+    def mean(self) -> float:
+        return float(np.mean(self.observations))
+
+    def variance(self) -> float:
+        return float(np.var(self.observations))
+
+    def cdf(self, x: float) -> float:
+        return float(np.mean(self.observations <= x))
+
+    def ppf(self, q: float) -> float:
+        if not 0.0 <= q <= 1.0:
+            raise DistributionError(f"quantile must be in [0, 1], got {q}")
+        return float(np.quantile(self.observations, q))
+
+    def __len__(self) -> int:
+        return int(self.observations.size)
+
+
+@dataclass(frozen=True, repr=False)
+class QuantileTableDistribution(LatencyDistribution):
+    """A distribution defined by a table of (quantile, latency) knots.
+
+    Sampling draws a uniform quantile and linearly interpolates between knots,
+    which is the standard way to turn a published percentile table (such as
+    the paper's Tables 1 and 2) directly into a sampleable distribution
+    without committing to a parametric form.  The table must start at
+    quantile 0 and end at quantile 1.
+    """
+
+    quantiles: np.ndarray
+    latencies: np.ndarray
+    name: str = "quantile-table"
+    _mean_cache: float = field(default=float("nan"), compare=False)
+
+    def __post_init__(self) -> None:
+        quantiles = np.asarray(self.quantiles, dtype=float)
+        latencies = np.asarray(self.latencies, dtype=float)
+        if quantiles.shape != latencies.shape or quantiles.ndim != 1:
+            raise DistributionError("quantile table requires matching 1-D arrays")
+        if quantiles.size < 2:
+            raise DistributionError("quantile table requires at least two knots")
+        if quantiles[0] != 0.0 or quantiles[-1] != 1.0:
+            raise DistributionError("quantile table must span quantiles 0.0 through 1.0")
+        if np.any(np.diff(quantiles) <= 0):
+            raise DistributionError("quantile knots must be strictly increasing")
+        if np.any(np.diff(latencies) < 0):
+            raise DistributionError("latency knots must be non-decreasing")
+        if np.any(latencies < 0):
+            raise DistributionError("latency knots must be non-negative")
+        object.__setattr__(self, "quantiles", quantiles)
+        object.__setattr__(self, "latencies", latencies)
+        # Mean of a piecewise-linear quantile function is the average of
+        # trapezoid areas over the quantile axis.
+        segment_means = (latencies[:-1] + latencies[1:]) / 2.0
+        mean = float(np.sum(segment_means * np.diff(quantiles)))
+        object.__setattr__(self, "_mean_cache", mean)
+
+    @classmethod
+    def from_percentiles(
+        cls,
+        percentile_latencies: Sequence[tuple[float, float]],
+        minimum: float,
+        maximum: float,
+        name: str = "quantile-table",
+    ) -> "QuantileTableDistribution":
+        """Construct from (percentile, latency) pairs plus explicit min and max."""
+        pairs = sorted(percentile_latencies)
+        quantiles = [0.0] + [p / 100.0 for p, _ in pairs] + [1.0]
+        latencies = [minimum] + [latency for _, latency in pairs] + [maximum]
+        return cls(
+            quantiles=np.asarray(quantiles), latencies=np.asarray(latencies), name=name
+        )
+
+    def sample(self, size: int, rng: np.random.Generator) -> np.ndarray:
+        uniforms = rng.random(size)
+        return self.validate_samples(np.interp(uniforms, self.quantiles, self.latencies))
+
+    def mean(self) -> float:
+        return self._mean_cache
+
+    def ppf(self, q: float) -> float:
+        if not 0.0 <= q <= 1.0:
+            raise DistributionError(f"quantile must be in [0, 1], got {q}")
+        return float(np.interp(q, self.quantiles, self.latencies))
+
+    def cdf(self, x: float) -> float:
+        if x <= self.latencies[0]:
+            return 0.0
+        if x >= self.latencies[-1]:
+            return 1.0
+        return float(np.interp(x, self.latencies, self.quantiles))

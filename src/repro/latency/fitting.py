@@ -1,0 +1,194 @@
+"""Fitting mixture latency models to percentile summaries (paper §5.5).
+
+The production data available to the paper's authors (and to us) is a set of
+summary statistics — a handful of percentiles and a mean — rather than raw
+traces.  The paper fits each one-way latency distribution with a
+two-component mixture (Pareto body + exponential tail) chosen to minimise the
+normalised RMSE between the fit's percentiles and the published ones.
+
+:func:`fit_pareto_exponential` reproduces that procedure with a coarse grid
+search refined by ``scipy.optimize.minimize`` (Nelder–Mead), which is robust
+for this low-dimensional, noisy objective and requires no gradients.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+from scipy import optimize
+
+from repro.exceptions import DistributionError
+from repro.latency.base import LatencyDistribution
+from repro.latency.mixture import MixtureDistribution, pareto_exponential_mixture
+from repro.latency.percentiles import normalized_rmse
+
+__all__ = ["FitResult", "evaluate_fit", "fit_pareto_exponential"]
+
+
+@dataclass(frozen=True)
+class FitResult:
+    """Outcome of fitting a mixture to a percentile summary."""
+
+    distribution: MixtureDistribution
+    pareto_weight: float
+    xm: float
+    alpha: float
+    exponential_rate: float
+    n_rmse: float
+
+    def describe(self) -> str:
+        """One-line, Table 3 style description of the fit."""
+        return (
+            f"{self.pareto_weight * 100:.1f}%: Pareto(xm={self.xm:.3g}, alpha={self.alpha:.3g}); "
+            f"{(1 - self.pareto_weight) * 100:.1f}%: Exp(lambda={self.exponential_rate:.3g}); "
+            f"N-RMSE={self.n_rmse * 100:.2f}%"
+        )
+
+
+def _percentile_targets(
+    percentiles: Mapping[float, float]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Split a ``{percentile: latency}`` mapping into sorted arrays."""
+    if not percentiles:
+        raise DistributionError("at least one percentile is required to fit a distribution")
+    points = np.array(sorted(percentiles), dtype=float)
+    values = np.array([percentiles[p] for p in points], dtype=float)
+    if np.any(points <= 0) or np.any(points >= 100):
+        raise DistributionError("fit percentiles must lie strictly between 0 and 100")
+    if np.any(values < 0):
+        raise DistributionError("fit latencies must be non-negative")
+    return points, values
+
+
+def evaluate_fit(
+    distribution: LatencyDistribution,
+    percentiles: Mapping[float, float],
+    samples: int = 200_000,
+    seed: int = 0,
+) -> float:
+    """Return the N-RMSE between a distribution's percentiles and target percentiles."""
+    points, values = _percentile_targets(percentiles)
+    draws = distribution.sample(samples, np.random.default_rng(seed))
+    predicted = np.percentile(draws, points)
+    return normalized_rmse(predicted, values)
+
+
+def _candidate_objective(
+    params: Sequence[float],
+    points: np.ndarray,
+    values: np.ndarray,
+    probe: np.ndarray,
+) -> float:
+    """Analytic (quantile-free) objective used during optimisation.
+
+    The mixture CDF is analytic, so rather than sampling we evaluate the
+    mixture CDF on a latency grid and interpolate the quantiles from it.
+    ``params`` is ``(logit_weight, log_xm, log_alpha, log_rate)``.
+    """
+    logit_weight, log_xm, log_alpha, log_rate = params
+    weight = 1.0 / (1.0 + np.exp(-logit_weight))
+    xm = float(np.exp(log_xm))
+    alpha = float(np.exp(log_alpha))
+    rate = float(np.exp(log_rate))
+    # Guard rails against degenerate fits: the exponential tail must stay in
+    # the same order of magnitude as the observed latencies (otherwise the
+    # optimiser can "hide" an absurd tail behind a vanishing weight), and the
+    # body must retain a non-trivial share of the mass.
+    max_target = float(np.max(values))
+    if rate < 1.0 / (20.0 * max_target) or not 0.2 <= weight <= 0.995:
+        return 1e6
+    try:
+        mixture = pareto_exponential_mixture(weight, xm, alpha, rate)
+    except DistributionError:
+        return 1e6
+    cdf_values = np.array([mixture.cdf(x) for x in probe])
+    # Quantile via inverse interpolation of the CDF over the probe grid.
+    predicted = np.interp(points / 100.0, cdf_values, probe)
+    if np.any(~np.isfinite(predicted)):
+        return 1e6
+    spread = float(np.max(values) - np.min(values)) or 1.0
+    return float(np.sqrt(np.mean((predicted - values) ** 2)) / spread)
+
+
+def fit_pareto_exponential(
+    percentiles: Mapping[float, float],
+    mean_hint: float | None = None,
+    grid_refinements: int = 3,
+    seed: int = 0,
+) -> FitResult:
+    """Fit a Pareto-body + exponential-tail mixture to a percentile summary.
+
+    Parameters
+    ----------
+    percentiles:
+        ``{percentile: latency_ms}`` targets, e.g. ``{50: 3.75, 95: 5.2, 99.9: 32.89}``.
+    mean_hint:
+        Optional published mean; used only to seed the search, not as a
+        constraint (heavy tails make summary means unreliable targets).
+    grid_refinements:
+        Number of Nelder–Mead restarts from the best grid candidates.
+    seed:
+        Seed for the final Monte Carlo N-RMSE evaluation.
+    """
+    points, values = _percentile_targets(percentiles)
+    median = float(np.interp(50.0, points, values)) if points.size > 1 else float(values[0])
+    scale_guess = mean_hint if mean_hint and mean_hint > 0 else max(median, 1e-3)
+
+    # Latency probe grid for CDF inversion: log-spaced past the largest target.
+    upper = max(float(np.max(values)) * 50.0, scale_guess * 100.0)
+    probe = np.concatenate(
+        [[0.0], np.logspace(np.log10(max(min(values) / 100.0, 1e-4)), np.log10(upper), 4000)]
+    )
+
+    # Coarse grid over plausible parameter ranges.
+    weight_grid = [0.5, 0.8, 0.9, 0.95, 0.98]
+    xm_grid = [scale_guess * f for f in (0.1, 0.3, 0.6, 1.0)]
+    alpha_grid = [1.5, 2.5, 4.0, 8.0]
+    rate_grid = [1.0 / (scale_guess * f) for f in (2.0, 5.0, 20.0, 100.0)]
+
+    candidates: list[tuple[float, tuple[float, float, float, float]]] = []
+    for weight in weight_grid:
+        for xm in xm_grid:
+            for alpha in alpha_grid:
+                for rate in rate_grid:
+                    params = (
+                        float(np.log(weight / (1.0 - weight))),
+                        float(np.log(xm)),
+                        float(np.log(alpha)),
+                        float(np.log(rate)),
+                    )
+                    score = _candidate_objective(params, points, values, probe)
+                    candidates.append((score, params))
+    candidates.sort(key=lambda item: item[0])
+
+    best_params = candidates[0][1]
+    best_score = candidates[0][0]
+    for _, start in candidates[:grid_refinements]:
+        result = optimize.minimize(
+            _candidate_objective,
+            x0=np.array(start),
+            args=(points, values, probe),
+            method="Nelder-Mead",
+            options={"maxiter": 2000, "xatol": 1e-4, "fatol": 1e-6},
+        )
+        if result.fun < best_score:
+            best_score = float(result.fun)
+            best_params = tuple(result.x)  # type: ignore[assignment]
+
+    logit_weight, log_xm, log_alpha, log_rate = best_params
+    weight = float(1.0 / (1.0 + np.exp(-logit_weight)))
+    xm = float(np.exp(log_xm))
+    alpha = float(np.exp(log_alpha))
+    rate = float(np.exp(log_rate))
+    mixture = pareto_exponential_mixture(weight, xm, alpha, rate, name="fitted")
+    n_rmse = evaluate_fit(mixture, percentiles, seed=seed)
+    return FitResult(
+        distribution=mixture,
+        pareto_weight=weight,
+        xm=xm,
+        alpha=alpha,
+        exponential_rate=rate,
+        n_rmse=n_rmse,
+    )

@@ -1,0 +1,117 @@
+"""Mixture latency distributions.
+
+Every production fit in Table 3 of the paper is a two-component mixture: a
+Pareto body capturing the common case and an exponential tail capturing
+garbage-collection pauses, fsync stalls, and other rare slow events.  The
+:class:`MixtureDistribution` here supports an arbitrary number of weighted
+components so the same machinery also serves ablations (e.g. three-component
+fits) and synthetic long-tail studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import DistributionError
+from repro.latency.base import LatencyDistribution
+from repro.latency.distributions import ExponentialLatency, ParetoLatency
+
+__all__ = ["MixtureComponent", "MixtureDistribution", "pareto_exponential_mixture"]
+
+
+@dataclass(frozen=True)
+class MixtureComponent:
+    """One weighted component of a mixture distribution."""
+
+    weight: float
+    distribution: LatencyDistribution
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.weight <= 1.0:
+            raise DistributionError(f"mixture weight must be in [0, 1], got {self.weight}")
+
+
+@dataclass(frozen=True, repr=False)
+class MixtureDistribution(LatencyDistribution):
+    """A finite mixture of latency distributions with weights summing to one."""
+
+    components: tuple[MixtureComponent, ...]
+    name: str = "mixture"
+
+    def __post_init__(self) -> None:
+        if not self.components:
+            raise DistributionError("mixture requires at least one component")
+        total = sum(component.weight for component in self.components)
+        if abs(total - 1.0) > 1e-9:
+            raise DistributionError(f"mixture weights must sum to 1, got {total}")
+
+    @classmethod
+    def from_pairs(
+        cls,
+        pairs: Sequence[tuple[float, LatencyDistribution]],
+        name: str = "mixture",
+    ) -> "MixtureDistribution":
+        """Construct from ``(weight, distribution)`` pairs."""
+        components = tuple(MixtureComponent(weight, dist) for weight, dist in pairs)
+        return cls(components=components, name=name)
+
+    def sample(self, size: int, rng: np.random.Generator) -> np.ndarray:
+        weights = np.array([component.weight for component in self.components])
+        choices = rng.choice(len(self.components), size=size, p=weights)
+        samples = np.empty(size, dtype=float)
+        for index, component in enumerate(self.components):
+            mask = choices == index
+            count = int(np.sum(mask))
+            if count:
+                samples[mask] = component.distribution.sample(count, rng)
+        return self.validate_samples(samples)
+
+    def mean(self) -> float:
+        return sum(
+            component.weight * component.distribution.mean() for component in self.components
+        )
+
+    def variance(self) -> float:
+        # Law of total variance: Var = E[Var | component] + Var(E | component).
+        mean = self.mean()
+        within = sum(
+            component.weight * component.distribution.variance()
+            for component in self.components
+        )
+        between = sum(
+            component.weight * (component.distribution.mean() - mean) ** 2
+            for component in self.components
+        )
+        return within + between
+
+    def cdf(self, x: float) -> float:
+        return sum(
+            component.weight * component.distribution.cdf(x) for component in self.components
+        )
+
+
+def pareto_exponential_mixture(
+    pareto_weight: float,
+    xm: float,
+    alpha: float,
+    exponential_rate: float,
+    name: str = "pareto+exp",
+) -> MixtureDistribution:
+    """Build the Table 3 style mixture: a Pareto body with an exponential tail.
+
+    Parameters mirror the paper's notation: ``xm`` and ``alpha`` describe the
+    Pareto body, ``exponential_rate`` is the tail's ``λ`` (per millisecond),
+    and ``pareto_weight`` is the fraction of operations drawn from the body.
+    """
+    if not 0.0 <= pareto_weight <= 1.0:
+        raise DistributionError(f"pareto weight must be in [0, 1], got {pareto_weight}")
+    return MixtureDistribution.from_pairs(
+        [
+            (pareto_weight, ParetoLatency(xm=xm, alpha=alpha)),
+            (1.0 - pareto_weight, ExponentialLatency(rate=exponential_rate)),
+        ],
+        name=name,
+    )

@@ -1,0 +1,84 @@
+"""Percentile and summary-statistic helpers shared by fitting and analysis code."""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import AnalysisError
+
+__all__ = [
+    "percentile_table",
+    "normalized_rmse",
+    "rmse",
+    "summary_from_samples",
+    "merge_percentile_tables",
+]
+
+
+def percentile_table(
+    samples: Sequence[float] | np.ndarray, percentiles: Iterable[float]
+) -> dict[float, float]:
+    """Compute a ``{percentile: latency}`` table from raw samples."""
+    data = np.asarray(samples, dtype=float)
+    if data.size == 0:
+        raise AnalysisError("cannot compute percentiles of an empty sample")
+    points = list(percentiles)
+    values = np.percentile(data, points)
+    return {float(p): float(v) for p, v in zip(points, values)}
+
+
+def rmse(predicted: Sequence[float], observed: Sequence[float]) -> float:
+    """Root mean squared error between two equal-length sequences."""
+    predicted_arr = np.asarray(predicted, dtype=float)
+    observed_arr = np.asarray(observed, dtype=float)
+    if predicted_arr.shape != observed_arr.shape:
+        raise AnalysisError(
+            f"shape mismatch: predicted {predicted_arr.shape} vs observed {observed_arr.shape}"
+        )
+    if predicted_arr.size == 0:
+        raise AnalysisError("cannot compute RMSE of empty sequences")
+    return float(np.sqrt(np.mean((predicted_arr - observed_arr) ** 2)))
+
+
+def normalized_rmse(predicted: Sequence[float], observed: Sequence[float]) -> float:
+    """RMSE normalised by the observed range, as the paper's N-RMSE metric.
+
+    The paper reports fit quality as N-RMSE percentages; this returns the
+    fraction (multiply by 100 for a percentage).  A zero observed range with a
+    perfect prediction returns 0; a zero range with errors raises.
+    """
+    observed_arr = np.asarray(observed, dtype=float)
+    error = rmse(predicted, observed)
+    spread = float(np.max(observed_arr) - np.min(observed_arr))
+    if spread == 0.0:
+        if error == 0.0:
+            return 0.0
+        raise AnalysisError("observed values have zero range; N-RMSE is undefined")
+    return error / spread
+
+
+def summary_from_samples(
+    samples: Sequence[float] | np.ndarray, percentiles: Iterable[float]
+) -> tuple[float, dict[float, float]]:
+    """Return ``(mean, percentile_table)`` for raw samples."""
+    data = np.asarray(samples, dtype=float)
+    if data.size == 0:
+        raise AnalysisError("cannot summarise an empty sample")
+    return float(np.mean(data)), percentile_table(data, percentiles)
+
+
+def merge_percentile_tables(
+    tables: Mapping[str, Mapping[float, float]]
+) -> dict[float, dict[str, float]]:
+    """Pivot ``{series: {percentile: value}}`` into ``{percentile: {series: value}}``.
+
+    Useful for rendering multi-series tables (e.g. read vs write latency)
+    with one row per percentile.
+    """
+    merged: dict[float, dict[str, float]] = {}
+    for series, table in tables.items():
+        for percentile, value in table.items():
+            merged.setdefault(float(percentile), {})[series] = float(value)
+    return dict(sorted(merged.items()))

@@ -1,0 +1,219 @@
+"""Production latency distributions from the paper (Tables 1–3).
+
+The paper's evaluation is driven by four latency scenarios:
+
+* ``LNKD-SSD`` — LinkedIn Voldemort on commodity SSDs.  Network/CPU bound, so
+  the paper assumes all four one-way WARS distributions are identical.
+* ``LNKD-DISK`` — LinkedIn Voldemort on 15k RPM spinning disks.  Reads,
+  acknowledgements and responses reuse the SSD fit, but the write path (which
+  must touch the disk) is fit separately and has a much heavier tail.
+* ``YMMR`` — Yammer's Riak deployment.  Write and non-write paths are fit
+  separately; writes have a very long tail (fsync-bound).
+* ``WAN`` — a synthetic multi-datacenter scenario: one local replica, the
+  remaining replicas behind a 75 ms one-way WAN delay, with LNKD-DISK local
+  service times.
+
+Table 3 of the paper gives each fit as a two-component mixture (Pareto body +
+exponential tail); those parameters are reproduced verbatim here.  Tables 1
+and 2 give the raw production summary statistics that the fits were derived
+from; they are included so the fitting procedure (``repro.latency.fitting``)
+can be validated against the published numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from repro.exceptions import ConfigurationError
+from repro.latency.base import DistributionSummary, LatencyDistribution
+from repro.latency.composite import wan_replica_model
+from repro.latency.mixture import MixtureDistribution, pareto_exponential_mixture
+
+__all__ = [
+    "WARSDistributions",
+    "lnkd_ssd",
+    "lnkd_disk",
+    "ymmr",
+    "wan",
+    "production_fit",
+    "PRODUCTION_FIT_NAMES",
+    "LINKEDIN_DISK_SUMMARY",
+    "LINKEDIN_SSD_SUMMARY",
+    "YAMMER_READ_SUMMARY",
+    "YAMMER_WRITE_SUMMARY",
+]
+
+
+@dataclass(frozen=True)
+class WARSDistributions:
+    """The four one-way latency distributions of the WARS model.
+
+    ``w`` is the coordinator→replica write delay, ``a`` the replica→coordinator
+    acknowledgement delay, ``r`` the coordinator→replica read-request delay,
+    and ``s`` the replica→coordinator read-response delay.
+    """
+
+    w: LatencyDistribution
+    a: LatencyDistribution
+    r: LatencyDistribution
+    s: LatencyDistribution
+    name: str = "wars"
+
+    @classmethod
+    def symmetric(cls, distribution: LatencyDistribution, name: str = "wars") -> "WARSDistributions":
+        """All four one-way delays share one distribution (the paper's W=A=R=S case)."""
+        return cls(w=distribution, a=distribution, r=distribution, s=distribution, name=name)
+
+    @classmethod
+    def write_specialised(
+        cls,
+        write: LatencyDistribution,
+        other: LatencyDistribution,
+        name: str = "wars",
+    ) -> "WARSDistributions":
+        """Separate write-path distribution, shared A=R=S (LNKD-DISK, YMMR pattern)."""
+        return cls(w=write, a=other, r=other, s=other, name=name)
+
+    def components(self) -> Mapping[str, LatencyDistribution]:
+        """Return the four distributions keyed by their WARS letter."""
+        return {"W": self.w, "A": self.a, "R": self.r, "S": self.s}
+
+
+# ---------------------------------------------------------------------------
+# Table 1: LinkedIn Voldemort single-node production latencies (ms).
+# ---------------------------------------------------------------------------
+LINKEDIN_DISK_SUMMARY = DistributionSummary(
+    mean=4.85, percentiles={95.0: 15.0, 99.0: 25.0}
+)
+LINKEDIN_SSD_SUMMARY = DistributionSummary(
+    mean=0.58, percentiles={95.0: 1.0, 99.0: 2.0}
+)
+
+# ---------------------------------------------------------------------------
+# Table 2: Yammer Riak production latencies (ms), N=3, R=2, W=2.
+# ---------------------------------------------------------------------------
+YAMMER_READ_SUMMARY = DistributionSummary(
+    mean=9.23,
+    percentiles={
+        0.0: 1.55,
+        50.0: 3.75,
+        75.0: 4.17,
+        95.0: 5.2,
+        98.0: 6.045,
+        99.0: 6.59,
+        99.9: 32.89,
+        100.0: 2979.85,
+    },
+)
+YAMMER_WRITE_SUMMARY = DistributionSummary(
+    mean=8.62,
+    percentiles={
+        0.0: 1.68,
+        50.0: 5.73,
+        75.0: 6.50,
+        95.0: 8.48,
+        98.0: 10.36,
+        99.0: 131.73,
+        99.9: 435.83,
+        100.0: 4465.28,
+    },
+)
+
+
+# ---------------------------------------------------------------------------
+# Table 3: mixture fits for the one-way WARS distributions.
+# ---------------------------------------------------------------------------
+def _lnkd_ssd_oneway() -> MixtureDistribution:
+    """LNKD-SSD one-way delay: 91.22% Pareto(xm=.235, α=10) + 8.78% Exp(λ=1.66)."""
+    return pareto_exponential_mixture(
+        pareto_weight=0.9122, xm=0.235, alpha=10.0, exponential_rate=1.66, name="LNKD-SSD"
+    )
+
+
+def _lnkd_disk_write_oneway() -> MixtureDistribution:
+    """LNKD-DISK one-way write delay: 38% Pareto(xm=1.05, α=1.51) + 62% Exp(λ=.183)."""
+    return pareto_exponential_mixture(
+        pareto_weight=0.38, xm=1.05, alpha=1.51, exponential_rate=0.183, name="LNKD-DISK-W"
+    )
+
+
+def _ymmr_write_oneway() -> MixtureDistribution:
+    """YMMR one-way write delay: 93.9% Pareto(xm=3, α=3.35) + 6.1% Exp(λ=.0028)."""
+    return pareto_exponential_mixture(
+        pareto_weight=0.939, xm=3.0, alpha=3.35, exponential_rate=0.0028, name="YMMR-W"
+    )
+
+
+def _ymmr_other_oneway() -> MixtureDistribution:
+    """YMMR one-way A=R=S delay: 98.2% Pareto(xm=1.5, α=3.8) + 1.8% Exp(λ=.0217)."""
+    return pareto_exponential_mixture(
+        pareto_weight=0.982, xm=1.5, alpha=3.8, exponential_rate=0.0217, name="YMMR-ARS"
+    )
+
+
+def lnkd_ssd() -> WARSDistributions:
+    """LinkedIn Voldemort on SSDs: symmetric W=A=R=S (Table 3, LNKD-SSD)."""
+    return WARSDistributions.symmetric(_lnkd_ssd_oneway(), name="LNKD-SSD")
+
+
+def lnkd_disk() -> WARSDistributions:
+    """LinkedIn Voldemort on spinning disks: heavy write tail, SSD-like A=R=S."""
+    return WARSDistributions.write_specialised(
+        write=_lnkd_disk_write_oneway(), other=_lnkd_ssd_oneway(), name="LNKD-DISK"
+    )
+
+
+def ymmr() -> WARSDistributions:
+    """Yammer Riak fit: separate write and non-write one-way distributions."""
+    return WARSDistributions.write_specialised(
+        write=_ymmr_write_oneway(), other=_ymmr_other_oneway(), name="YMMR"
+    )
+
+
+def wan(replica_count: int = 3, wan_delay_ms: float = 75.0) -> WARSDistributions:
+    """The paper's WAN scenario for ``replica_count`` replicas.
+
+    One replica is local (LNKD-DISK service times); every other replica's
+    one-way messages are additionally delayed by ``wan_delay_ms``.  Reads and
+    writes originate in a random datacenter, which the Monte Carlo kernel
+    models by shuffling replica columns per trial.
+    """
+    if replica_count <= 0:
+        raise ConfigurationError(f"replica count must be positive, got {replica_count}")
+    local_write = _lnkd_disk_write_oneway()
+    local_other = _lnkd_ssd_oneway()
+    return WARSDistributions(
+        w=wan_replica_model(local_write, replica_count, wan_delay_ms, name="WAN-W"),
+        a=wan_replica_model(local_other, replica_count, wan_delay_ms, name="WAN-A"),
+        r=wan_replica_model(local_other, replica_count, wan_delay_ms, name="WAN-R"),
+        s=wan_replica_model(local_other, replica_count, wan_delay_ms, name="WAN-S"),
+        name="WAN",
+    )
+
+
+_FACTORY_BY_NAME: dict[str, Callable[[], WARSDistributions]] = {
+    "LNKD-SSD": lnkd_ssd,
+    "LNKD-DISK": lnkd_disk,
+    "YMMR": ymmr,
+    "WAN": wan,
+}
+
+#: Names accepted by :func:`production_fit`, in the order used by the paper's figures.
+PRODUCTION_FIT_NAMES: tuple[str, ...] = tuple(_FACTORY_BY_NAME)
+
+
+def production_fit(name: str, **kwargs: object) -> WARSDistributions:
+    """Look up a production fit by its paper name (case-insensitive).
+
+    ``kwargs`` are forwarded to the factory, which currently only matters for
+    ``WAN`` (``replica_count``, ``wan_delay_ms``).
+    """
+    key = name.upper().replace("_", "-")
+    try:
+        factory = _FACTORY_BY_NAME[key]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown production fit {name!r}; expected one of {', '.join(PRODUCTION_FIT_NAMES)}"
+        ) from exc
+    return factory(**kwargs)  # type: ignore[arg-type]

@@ -1,0 +1,31 @@
+"""Monte Carlo harness: t-visibility sweeps, latency CDFs, and convergence tools."""
+
+from repro.montecarlo.convergence import (
+    ProbabilityEstimate,
+    trials_for_margin,
+    wilson_interval,
+)
+from repro.montecarlo.latency import (
+    OperationLatencyCDF,
+    latency_percentile_table,
+    operation_latency_cdf,
+)
+from repro.montecarlo.tvisibility import (
+    TVisibilityCurve,
+    t_visibility_table,
+    visibility_curve,
+    visibility_curves,
+)
+
+__all__ = [
+    "ProbabilityEstimate",
+    "trials_for_margin",
+    "wilson_interval",
+    "OperationLatencyCDF",
+    "latency_percentile_table",
+    "operation_latency_cdf",
+    "TVisibilityCurve",
+    "t_visibility_table",
+    "visibility_curve",
+    "visibility_curves",
+]

@@ -1,0 +1,133 @@
+"""t-visibility sweeps built on the WARS Monte Carlo kernel.
+
+These helpers implement the repeated patterns of the paper's evaluation
+(Figures 4, 6, 7 and Table 4): evaluate the probability-of-consistency curve
+over a grid of times for a set of (R, W) configurations, or invert the curve
+to find the ``t`` achieving a target probability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.quorum import ReplicaConfig
+from repro.core.wars import WARSModel, WARSTrialResult
+from repro.exceptions import ConfigurationError
+from repro.latency.base import as_rng
+from repro.latency.production import WARSDistributions
+from repro.montecarlo.convergence import ProbabilityEstimate, wilson_interval
+
+__all__ = ["TVisibilityCurve", "visibility_curve", "visibility_curves", "t_visibility_table"]
+
+
+@dataclass(frozen=True)
+class TVisibilityCurve:
+    """A (t, probability-of-consistency) curve for one configuration."""
+
+    config: ReplicaConfig
+    label: str
+    times_ms: tuple[float, ...]
+    probabilities: tuple[float, ...]
+    trials: int
+
+    def probability_at(self, t_ms: float) -> float:
+        """Interpolated probability of consistency at an arbitrary ``t``."""
+        return float(np.interp(t_ms, self.times_ms, self.probabilities))
+
+    def t_for_probability(self, target: float) -> float:
+        """Smallest grid time whose probability reaches the target (inf if never)."""
+        if not 0.0 < target <= 1.0:
+            raise ConfigurationError(f"target probability must be in (0, 1], got {target}")
+        for t_ms, probability in zip(self.times_ms, self.probabilities):
+            if probability >= target:
+                return t_ms
+        return float("inf")
+
+    def confidence_at(self, t_ms: float, confidence: float = 0.95) -> ProbabilityEstimate:
+        """Wilson interval for the estimate at ``t_ms`` given the trial count."""
+        probability = self.probability_at(t_ms)
+        successes = int(round(probability * self.trials))
+        return wilson_interval(successes, self.trials, confidence)
+
+    def as_rows(self) -> list[dict[str, float]]:
+        """Rows of ``{"t_ms", "p_consistent"}`` for table rendering."""
+        return [
+            {"t_ms": t, "p_consistent": p}
+            for t, p in zip(self.times_ms, self.probabilities)
+        ]
+
+
+def visibility_curve(
+    distributions: WARSDistributions,
+    config: ReplicaConfig,
+    times_ms: Sequence[float],
+    trials: int = 100_000,
+    rng: np.random.Generator | int | None = None,
+    label: str | None = None,
+) -> TVisibilityCurve:
+    """Estimate the probability-of-consistency curve for one configuration."""
+    model = WARSModel(distributions=distributions, config=config)
+    result = model.sample(trials, rng)
+    curve = result.consistency_curve(times_ms)
+    return TVisibilityCurve(
+        config=config,
+        label=label or f"{distributions.name} {config.label()}",
+        times_ms=tuple(t for t, _ in curve),
+        probabilities=tuple(p for _, p in curve),
+        trials=trials,
+    )
+
+
+def visibility_curves(
+    distributions: WARSDistributions,
+    configs: Sequence[ReplicaConfig],
+    times_ms: Sequence[float],
+    trials: int = 100_000,
+    rng: np.random.Generator | int | None = None,
+) -> list[TVisibilityCurve]:
+    """Curves for several configurations sharing one latency environment.
+
+    A single seed (or generator) is used for the whole batch so that curves
+    for different (R, W) choices are comparable trial-for-trial.
+    """
+    generator = as_rng(rng)
+    return [
+        visibility_curve(distributions, config, times_ms, trials, generator)
+        for config in configs
+    ]
+
+
+def t_visibility_table(
+    distributions_by_name: Mapping[str, WARSDistributions],
+    configs: Sequence[ReplicaConfig],
+    target_probability: float = 0.999,
+    latency_percentile: float = 99.9,
+    trials: int = 100_000,
+    rng: np.random.Generator | int | None = None,
+) -> list[dict[str, object]]:
+    """Build Table 4 style rows: per (environment, config), tail latencies and t-visibility.
+
+    Each row contains the environment name, the configuration, the read and
+    write latency at ``latency_percentile``, and the ``t`` needed to reach
+    ``target_probability`` probability of consistent reads.
+    """
+    generator = as_rng(rng)
+    rows: list[dict[str, object]] = []
+    for name, distributions in distributions_by_name.items():
+        for config in configs:
+            model = WARSModel(distributions=distributions, config=config)
+            result: WARSTrialResult = model.sample(trials, generator)
+            rows.append(
+                {
+                    "environment": name,
+                    "config": config,
+                    "read_latency_ms": result.read_latency_percentile(latency_percentile),
+                    "write_latency_ms": result.write_latency_percentile(latency_percentile),
+                    "t_visibility_ms": result.t_visibility(target_probability),
+                    "consistency_at_commit": result.probability_never_stale(),
+                }
+            )
+    return rows

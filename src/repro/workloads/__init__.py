@@ -1,0 +1,43 @@
+"""Workload-generation substrate: key choosers, arrival processes, and mixes."""
+
+from repro.workloads.arrivals import (
+    ArrivalProcess,
+    BurstyArrivals,
+    FixedIntervalArrivals,
+    PoissonArrivals,
+)
+from repro.workloads.keys import (
+    HotspotKeys,
+    KeyChooser,
+    SingleKey,
+    UniformKeys,
+    ZipfianKeys,
+    key_name,
+)
+from repro.workloads.operations import (
+    MixedWorkload,
+    Operation,
+    OperationKind,
+    validation_workload,
+)
+from repro.workloads.ycsb import YCSB_MIXES, YCSBWorkload, ycsb_workload
+
+__all__ = [
+    "ArrivalProcess",
+    "BurstyArrivals",
+    "FixedIntervalArrivals",
+    "PoissonArrivals",
+    "HotspotKeys",
+    "KeyChooser",
+    "SingleKey",
+    "UniformKeys",
+    "ZipfianKeys",
+    "key_name",
+    "MixedWorkload",
+    "Operation",
+    "OperationKind",
+    "validation_workload",
+    "YCSB_MIXES",
+    "YCSBWorkload",
+    "ycsb_workload",
+]

@@ -1,0 +1,140 @@
+"""Arrival processes: when operations start.
+
+The paper's workload parameters are rates (e.g. Table 2's 718 reads/s and
+45.65 writes/s at Yammer) and the monotonic-reads model is driven by the
+ratio of write and read rates, so workload generation needs explicit arrival
+processes.  Poisson (open-loop), fixed-interval (closed cadence), and bursty
+arrivals are provided.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import WorkloadError
+
+__all__ = ["ArrivalProcess", "PoissonArrivals", "FixedIntervalArrivals", "BurstyArrivals"]
+
+
+class ArrivalProcess(abc.ABC):
+    """Generates operation start times (ms) over a horizon."""
+
+    @abc.abstractmethod
+    def times(
+        self, horizon_ms: float, rng: np.random.Generator, start_ms: float = 0.0
+    ) -> np.ndarray:
+        """Return sorted arrival times within ``[start_ms, start_ms + horizon_ms)``."""
+
+    @abc.abstractmethod
+    def mean_rate_per_ms(self) -> float:
+        """Long-run average arrivals per millisecond."""
+
+
+@dataclass(frozen=True)
+class PoissonArrivals(ArrivalProcess):
+    """Open-loop Poisson arrivals at ``rate_per_ms`` operations per millisecond."""
+
+    rate_per_ms: float
+
+    def __post_init__(self) -> None:
+        if self.rate_per_ms <= 0:
+            raise WorkloadError(f"arrival rate must be positive, got {self.rate_per_ms}")
+
+    @classmethod
+    def per_second(cls, rate_per_second: float) -> "PoissonArrivals":
+        """Construct from a per-second rate (the unit used in the paper's tables)."""
+        return cls(rate_per_ms=rate_per_second / 1_000.0)
+
+    def times(
+        self, horizon_ms: float, rng: np.random.Generator, start_ms: float = 0.0
+    ) -> np.ndarray:
+        if horizon_ms <= 0:
+            raise WorkloadError(f"horizon must be positive, got {horizon_ms}")
+        expected = self.rate_per_ms * horizon_ms
+        # Draw slightly more gaps than expected, then trim to the horizon.
+        draw_count = max(16, int(expected * 1.5) + 16)
+        arrivals: list[float] = []
+        current = start_ms
+        while True:
+            gaps = rng.exponential(1.0 / self.rate_per_ms, size=draw_count)
+            for gap in gaps:
+                current += float(gap)
+                if current >= start_ms + horizon_ms:
+                    return np.asarray(arrivals)
+                arrivals.append(current)
+
+    def mean_rate_per_ms(self) -> float:
+        return self.rate_per_ms
+
+
+@dataclass(frozen=True)
+class FixedIntervalArrivals(ArrivalProcess):
+    """Deterministic arrivals every ``interval_ms`` milliseconds."""
+
+    interval_ms: float
+
+    def __post_init__(self) -> None:
+        if self.interval_ms <= 0:
+            raise WorkloadError(f"interval must be positive, got {self.interval_ms}")
+
+    def times(
+        self, horizon_ms: float, rng: np.random.Generator, start_ms: float = 0.0
+    ) -> np.ndarray:
+        if horizon_ms <= 0:
+            raise WorkloadError(f"horizon must be positive, got {horizon_ms}")
+        return np.arange(start_ms, start_ms + horizon_ms, self.interval_ms, dtype=float)
+
+    def mean_rate_per_ms(self) -> float:
+        return 1.0 / self.interval_ms
+
+
+@dataclass(frozen=True)
+class BurstyArrivals(ArrivalProcess):
+    """On/off bursts: Poisson arrivals at ``burst_rate_per_ms`` during bursts.
+
+    Bursts of exponential duration ``burst_ms`` alternate with idle gaps of
+    exponential duration ``idle_ms``; useful for studying how write bursts
+    interact with staleness windows.
+    """
+
+    burst_rate_per_ms: float
+    burst_ms: float
+    idle_ms: float
+
+    def __post_init__(self) -> None:
+        if self.burst_rate_per_ms <= 0:
+            raise WorkloadError(f"burst rate must be positive, got {self.burst_rate_per_ms}")
+        if self.burst_ms <= 0 or self.idle_ms <= 0:
+            raise WorkloadError("burst and idle durations must be positive")
+
+    def times(
+        self, horizon_ms: float, rng: np.random.Generator, start_ms: float = 0.0
+    ) -> np.ndarray:
+        if horizon_ms <= 0:
+            raise WorkloadError(f"horizon must be positive, got {horizon_ms}")
+        arrivals: list[float] = []
+        current = start_ms
+        end = start_ms + horizon_ms
+        in_burst = True
+        while current < end:
+            phase = float(
+                rng.exponential(self.burst_ms if in_burst else self.idle_ms)
+            )
+            phase_end = min(current + phase, end)
+            if in_burst:
+                position = current
+                while True:
+                    position += float(rng.exponential(1.0 / self.burst_rate_per_ms))
+                    if position >= phase_end:
+                        break
+                    arrivals.append(position)
+            current = phase_end
+            in_burst = not in_burst
+        return np.asarray(arrivals)
+
+    def mean_rate_per_ms(self) -> float:
+        duty_cycle = self.burst_ms / (self.burst_ms + self.idle_ms)
+        return self.burst_rate_per_ms * duty_cycle

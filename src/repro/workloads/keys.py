@@ -1,0 +1,151 @@
+"""Key-selection strategies for workload generation.
+
+The paper's multi-key discussion (§6) assumes request distributions over keys;
+YCSB-style benchmarks conventionally use uniform, Zipfian, hotspot, and
+latest-biased choices.  All choosers draw from a fixed keyspace of
+``key-0000…`` style identifiers so traces remain human-readable.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import WorkloadError
+from repro.latency.base import as_rng
+
+__all__ = [
+    "KeyChooser",
+    "UniformKeys",
+    "ZipfianKeys",
+    "HotspotKeys",
+    "SingleKey",
+    "key_name",
+]
+
+
+def key_name(index: int) -> str:
+    """Canonical key string for a key index."""
+    if index < 0:
+        raise WorkloadError(f"key index must be non-negative, got {index}")
+    return f"key-{index:08d}"
+
+
+class KeyChooser(abc.ABC):
+    """Chooses which key each operation targets."""
+
+    @abc.abstractmethod
+    def choose(self, rng: np.random.Generator) -> str:
+        """Return the key for the next operation."""
+
+    @abc.abstractmethod
+    def keyspace_size(self) -> int:
+        """Number of distinct keys this chooser can return."""
+
+    def sample(self, count: int, rng: np.random.Generator | int | None = None) -> list[str]:
+        """Draw ``count`` keys (convenience for tests and analysis)."""
+        generator = as_rng(rng)
+        return [self.choose(generator) for _ in range(count)]
+
+
+@dataclass(frozen=True)
+class SingleKey(KeyChooser):
+    """Every operation touches the same key — the paper's validation workload shape."""
+
+    key: str = "key-00000000"
+
+    def choose(self, rng: np.random.Generator) -> str:
+        return self.key
+
+    def keyspace_size(self) -> int:
+        return 1
+
+
+@dataclass(frozen=True)
+class UniformKeys(KeyChooser):
+    """Uniformly random key choice over a fixed keyspace."""
+
+    keys: int
+
+    def __post_init__(self) -> None:
+        if self.keys < 1:
+            raise WorkloadError(f"keyspace must contain at least one key, got {self.keys}")
+
+    def choose(self, rng: np.random.Generator) -> str:
+        return key_name(int(rng.integers(0, self.keys)))
+
+    def keyspace_size(self) -> int:
+        return self.keys
+
+
+@dataclass(frozen=True)
+class ZipfianKeys(KeyChooser):
+    """Zipf-distributed key popularity (key 0 hottest), the YCSB default skew.
+
+    Probabilities follow ``P(rank i) ∝ 1 / (i + 1)^theta`` over a finite
+    keyspace, computed exactly rather than with the unbounded ``numpy`` Zipf
+    sampler so small keyspaces behave sensibly.
+    """
+
+    keys: int
+    theta: float = 0.99
+    _probabilities: np.ndarray = field(init=False, repr=False, compare=False, default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.keys < 1:
+            raise WorkloadError(f"keyspace must contain at least one key, got {self.keys}")
+        if self.theta <= 0:
+            raise WorkloadError(f"zipf exponent theta must be positive, got {self.theta}")
+        ranks = np.arange(1, self.keys + 1, dtype=float)
+        weights = 1.0 / np.power(ranks, self.theta)
+        object.__setattr__(self, "_probabilities", weights / weights.sum())
+
+    def choose(self, rng: np.random.Generator) -> str:
+        return key_name(int(rng.choice(self.keys, p=self._probabilities)))
+
+    def keyspace_size(self) -> int:
+        return self.keys
+
+    def probability_of_rank(self, rank: int) -> float:
+        """Probability of choosing the key at popularity ``rank`` (0 = hottest)."""
+        if not 0 <= rank < self.keys:
+            raise WorkloadError(f"rank must be in [0, {self.keys}), got {rank}")
+        return float(self._probabilities[rank])
+
+
+@dataclass(frozen=True)
+class HotspotKeys(KeyChooser):
+    """A fraction of operations hit a small hot set; the rest are uniform.
+
+    ``hot_fraction`` of the keyspace receives ``hot_probability`` of the
+    operations (YCSB's hotspot distribution).
+    """
+
+    keys: int
+    hot_fraction: float = 0.1
+    hot_probability: float = 0.9
+
+    def __post_init__(self) -> None:
+        if self.keys < 1:
+            raise WorkloadError(f"keyspace must contain at least one key, got {self.keys}")
+        if not 0.0 < self.hot_fraction <= 1.0:
+            raise WorkloadError(f"hot fraction must be in (0, 1], got {self.hot_fraction}")
+        if not 0.0 <= self.hot_probability <= 1.0:
+            raise WorkloadError(
+                f"hot probability must be in [0, 1], got {self.hot_probability}"
+            )
+
+    @property
+    def hot_keys(self) -> int:
+        """Number of keys in the hot set (at least one)."""
+        return max(1, int(self.keys * self.hot_fraction))
+
+    def choose(self, rng: np.random.Generator) -> str:
+        if rng.random() < self.hot_probability:
+            return key_name(int(rng.integers(0, self.hot_keys)))
+        return key_name(int(rng.integers(0, self.keys)))
+
+    def keyspace_size(self) -> int:
+        return self.keys

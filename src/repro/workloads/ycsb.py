@@ -1,0 +1,131 @@
+"""YCSB-style canned workloads.
+
+The Yahoo! Cloud Serving Benchmark's standard workload mixes (A–F) are the
+lingua franca for key-value store evaluation, and the deployments surveyed in
+§2.3 of the paper (Cassandra, Riak, Voldemort) are routinely benchmarked with
+them.  These helpers map the YCSB mixes onto this package's workload
+generators so examples and ablation benchmarks can speak the same language.
+
+Read-modify-write operations (workload F) are modelled as a read immediately
+followed by a write to the same key, which is how the LinkedIn 60/40
+"read / read-modify-write" traffic quoted in §5.4 behaves at the replica level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import WorkloadError
+from repro.latency.base import as_rng
+from repro.workloads.arrivals import PoissonArrivals
+from repro.workloads.keys import KeyChooser, UniformKeys, ZipfianKeys
+from repro.workloads.operations import Operation, OperationKind
+
+__all__ = ["YCSBWorkload", "ycsb_workload", "YCSB_MIXES"]
+
+#: Standard YCSB mixes: (read fraction, update fraction, read-modify-write fraction).
+YCSB_MIXES: dict[str, tuple[float, float, float]] = {
+    "A": (0.50, 0.50, 0.0),  # update heavy
+    "B": (0.95, 0.05, 0.0),  # read mostly
+    "C": (1.00, 0.00, 0.0),  # read only
+    "D": (0.95, 0.05, 0.0),  # read latest (latest-biased key choice)
+    "F": (0.50, 0.00, 0.5),  # read-modify-write
+}
+
+
+@dataclass(frozen=True)
+class YCSBWorkload:
+    """A named YCSB mix bound to a keyspace and request rate."""
+
+    name: str
+    keys: KeyChooser
+    rate_per_second: float
+    read_fraction: float
+    update_fraction: float
+    rmw_fraction: float
+
+    def __post_init__(self) -> None:
+        total = self.read_fraction + self.update_fraction + self.rmw_fraction
+        if abs(total - 1.0) > 1e-9:
+            raise WorkloadError(
+                f"operation mix must sum to 1, got {total} for workload {self.name!r}"
+            )
+        if self.rate_per_second <= 0:
+            raise WorkloadError(f"request rate must be positive, got {self.rate_per_second}")
+
+    def generate(
+        self,
+        horizon_ms: float,
+        rng: np.random.Generator | int | None = None,
+    ) -> list[Operation]:
+        """Generate the operation stream over ``horizon_ms`` simulated milliseconds."""
+        generator = as_rng(rng)
+        arrivals = PoissonArrivals.per_second(self.rate_per_second)
+        times = arrivals.times(horizon_ms, generator)
+        operations: list[Operation] = []
+        for sequence, time_ms in enumerate(times):
+            key = self.keys.choose(generator)
+            roll = generator.random()
+            if roll < self.read_fraction:
+                operations.append(
+                    Operation(start_ms=float(time_ms), kind=OperationKind.READ, key=key)
+                )
+            elif roll < self.read_fraction + self.update_fraction:
+                operations.append(
+                    Operation(
+                        start_ms=float(time_ms),
+                        kind=OperationKind.WRITE,
+                        key=key,
+                        value=f"update-{sequence}",
+                    )
+                )
+            else:
+                # Read-modify-write: a read followed immediately by a write.
+                operations.append(
+                    Operation(start_ms=float(time_ms), kind=OperationKind.READ, key=key)
+                )
+                operations.append(
+                    Operation(
+                        start_ms=float(time_ms) + 1e-3,
+                        kind=OperationKind.WRITE,
+                        key=key,
+                        value=f"rmw-{sequence}",
+                    )
+                )
+        return operations
+
+
+def ycsb_workload(
+    name: str,
+    keyspace: int = 1_000,
+    rate_per_second: float = 500.0,
+    zipf_theta: float = 0.99,
+) -> YCSBWorkload:
+    """Build a standard YCSB workload by letter (A, B, C, D, or F).
+
+    Workload D uses a uniform keyspace here (the "latest" distribution needs
+    insertion order, which single-run simulations rarely exercise); all other
+    skewed mixes use the Zipfian chooser.
+    """
+    letter = name.upper()
+    try:
+        read_fraction, update_fraction, rmw_fraction = YCSB_MIXES[letter]
+    except KeyError as exc:
+        raise WorkloadError(
+            f"unknown YCSB workload {name!r}; expected one of {', '.join(YCSB_MIXES)}"
+        ) from exc
+    keys: KeyChooser
+    if letter == "D":
+        keys = UniformKeys(keyspace)
+    else:
+        keys = ZipfianKeys(keyspace, theta=zipf_theta)
+    return YCSBWorkload(
+        name=letter,
+        keys=keys,
+        rate_per_second=rate_per_second,
+        read_fraction=read_fraction,
+        update_fraction=update_fraction,
+        rmw_fraction=rmw_fraction,
+    )

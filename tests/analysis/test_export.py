@@ -1,0 +1,96 @@
+"""Unit tests for CSV/JSON export of experiment results."""
+
+from __future__ import annotations
+
+import csv
+import json
+
+import pytest
+
+from repro.analysis.export import export_result, load_rows_json, rows_to_csv, rows_to_json
+from repro.exceptions import AnalysisError
+from repro.experiments.registry import ExperimentResult
+
+
+@pytest.fixture
+def sample_result() -> ExperimentResult:
+    return ExperimentResult(
+        experiment_id="sample",
+        title="A sample",
+        paper_artifact="Table X",
+        rows=[
+            {"config": "N=3 R=1 W=1", "p": 0.5, "strict": False},
+            {"config": "N=3 R=2 W=2", "p": 1.0, "strict": True, "extra": "only-here"},
+        ],
+        notes=("a note",),
+    )
+
+
+class TestRowsToCsv:
+    def test_writes_union_of_columns(self, tmp_path, sample_result):
+        path = rows_to_csv(sample_result.rows, tmp_path / "out.csv")
+        with path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert rows[0]["config"] == "N=3 R=1 W=1"
+        assert rows[0]["extra"] == ""
+        assert rows[1]["extra"] == "only-here"
+
+    def test_creates_parent_directories(self, tmp_path, sample_result):
+        path = rows_to_csv(sample_result.rows, tmp_path / "nested" / "dir" / "out.csv")
+        assert path.exists()
+
+    def test_empty_rows_rejected(self, tmp_path):
+        with pytest.raises(AnalysisError):
+            rows_to_csv([], tmp_path / "out.csv")
+
+
+class TestRowsToJson:
+    def test_round_trip(self, tmp_path, sample_result):
+        path = rows_to_json(sample_result.rows, tmp_path / "out.json", metadata={"k": "v"})
+        payload = json.loads(path.read_text())
+        assert payload["metadata"] == {"k": "v"}
+        assert load_rows_json(path)[0]["config"] == "N=3 R=1 W=1"
+
+    def test_non_primitive_values_stringified(self, tmp_path):
+        path = rows_to_json([{"value": object()}], tmp_path / "out.json")
+        rows = load_rows_json(path)
+        assert isinstance(rows[0]["value"], str)
+
+    def test_load_missing_or_malformed(self, tmp_path):
+        with pytest.raises(AnalysisError):
+            load_rows_json(tmp_path / "absent.json")
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"not_rows": []}))
+        with pytest.raises(AnalysisError):
+            load_rows_json(bad)
+
+
+class TestExportResult:
+    def test_writes_both_formats(self, tmp_path, sample_result):
+        written = export_result(sample_result, tmp_path)
+        names = {path.name for path in written}
+        assert names == {"sample.csv", "sample.json"}
+        payload = json.loads((tmp_path / "sample.json").read_text())
+        assert payload["metadata"]["paper_artifact"] == "Table X"
+        assert payload["metadata"]["notes"] == ["a note"]
+
+    def test_single_format(self, tmp_path, sample_result):
+        written = export_result(sample_result, tmp_path, formats=("csv",))
+        assert [path.suffix for path in written] == [".csv"]
+
+    def test_unknown_format_rejected(self, tmp_path, sample_result):
+        with pytest.raises(AnalysisError):
+            export_result(sample_result, tmp_path, formats=("parquet",))
+        with pytest.raises(AnalysisError):
+            export_result(sample_result, tmp_path, formats=())
+
+
+class TestCliExport:
+    def test_run_with_export_writes_files(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["run", "section3-kstaleness", "--export", str(tmp_path)]) == 0
+        output = capsys.readouterr().out
+        assert "exported:" in output
+        assert (tmp_path / "section3-kstaleness.csv").exists()
+        assert (tmp_path / "section3-kstaleness.json").exists()

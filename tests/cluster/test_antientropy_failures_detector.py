@@ -1,0 +1,192 @@
+"""Unit tests for anti-entropy, failure injection, tracing, and staleness detection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.failures import FailureEvent, FailureInjector
+from repro.cluster.staleness_detector import StalenessDetector
+from repro.cluster.store import DynamoCluster
+from repro.cluster.tracing import ReadTrace, TraceLog, WriteTrace
+from repro.cluster.versioning import Version
+from repro.core.quorum import ReplicaConfig
+from repro.exceptions import ConfigurationError
+from repro.latency.distributions import ConstantLatency, ExponentialLatency
+from repro.latency.production import WARSDistributions
+
+
+def constant_wars() -> WARSDistributions:
+    return WARSDistributions(
+        w=ConstantLatency(4.0),
+        a=ConstantLatency(1.0),
+        r=ConstantLatency(2.0),
+        s=ConstantLatency(3.0),
+    )
+
+
+def slow_write_wars(mean_ms: float = 50.0) -> WARSDistributions:
+    return WARSDistributions(
+        w=ExponentialLatency.from_mean(mean_ms),
+        a=ConstantLatency(0.1),
+        r=ConstantLatency(0.1),
+        s=ConstantLatency(0.1),
+    )
+
+
+class TestMerkleAntiEntropy:
+    def test_sync_repairs_diverged_replicas(self):
+        cluster = DynamoCluster(ReplicaConfig(3, 1, 1), slow_write_wars(500.0), rng=5)
+        controller = cluster.enable_merkle_anti_entropy(interval_ms=50.0, pairs_per_round=3)
+        write = cluster.write("key", "value")
+        # Run long enough for several anti-entropy rounds but far less than the
+        # 500 ms mean write propagation delay would need on its own... the
+        # quorum expansion still happens, so instead verify the controller
+        # performed work and replicas converge.
+        cluster.run(until_ms=cluster.now_ms + 2_000.0)
+        controller.stop()
+        assert controller.stats.rounds > 0
+        for node in cluster.replicas_for("key"):
+            assert node.version_of("key") == write.trace.version
+
+    def test_invalid_parameters_rejected(self):
+        cluster = DynamoCluster(ReplicaConfig(3, 1, 1), constant_wars(), rng=0)
+        with pytest.raises(ConfigurationError):
+            cluster.enable_merkle_anti_entropy(interval_ms=0.0)
+
+    def test_no_work_when_replicas_agree(self):
+        cluster = DynamoCluster(ReplicaConfig(3, 1, 3), constant_wars(), rng=0)
+        cluster.write("key", "value")
+        cluster.run()
+        controller = cluster.enable_merkle_anti_entropy(interval_ms=10.0)
+        cluster.run(until_ms=cluster.now_ms + 100.0)
+        controller.stop()
+        assert controller.stats.keys_transferred == 0
+
+
+class TestFailureInjection:
+    def test_failure_event_validation(self):
+        with pytest.raises(ConfigurationError):
+            FailureEvent(node_id="a", crash_at_ms=-1.0)
+        with pytest.raises(ConfigurationError):
+            FailureEvent(node_id="a", crash_at_ms=10.0, recover_at_ms=5.0)
+
+    def test_scheduled_crash_and_recovery(self):
+        cluster = DynamoCluster(ReplicaConfig(3, 1, 1), constant_wars(), rng=0)
+        victim = cluster.nodes[0]
+        cluster.failure_injector.schedule_crash(victim.node_id, at_ms=10.0, downtime_ms=20.0)
+        cluster.run(until_ms=15.0)
+        assert not victim.alive
+        cluster.run(until_ms=40.0)
+        assert victim.alive
+        assert len(cluster.failure_injector.scheduled_events) == 1
+
+    def test_random_failures_respect_horizon(self):
+        cluster = DynamoCluster(ReplicaConfig(3, 1, 1), constant_wars(), rng=1)
+        injector = FailureInjector(cluster.simulator, cluster.membership)
+        events = injector.schedule_random_failures(
+            mean_time_to_failure_ms=100.0, mean_downtime_ms=10.0, horizon_ms=1_000.0
+        )
+        assert all(event.crash_at_ms < 1_000.0 for event in events)
+
+    def test_random_failures_validate_parameters(self):
+        cluster = DynamoCluster(ReplicaConfig(3, 1, 1), constant_wars(), rng=1)
+        with pytest.raises(ConfigurationError):
+            cluster.failure_injector.schedule_random_failures(0.0, 1.0, 1.0)
+
+
+class TestTraceLog:
+    def test_latest_committed_version_before(self):
+        log = TraceLog()
+        log.record_write(
+            WriteTrace(
+                operation_id=1,
+                key="k",
+                version=Version(1, "c"),
+                coordinator="c",
+                started_ms=0.0,
+                committed_ms=5.0,
+            )
+        )
+        log.record_write(
+            WriteTrace(
+                operation_id=2,
+                key="k",
+                version=Version(2, "c"),
+                coordinator="c",
+                started_ms=10.0,
+                committed_ms=15.0,
+            )
+        )
+        assert log.latest_committed_version_before("k", 4.0) is None
+        assert log.latest_committed_version_before("k", 7.0) == Version(1, "c")
+        assert log.latest_committed_version_before("k", 100.0) == Version(2, "c")
+        assert log.commit_time_of("k", Version(2, "c")) == 15.0
+        assert log.commit_time_of("k", Version(9, "c")) is None
+
+    def test_committed_and_completed_filters(self):
+        log = TraceLog()
+        log.record_write(
+            WriteTrace(
+                operation_id=1,
+                key="k",
+                version=Version(1, "c"),
+                coordinator="c",
+                started_ms=0.0,
+            )
+        )
+        log.record_read(
+            ReadTrace(operation_id=2, key="k", coordinator="c", started_ms=1.0)
+        )
+        assert log.committed_writes() == []
+        assert log.completed_reads() == []
+        log.clear()
+        assert not log.writes and not log.reads
+
+    def test_arrival_offsets_require_commit(self):
+        trace = WriteTrace(
+            operation_id=1,
+            key="k",
+            version=Version(1, "c"),
+            coordinator="c",
+            started_ms=0.0,
+            replica_arrivals_ms={"a": 3.0},
+        )
+        assert trace.arrival_offsets_from_commit() == {}
+        trace.committed_ms = 5.0
+        assert trace.arrival_offsets_from_commit() == {"a": -2.0}
+
+
+class TestStalenessDetector:
+    def _run_workload(self) -> DynamoCluster:
+        cluster = DynamoCluster(ReplicaConfig(3, 1, 1), slow_write_wars(20.0), rng=7)
+        for index in range(40):
+            cluster.schedule_write("key", f"v{index}", at_ms=index * 50.0)
+            cluster.schedule_read("key", at_ms=index * 50.0 + 1.0)
+        cluster.run()
+        return cluster
+
+    def test_detector_flags_and_confirms_staleness(self):
+        cluster = self._run_workload()
+        detector = StalenessDetector(cluster.trace_log)
+        signals = detector.inspect_all("key")
+        assert len(signals) == len(cluster.trace_log.completed_reads("key"))
+        # With a 20 ms mean write delay and reads 1 ms after the write starts,
+        # some reads must be stale and some fresh.
+        assert 0 < detector.confirmed_count < len(signals)
+        # The raw detector can have false positives (newer uncommitted data)
+        # but flagged + missed must cover every confirmed-stale read.
+        for signal in signals:
+            if signal.confirmed_stale and signal.newest_late_version is not None:
+                assert (
+                    signal.flagged
+                    or signal.returned_version is None
+                    or signal.newest_late_version <= signal.returned_version
+                )
+
+    def test_counts_are_consistent(self):
+        cluster = self._run_workload()
+        detector = cluster.staleness_detector
+        detector.inspect_all("key")
+        total_flagged = detector.flagged_count
+        assert detector.false_positive_count <= total_flagged
+        assert detector.confirmed_count + detector.false_positive_count >= total_flagged

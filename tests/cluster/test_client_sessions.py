@@ -1,0 +1,106 @@
+"""Unit tests for client sessions and the workload runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.client import ClientSession, WorkloadRunner
+from repro.cluster.store import DynamoCluster
+from repro.core.quorum import ReplicaConfig
+from repro.exceptions import WorkloadError
+from repro.latency.distributions import ConstantLatency, ExponentialLatency
+from repro.latency.production import WARSDistributions
+from repro.workloads.arrivals import FixedIntervalArrivals
+from repro.workloads.keys import SingleKey
+from repro.workloads.operations import MixedWorkload, Operation, OperationKind
+
+
+def constant_wars() -> WARSDistributions:
+    return WARSDistributions(
+        w=ConstantLatency(1.0),
+        a=ConstantLatency(1.0),
+        r=ConstantLatency(1.0),
+        s=ConstantLatency(1.0),
+    )
+
+
+def slow_write_wars() -> WARSDistributions:
+    return WARSDistributions(
+        w=ExponentialLatency.from_mean(30.0),
+        a=ConstantLatency(0.1),
+        r=ConstantLatency(0.1),
+        s=ConstantLatency(0.1),
+    )
+
+
+class TestClientSession:
+    def test_read_your_writes_with_strict_quorum(self):
+        cluster = DynamoCluster(ReplicaConfig(3, 2, 2), constant_wars(), rng=0)
+        session = ClientSession(cluster, "alice")
+        session.write("profile", "v1")
+        read = session.read("profile")
+        assert read.value is not None and read.value.value == "v1"
+        assert session.stats.read_your_writes_violations == 0
+        assert session.stats.writes == 1 and session.stats.reads == 1
+
+    def test_partial_quorum_sessions_can_violate_read_your_writes(self):
+        cluster = DynamoCluster(ReplicaConfig(3, 1, 1), slow_write_wars(), rng=11)
+        session = ClientSession(cluster, "bob")
+        violations = 0
+        for index in range(60):
+            session.write("item", f"v{index}")
+            session.read("item")
+        violations = session.stats.read_your_writes_violations
+        assert violations > 0
+        assert session.stats.read_your_writes_violation_rate == pytest.approx(
+            violations / 60
+        )
+
+    def test_monotonic_violation_tracking_moves_forward(self):
+        cluster = DynamoCluster(ReplicaConfig(3, 1, 1), slow_write_wars(), rng=13)
+        session = ClientSession(cluster, "carol")
+        for index in range(40):
+            session.write("feed", f"v{index}")
+            session.read("feed")
+        assert session.stats.reads == 40
+        assert 0.0 <= session.stats.monotonic_violation_rate <= 1.0
+
+    def test_empty_read_counted(self):
+        cluster = DynamoCluster(ReplicaConfig(3, 1, 1), constant_wars(), rng=0)
+        session = ClientSession(cluster, "dave")
+        session.read("never-written")
+        assert session.stats.empty_reads == 1
+
+    def test_zero_reads_rates_are_zero(self):
+        cluster = DynamoCluster(ReplicaConfig(3, 1, 1), constant_wars(), rng=0)
+        session = ClientSession(cluster, "erin")
+        assert session.stats.monotonic_violation_rate == 0.0
+        assert session.stats.read_your_writes_violation_rate == 0.0
+
+
+class TestWorkloadRunner:
+    def test_runs_generated_workload_and_records_traces(self):
+        cluster = DynamoCluster(ReplicaConfig(3, 1, 1), constant_wars(), rng=0)
+        workload = MixedWorkload(
+            keys=SingleKey("hot"),
+            arrivals=FixedIntervalArrivals(interval_ms=10.0),
+            read_fraction=0.5,
+        )
+        operations = workload.generate(horizon_ms=500.0, rng=3)
+        runner = WorkloadRunner(cluster)
+        runner.run(operations)
+        assert runner.scheduled_operations == len(operations)
+        recorded = len(cluster.trace_log.writes) + len(cluster.trace_log.reads)
+        assert recorded == len(operations)
+
+    def test_rejects_operations_in_the_past(self):
+        cluster = DynamoCluster(ReplicaConfig(3, 1, 1), constant_wars(), rng=0)
+        cluster.write("warmup", "x")  # advances the clock past zero
+        runner = WorkloadRunner(cluster)
+        with pytest.raises(WorkloadError):
+            runner.schedule([Operation(start_ms=0.0, kind=OperationKind.READ, key="k")])
+
+    def test_empty_workload_is_a_noop(self):
+        cluster = DynamoCluster(ReplicaConfig(3, 1, 1), constant_wars(), rng=0)
+        WorkloadRunner(cluster).run([])
+        assert not cluster.trace_log.writes and not cluster.trace_log.reads

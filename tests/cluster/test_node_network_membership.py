@@ -1,0 +1,219 @@
+"""Unit tests for storage nodes, the network model, and cluster membership."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.membership import Membership
+from repro.cluster.network import Network
+from repro.cluster.node import StorageNode
+from repro.cluster.versioning import VectorClock, Version, VersionedValue
+from repro.exceptions import ConfigurationError
+from repro.latency.distributions import ConstantLatency
+from repro.latency.production import WARSDistributions, wan
+
+
+def _value(key: str, timestamp: int, writer: str = "c", payload: object = None) -> VersionedValue:
+    return VersionedValue(
+        key=key,
+        value=payload if payload is not None else f"v{timestamp}",
+        version=Version(timestamp, writer),
+        vector_clock=VectorClock({writer: timestamp}),
+    )
+
+
+class TestStorageNode:
+    def test_apply_and_read(self):
+        node = StorageNode(node_id="n1")
+        result = node.apply_write(_value("k", 1), at_ms=5.0)
+        assert result.applied
+        stored = node.read("k")
+        assert stored is not None and stored.version == Version(1, "c")
+        assert node.arrival_time_ms("k") == 5.0
+        assert node.applied_writes == 1
+        assert node.served_reads == 1
+
+    def test_newer_version_overwrites(self):
+        node = StorageNode(node_id="n1")
+        node.apply_write(_value("k", 1), 1.0)
+        result = node.apply_write(_value("k", 2), 2.0)
+        assert result.applied
+        assert result.superseded_version == Version(1, "c")
+        assert node.version_of("k") == Version(2, "c")
+
+    def test_older_version_is_ignored(self):
+        node = StorageNode(node_id="n1")
+        node.apply_write(_value("k", 5), 1.0)
+        result = node.apply_write(_value("k", 3), 2.0)
+        assert not result.applied
+        assert node.version_of("k") == Version(5, "c")
+        assert node.arrival_time_ms("k") == 1.0
+
+    def test_concurrent_versions_kept_as_siblings(self):
+        node = StorageNode(node_id="n1")
+        node.apply_write(_value("k", 5, writer="a"), 1.0)
+        concurrent = VersionedValue(
+            key="k",
+            value="other",
+            version=Version(4, "b"),
+            vector_clock=VectorClock({"b": 1}),
+        )
+        node.apply_write(concurrent, 2.0)
+        assert node.version_of("k") == Version(5, "a")
+        assert len(node.siblings("k")) == 1
+
+    def test_crashed_node_drops_messages(self):
+        node = StorageNode(node_id="n1")
+        node.crash()
+        assert not node.apply_write(_value("k", 1), 1.0).applied
+        assert node.read("k") is None
+        assert node.dropped_messages == 2
+        node.recover()
+        assert node.apply_write(_value("k", 1), 2.0).applied
+
+    def test_crash_preserves_existing_data(self):
+        node = StorageNode(node_id="n1")
+        node.apply_write(_value("k", 1), 1.0)
+        node.crash()
+        node.recover()
+        assert node.version_of("k") == Version(1, "c")
+
+    def test_snapshot_and_merkle(self):
+        node = StorageNode(node_id="n1")
+        node.apply_write(_value("a", 1), 1.0)
+        node.apply_write(_value("b", 2), 1.0)
+        snapshot = node.snapshot_versions()
+        assert snapshot == {"a": Version(1, "c"), "b": Version(2, "c")}
+        assert node.key_count() == 2
+        assert set(node.keys()) == {"a", "b"}
+        assert "a" in node
+        node.validate()
+        assert node.merkle_tree().root_hash != StorageNode(node_id="x").merkle_tree().root_hash
+
+
+class TestNetwork:
+    def _network(self, loss: float = 0.0) -> Network:
+        distributions = WARSDistributions(
+            w=ConstantLatency(4.0),
+            a=ConstantLatency(3.0),
+            r=ConstantLatency(2.0),
+            s=ConstantLatency(1.0),
+        )
+        return Network(
+            distributions=distributions,
+            rng=np.random.default_rng(0),
+            replica_slots={"n0": 0, "n1": 1, "n2": 2},
+            loss_probability=loss,
+        )
+
+    def test_leg_specific_delays(self):
+        network = self._network()
+        assert network.write_delay("n0") == 4.0
+        assert network.ack_delay("n0") == 3.0
+        assert network.read_delay("n0") == 2.0
+        assert network.response_delay("n0") == 1.0
+
+    def test_per_replica_distribution_uses_slots(self):
+        network = Network(
+            distributions=wan(replica_count=3),
+            rng=np.random.default_rng(0),
+            replica_slots={"n0": 0, "n1": 1, "n2": 2},
+        )
+        # Slot 0 is local; slots 1-2 pay the 75 ms WAN delay.
+        assert network.write_delay("n0") < 75.0
+        assert network.write_delay("n1") > 75.0
+
+    def test_per_replica_requires_slot(self):
+        network = Network(
+            distributions=wan(replica_count=3),
+            rng=np.random.default_rng(0),
+            replica_slots={},
+        )
+        with pytest.raises(ConfigurationError):
+            network.write_delay("unknown")
+
+    def test_partition_blocks_delivery_until_healed(self):
+        network = self._network()
+        assert network.delivers("a", "b")
+        network.partition("a", "b")
+        assert not network.delivers("a", "b")
+        assert not network.delivers("b", "a")
+        assert network.delivers("a", "c")
+        network.heal("a", "b")
+        assert network.delivers("a", "b")
+        assert network.dropped_messages == 2
+
+    def test_heal_all(self):
+        network = self._network()
+        network.partition("a", "b")
+        network.partition("b", "c")
+        network.heal_all()
+        assert network.delivers("a", "b") and network.delivers("b", "c")
+
+    def test_loss_probability_drops_messages(self):
+        network = self._network(loss=0.5)
+        outcomes = [network.delivers("a", "b") for _ in range(2_000)]
+        drop_rate = 1.0 - np.mean(outcomes)
+        assert 0.4 < drop_rate < 0.6
+
+    def test_invalid_loss_probability(self):
+        with pytest.raises(ConfigurationError):
+            self._network(loss=1.5)
+
+
+class TestMembership:
+    def test_roster_and_lookup(self):
+        membership = Membership(["a", "b", "c"])
+        assert membership.node_ids == ["a", "b", "c"]
+        assert membership.node("b").node_id == "b"
+        assert len(membership) == 3
+        with pytest.raises(ConfigurationError):
+            membership.node("zzz")
+
+    def test_duplicate_or_empty_roster_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Membership(["a", "a"])
+        with pytest.raises(ConfigurationError):
+            Membership([])
+
+    def test_preference_list_returns_nodes(self):
+        membership = Membership(["a", "b", "c", "d"])
+        replicas = membership.preference_list("key-1", 3)
+        assert len(replicas) == 3
+        assert all(hasattr(node, "apply_write") for node in replicas)
+
+    def test_alive_and_failed_tracking(self):
+        membership = Membership(["a", "b", "c"])
+        membership.node("b").crash()
+        assert {node.node_id for node in membership.failed_nodes()} == {"b"}
+        assert {node.node_id for node in membership.alive_nodes()} == {"a", "c"}
+
+    def test_add_and_remove_nodes(self):
+        membership = Membership(["a", "b"])
+        membership.add_node("c")
+        assert "c" in membership.node_ids
+        membership.remove_node("a")
+        assert "a" not in membership.node_ids
+        with pytest.raises(ConfigurationError):
+            membership.add_node("c")
+
+    def test_fallback_for_failed_replica(self):
+        membership = Membership(["a", "b", "c", "d"])
+        replicas = membership.preference_list("key-9", 3)
+        failed = replicas[0].node_id
+        fallback = membership.fallback_for("key-9", 3, failed)
+        assert fallback is not None
+        assert fallback.node_id not in {node.node_id for node in replicas}
+
+    def test_fallback_requires_replica_membership(self):
+        membership = Membership(["a", "b", "c", "d"])
+        replicas = {node.node_id for node in membership.preference_list("key-9", 3)}
+        outsider = next(node_id for node_id in membership.node_ids if node_id not in replicas)
+        with pytest.raises(ConfigurationError):
+            membership.fallback_for("key-9", 3, outsider)
+
+    def test_fallback_none_when_all_nodes_are_replicas(self):
+        membership = Membership(["a", "b", "c"])
+        failed = membership.preference_list("key-1", 3)[0].node_id
+        assert membership.fallback_for("key-1", 3, failed) is None

@@ -1,0 +1,111 @@
+"""Unit tests for the consistent-hash ring and Merkle trees."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.merkle import MerkleTree, diff_buckets
+from repro.cluster.ring import ConsistentHashRing
+from repro.cluster.versioning import Version
+from repro.exceptions import ConfigurationError
+
+
+class TestConsistentHashRing:
+    def test_preference_list_size_and_distinctness(self):
+        ring = ConsistentHashRing([f"node-{i}" for i in range(5)])
+        replicas = ring.preference_list("some-key", 3)
+        assert len(replicas) == 3
+        assert len(set(replicas)) == 3
+
+    def test_placement_is_deterministic(self):
+        nodes = ["a", "b", "c", "d"]
+        first = ConsistentHashRing(nodes).preference_list("key-42", 3)
+        second = ConsistentHashRing(nodes).preference_list("key-42", 3)
+        assert first == second
+
+    def test_placement_stable_under_unrelated_node_removal(self):
+        ring = ConsistentHashRing(["a", "b", "c", "d"])
+        before = ring.preference_list("key-7", 2)
+        unrelated = next(node for node in ["a", "b", "c", "d"] if node not in before)
+        ring.remove_node(unrelated)
+        after = ring.preference_list("key-7", 2)
+        assert before == after
+
+    def test_add_and_remove_nodes(self):
+        ring = ConsistentHashRing(["a", "b"])
+        ring.add_node("c")
+        assert ring.nodes == frozenset({"a", "b", "c"})
+        ring.remove_node("a")
+        assert ring.nodes == frozenset({"b", "c"})
+        assert len(ring) == 2
+
+    def test_duplicate_and_missing_nodes_rejected(self):
+        ring = ConsistentHashRing(["a"])
+        with pytest.raises(ConfigurationError):
+            ring.add_node("a")
+        with pytest.raises(ConfigurationError):
+            ring.remove_node("zzz")
+        with pytest.raises(ConfigurationError):
+            ring.add_node("")
+
+    def test_preference_list_larger_than_cluster_rejected(self):
+        ring = ConsistentHashRing(["a", "b"])
+        with pytest.raises(ConfigurationError):
+            ring.preference_list("k", 3)
+        with pytest.raises(ConfigurationError):
+            ring.preference_list("k", 0)
+
+    def test_ownership_reasonably_balanced(self):
+        ring = ConsistentHashRing([f"node-{i}" for i in range(4)], virtual_nodes=128)
+        fractions = ring.ownership_fractions([f"key-{i}" for i in range(2_000)])
+        assert sum(fractions.values()) == pytest.approx(1.0)
+        for fraction in fractions.values():
+            assert 0.1 < fraction < 0.45
+
+    def test_primary_is_first_of_preference_list(self):
+        ring = ConsistentHashRing(["a", "b", "c"])
+        assert ring.primary("key-1") == ring.preference_list("key-1", 3)[0]
+
+    def test_invalid_virtual_node_count(self):
+        with pytest.raises(ConfigurationError):
+            ConsistentHashRing(["a"], virtual_nodes=0)
+
+
+class TestMerkleTree:
+    def _contents(self, count: int, stamp: int = 1) -> dict[str, Version]:
+        return {f"key-{i}": Version(stamp, "writer") for i in range(count)}
+
+    def test_identical_contents_have_identical_roots(self):
+        left = MerkleTree.build(self._contents(50))
+        right = MerkleTree.build(self._contents(50))
+        assert left.root_hash == right.root_hash
+        assert left.differing_buckets(right) == []
+
+    def test_single_difference_is_localised(self):
+        base = self._contents(100)
+        changed = dict(base)
+        changed["key-42"] = Version(2, "writer")
+        left = MerkleTree.build(base, bucket_count=32)
+        right = MerkleTree.build(changed, bucket_count=32)
+        differing = left.differing_buckets(right)
+        assert len(differing) == 1
+        keys = diff_buckets(changed, differing, 32)
+        assert "key-42" in keys
+
+    def test_empty_trees_are_equal(self):
+        assert MerkleTree.build({}).root_hash == MerkleTree.build({}).root_hash
+
+    def test_bucket_count_must_be_power_of_two(self):
+        with pytest.raises(ConfigurationError):
+            MerkleTree.build({}, bucket_count=12)
+
+    def test_diff_across_bucket_counts_rejected(self):
+        left = MerkleTree.build({}, bucket_count=16)
+        right = MerkleTree.build({}, bucket_count=32)
+        with pytest.raises(ConfigurationError):
+            left.differing_buckets(right)
+
+    def test_levels_halve_up_to_root(self):
+        tree = MerkleTree.build(self._contents(10), bucket_count=8)
+        sizes = [len(level) for level in tree.levels]
+        assert sizes == [8, 4, 2, 1]

@@ -1,0 +1,163 @@
+"""Unit tests for the clock, event queue, and discrete-event simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.clock import SimulationClock
+from repro.cluster.events import EventQueue
+from repro.cluster.simulator import Simulator
+from repro.exceptions import SimulationError
+
+
+class TestSimulationClock:
+    def test_starts_at_zero(self):
+        assert SimulationClock().now_ms == 0.0
+
+    def test_advance_forward(self):
+        clock = SimulationClock()
+        clock.advance_to(12.5)
+        assert clock.now_ms == 12.5
+
+    def test_cannot_move_backwards(self):
+        clock = SimulationClock(start_ms=10.0)
+        with pytest.raises(SimulationError):
+            clock.advance_to(5.0)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(SimulationError):
+            SimulationClock(start_ms=-1.0)
+
+    def test_reset(self):
+        clock = SimulationClock()
+        clock.advance_to(100.0)
+        clock.reset()
+        assert clock.now_ms == 0.0
+
+
+class TestEventQueue:
+    def test_pop_in_time_order(self):
+        queue = EventQueue()
+        fired: list[str] = []
+        queue.push(5.0, lambda: fired.append("late"))
+        queue.push(1.0, lambda: fired.append("early"))
+        while (event := queue.pop()) is not None:
+            event.action()
+        assert fired == ["early", "late"]
+
+    def test_ties_broken_by_insertion_order(self):
+        queue = EventQueue()
+        order: list[int] = []
+        for index in range(5):
+            queue.push(3.0, lambda i=index: order.append(i))
+        while (event := queue.pop()) is not None:
+            event.action()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_cancelled_events_are_skipped(self):
+        queue = EventQueue()
+        fired: list[str] = []
+        keep = queue.push(1.0, lambda: fired.append("keep"))
+        drop = queue.push(2.0, lambda: fired.append("drop"))
+        drop.cancel()
+        while (event := queue.pop()) is not None:
+            event.action()
+        assert fired == ["keep"]
+        assert keep.label == ""
+
+    def test_len_ignores_cancelled(self):
+        queue = EventQueue()
+        queue.push(1.0, lambda: None)
+        cancelled = queue.push(2.0, lambda: None)
+        cancelled.cancel()
+        assert len(queue) == 1
+
+    def test_peek_time(self):
+        queue = EventQueue()
+        assert queue.peek_time() is None
+        queue.push(7.0, lambda: None)
+        assert queue.peek_time() == 7.0
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(SimulationError):
+            EventQueue().push(-1.0, lambda: None)
+
+
+class TestSimulator:
+    def test_schedule_and_run_advances_clock(self):
+        simulator = Simulator(rng=0)
+        seen: list[float] = []
+        simulator.schedule(10.0, lambda: seen.append(simulator.now_ms))
+        simulator.schedule(5.0, lambda: seen.append(simulator.now_ms))
+        simulator.run()
+        assert seen == [5.0, 10.0]
+        assert simulator.now_ms == 10.0
+        assert simulator.processed_events == 2
+
+    def test_schedule_at_absolute_time(self):
+        simulator = Simulator(rng=0)
+        simulator.schedule_at(3.0, lambda: None)
+        simulator.run()
+        assert simulator.now_ms == 3.0
+
+    def test_cannot_schedule_in_the_past(self):
+        simulator = Simulator(rng=0)
+        simulator.schedule(5.0, lambda: None)
+        simulator.run()
+        with pytest.raises(SimulationError):
+            simulator.schedule_at(1.0, lambda: None)
+        with pytest.raises(SimulationError):
+            simulator.schedule(-1.0, lambda: None)
+
+    def test_run_until_horizon_leaves_later_events(self):
+        simulator = Simulator(rng=0)
+        fired: list[float] = []
+        simulator.schedule(1.0, lambda: fired.append(1.0))
+        simulator.schedule(100.0, lambda: fired.append(100.0))
+        simulator.run(until_ms=10.0)
+        assert fired == [1.0]
+        assert simulator.now_ms == 10.0
+        assert simulator.pending_events == 1
+        simulator.run()
+        assert fired == [1.0, 100.0]
+
+    def test_events_can_schedule_events(self):
+        simulator = Simulator(rng=0)
+        fired: list[str] = []
+
+        def first() -> None:
+            fired.append("first")
+            simulator.schedule(5.0, lambda: fired.append("second"))
+
+        simulator.schedule(1.0, first)
+        simulator.run()
+        assert fired == ["first", "second"]
+        assert simulator.now_ms == 6.0
+
+    def test_event_storm_guard(self):
+        simulator = Simulator(rng=0, max_events=100)
+
+        def rescheduling() -> None:
+            simulator.schedule(1.0, rescheduling)
+
+        simulator.schedule(1.0, rescheduling)
+        with pytest.raises(SimulationError):
+            simulator.run(until_ms=1_000.0)
+
+    def test_reset_clears_queue_and_clock(self):
+        simulator = Simulator(rng=0)
+        simulator.schedule(50.0, lambda: None)
+        simulator.run()
+        simulator.schedule(10.0, lambda: None)
+        simulator.reset()
+        assert simulator.pending_events == 0
+        assert simulator.now_ms == 0.0
+        assert simulator.processed_events == 0
+
+    def test_step_returns_false_when_empty(self):
+        assert Simulator(rng=0).step() is False
+
+    def test_deterministic_rng_from_seed(self):
+        a = Simulator(rng=7).rng.random(5)
+        b = Simulator(rng=7).rng.random(5)
+        assert list(a) == list(b)

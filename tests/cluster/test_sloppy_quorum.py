@@ -1,0 +1,110 @@
+"""Tests for Dynamo-style sloppy quorums (write availability under replica failure)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.store import DynamoCluster
+from repro.core.quorum import ReplicaConfig
+from repro.latency.distributions import ConstantLatency
+from repro.latency.production import WARSDistributions
+
+
+def constant_wars() -> WARSDistributions:
+    return WARSDistributions(
+        w=ConstantLatency(2.0),
+        a=ConstantLatency(1.0),
+        r=ConstantLatency(1.0),
+        s=ConstantLatency(1.0),
+    )
+
+
+def _cluster(sloppy: bool, hinted: bool = False) -> DynamoCluster:
+    return DynamoCluster(
+        ReplicaConfig(3, 1, 2),
+        constant_wars(),
+        node_count=5,
+        sloppy_quorum=sloppy,
+        hinted_handoff=hinted,
+        timeout_ms=100.0,
+        rng=0,
+    )
+
+
+class TestSloppyQuorumAvailability:
+    def test_write_fails_without_sloppy_quorum(self):
+        cluster = _cluster(sloppy=False)
+        for node in cluster.replicas_for("key")[:2]:
+            node.crash()
+        handle = cluster.write("key", "value")
+        assert not handle.committed
+
+    def test_write_commits_with_sloppy_quorum(self):
+        cluster = _cluster(sloppy=True)
+        home_replicas = cluster.replicas_for("key")
+        for node in home_replicas[:2]:
+            node.crash()
+        handle = cluster.write("key", "value")
+        assert handle.committed
+        # Two distinct fallback nodes were used, and they are not home replicas.
+        assert len(handle.used_fallbacks) == 2
+        assert handle.used_fallbacks.isdisjoint({n.node_id for n in home_replicas})
+
+    def test_fallbacks_hold_the_data(self):
+        cluster = _cluster(sloppy=True)
+        for node in cluster.replicas_for("key")[:2]:
+            node.crash()
+        handle = cluster.write("key", "value")
+        cluster.run()
+        for fallback_id in handle.used_fallbacks:
+            assert cluster.node(fallback_id).version_of("key") == handle.trace.version
+
+    def test_no_commit_when_every_node_is_down(self):
+        cluster = DynamoCluster(
+            ReplicaConfig(3, 1, 2),
+            constant_wars(),
+            node_count=3,
+            sloppy_quorum=True,
+            timeout_ms=50.0,
+            rng=0,
+        )
+        for node in cluster.replicas_for("key"):
+            node.crash()
+        handle = cluster.write("key", "value")
+        assert not handle.committed
+
+    def test_sloppy_quorum_with_hinted_handoff_replays_to_home_replica(self):
+        cluster = _cluster(sloppy=True, hinted=True)
+        victims = cluster.replicas_for("key")[:2]
+        for node in victims:
+            node.crash()
+        handle = cluster.write("key", "value")
+        cluster.run()
+        assert handle.committed
+        coordinator = cluster.coordinators[0]
+        assert coordinator.pending_hint_count >= 1
+        for node in victims:
+            node.recover()
+        cluster.replay_hints()
+        cluster.run()
+        for node in victims:
+            assert node.version_of("key") == handle.trace.version
+
+    def test_healthy_cluster_never_uses_fallbacks(self):
+        cluster = _cluster(sloppy=True)
+        handle = cluster.write("key", "value")
+        cluster.run()
+        assert handle.committed
+        assert handle.used_fallbacks == set()
+
+    def test_sloppy_reads_are_unaffected(self):
+        # Reads still go to the home preference list, so a value held only by a
+        # fallback is not visible until hints are replayed — matching Dynamo.
+        cluster = _cluster(sloppy=True)
+        victims = cluster.replicas_for("key")[:2]
+        for node in victims:
+            node.crash()
+        cluster.write("key", "value")
+        read = cluster.read("key")
+        cluster.run()
+        assert read.trace.completed

@@ -1,0 +1,107 @@
+"""Unit tests for Lamport versions, vector clocks, and versioned values."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.versioning import (
+    Causality,
+    LamportClock,
+    VectorClock,
+    Version,
+    VersionedValue,
+)
+from repro.exceptions import SimulationError
+
+
+class TestLamportClock:
+    def test_tick_increments(self):
+        clock = LamportClock()
+        assert clock.tick() == 1
+        assert clock.tick() == 2
+        assert clock.time == 2
+
+    def test_observe_takes_maximum_plus_one(self):
+        clock = LamportClock(start=5)
+        assert clock.observe(10) == 11
+        assert clock.observe(3) == 12
+
+    def test_invalid_inputs(self):
+        with pytest.raises(SimulationError):
+            LamportClock(start=-1)
+        with pytest.raises(SimulationError):
+            LamportClock().observe(-1)
+
+
+class TestVersion:
+    def test_total_order_by_timestamp_then_writer(self):
+        assert Version(1, "b") < Version(2, "a")
+        assert Version(2, "a") < Version(2, "b")
+        assert Version(3, "a") > Version(2, "z")
+
+    def test_is_newer_than_none(self):
+        assert Version(1, "a").is_newer_than(None)
+
+    def test_is_newer_than_other(self):
+        assert Version(5, "a").is_newer_than(Version(4, "z"))
+        assert not Version(4, "a").is_newer_than(Version(4, "a"))
+
+    def test_negative_timestamp_rejected(self):
+        with pytest.raises(SimulationError):
+            Version(-1, "a")
+
+
+class TestVectorClock:
+    def test_increment_creates_new_clock(self):
+        clock = VectorClock()
+        advanced = clock.increment("node-a")
+        assert clock.counters == {}
+        assert advanced.counters == {"node-a": 1}
+
+    def test_merge_is_elementwise_max(self):
+        left = VectorClock({"a": 2, "b": 1})
+        right = VectorClock({"b": 3, "c": 1})
+        merged = left.merge(right)
+        assert merged.counters == {"a": 2, "b": 3, "c": 1}
+
+    def test_compare_equal(self):
+        assert VectorClock({"a": 1}).compare(VectorClock({"a": 1})) is Causality.EQUAL
+
+    def test_compare_before_and_after(self):
+        small = VectorClock({"a": 1})
+        big = VectorClock({"a": 2, "b": 1})
+        assert small.compare(big) is Causality.BEFORE
+        assert big.compare(small) is Causality.AFTER
+
+    def test_compare_concurrent(self):
+        left = VectorClock({"a": 1})
+        right = VectorClock({"b": 1})
+        assert left.compare(right) is Causality.CONCURRENT
+
+    def test_dominates(self):
+        base = VectorClock({"a": 1})
+        assert base.increment("a").dominates(base)
+        assert base.dominates(base)
+        assert not base.dominates(base.increment("b"))
+
+    def test_missing_entries_treated_as_zero(self):
+        assert VectorClock({"a": 0}).compare(VectorClock({})) is Causality.EQUAL
+
+    def test_negative_counter_rejected(self):
+        with pytest.raises(SimulationError):
+            VectorClock({"a": -1})
+
+
+class TestVersionedValue:
+    def test_supersedes_uses_total_order(self):
+        old = VersionedValue(key="k", value=1, version=Version(1, "a"))
+        new = VersionedValue(key="k", value=2, version=Version(2, "a"))
+        assert new.supersedes(old)
+        assert not old.supersedes(new)
+        assert new.supersedes(None)
+
+    def test_supersedes_rejects_cross_key_comparison(self):
+        first = VersionedValue(key="k1", value=1, version=Version(1, "a"))
+        second = VersionedValue(key="k2", value=1, version=Version(2, "a"))
+        with pytest.raises(SimulationError):
+            second.supersedes(first)

@@ -1,0 +1,44 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.quorum import ReplicaConfig
+from repro.latency.distributions import ExponentialLatency
+from repro.latency.production import WARSDistributions
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator shared by tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def partial_config() -> ReplicaConfig:
+    """The Cassandra-default partial quorum: N=3, R=W=1."""
+    return ReplicaConfig(n=3, r=1, w=1)
+
+
+@pytest.fixture
+def strict_config() -> ReplicaConfig:
+    """A strict quorum: N=3, R=W=2."""
+    return ReplicaConfig(n=3, r=2, w=2)
+
+
+@pytest.fixture
+def exponential_wars() -> WARSDistributions:
+    """Exponential WARS distributions with a slow write path (mean 10 ms vs 2 ms)."""
+    return WARSDistributions.write_specialised(
+        write=ExponentialLatency.from_mean(10.0),
+        other=ExponentialLatency.from_mean(2.0),
+        name="exp-test",
+    )
+
+
+@pytest.fixture
+def fast_symmetric_wars() -> WARSDistributions:
+    """Symmetric exponential WARS distributions with 1 ms means."""
+    return WARSDistributions.symmetric(ExponentialLatency.from_mean(1.0), name="exp-fast")

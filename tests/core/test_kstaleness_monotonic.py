@@ -1,0 +1,169 @@
+"""Unit tests for closed-form k-staleness (§3.1) and monotonic reads (§3.2)."""
+
+from __future__ import annotations
+
+from math import comb
+
+import pytest
+
+from repro.core.kstaleness import (
+    KStalenessModel,
+    consistency_probability,
+    k_for_target_probability,
+    probability_nonintersection,
+    staleness_probability,
+)
+from repro.core.monotonic import (
+    MonotonicReadsModel,
+    monotonic_reads_probability,
+    strict_monotonic_reads_probability,
+)
+from repro.core.quorum import ReplicaConfig
+from repro.exceptions import ConfigurationError
+
+
+class TestEquationOne:
+    def test_cassandra_default(self):
+        # N=3, R=W=1: p_s = C(2,1)/C(3,1) = 2/3.
+        assert probability_nonintersection(ReplicaConfig(3, 1, 1)) == pytest.approx(2 / 3)
+
+    def test_r1_w2(self):
+        # N=3, R=1, W=2: p_s = C(1,1)/C(3,1) = 1/3.
+        assert probability_nonintersection(ReplicaConfig(3, 1, 2)) == pytest.approx(1 / 3)
+
+    def test_symmetry_in_r_and_w(self):
+        assert probability_nonintersection(ReplicaConfig(3, 1, 2)) == pytest.approx(
+            probability_nonintersection(ReplicaConfig(3, 2, 1))
+        )
+
+    def test_strict_quorum_never_misses(self):
+        assert probability_nonintersection(ReplicaConfig(3, 2, 2)) == 0.0
+        assert probability_nonintersection(ReplicaConfig(5, 3, 3)) == 0.0
+
+    def test_paper_large_n_example(self):
+        # Paper §2.1: N=100, R=W=30 gives p_s = 1.88e-6.
+        value = probability_nonintersection(ReplicaConfig(100, 30, 30))
+        assert value == pytest.approx(1.88e-6, rel=0.05)
+
+    def test_matches_direct_combinatorics(self):
+        config = ReplicaConfig(7, 3, 2)
+        expected = comb(7 - 2, 3) / comb(7, 3)
+        assert probability_nonintersection(config) == pytest.approx(expected)
+
+
+class TestEquationTwo:
+    def test_exponentiation_in_k(self):
+        config = ReplicaConfig(3, 1, 1)
+        p1 = staleness_probability(config, 1)
+        assert staleness_probability(config, 3) == pytest.approx(p1**3)
+
+    def test_paper_in_text_values(self):
+        # Paper §3.1: N=3, R=W=1 -> within 3 versions 0.703..., 5 versions > 0.868,
+        # 10 versions > 0.98.
+        model = KStalenessModel(ReplicaConfig(3, 1, 1))
+        assert model.consistency(3) == pytest.approx(0.7037, abs=1e-3)
+        assert model.consistency(5) > 0.868
+        assert model.consistency(10) > 0.98
+
+    def test_consistency_is_complement(self):
+        config = ReplicaConfig(3, 2, 1)
+        assert consistency_probability(config, 4) == pytest.approx(
+            1.0 - staleness_probability(config, 4)
+        )
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ConfigurationError):
+            staleness_probability(ReplicaConfig(3, 1, 1), 0)
+
+    def test_monotone_increasing_in_k(self):
+        model = KStalenessModel(ReplicaConfig(3, 1, 1))
+        values = [model.consistency(k) for k in range(1, 20)]
+        assert values == sorted(values)
+
+    def test_expected_staleness_geometric_sum(self):
+        model = KStalenessModel(ReplicaConfig(3, 1, 1))
+        # p_s = 2/3 -> expected lag = (2/3)/(1/3) = 2.
+        assert model.expected_staleness_versions() == pytest.approx(2.0)
+
+    def test_table_rows(self):
+        rows = KStalenessModel(ReplicaConfig(3, 1, 2)).table(ks=(1, 2))
+        assert rows[0]["k"] == 1.0
+        assert rows[0]["p_consistent"] == pytest.approx(2 / 3)
+        assert rows[1]["p_stale"] == pytest.approx((1 / 3) ** 2)
+
+
+class TestKForTarget:
+    def test_strict_quorum_needs_k_of_one(self):
+        assert k_for_target_probability(ReplicaConfig(3, 2, 2), 0.999999) == 1
+
+    def test_partial_quorum_requires_larger_k(self):
+        config = ReplicaConfig(3, 1, 1)
+        k = k_for_target_probability(config, 0.99)
+        assert consistency_probability(config, k) >= 0.99
+        assert consistency_probability(config, k - 1) < 0.99
+
+    def test_exact_one_unreachable(self):
+        with pytest.raises(ConfigurationError):
+            k_for_target_probability(ReplicaConfig(3, 1, 1), 1.0)
+
+
+class TestMonotonicReads:
+    def test_reduces_to_k_staleness_exponent(self):
+        config = ReplicaConfig(3, 1, 1)
+        # writes/reads ratio 2 -> exponent 3.
+        expected = 1.0 - probability_nonintersection(config) ** 3
+        assert monotonic_reads_probability(config, 2.0, 1.0) == pytest.approx(expected)
+
+    def test_strict_variant_drops_one_from_exponent(self):
+        config = ReplicaConfig(3, 1, 1)
+        expected = 1.0 - probability_nonintersection(config) ** 2
+        assert strict_monotonic_reads_probability(config, 2.0, 1.0) == pytest.approx(expected)
+
+    def test_no_writes_between_reads(self):
+        config = ReplicaConfig(3, 1, 1)
+        # Non-strict: exponent 1; strict: nothing newer to read -> probability 0.
+        assert monotonic_reads_probability(config, 0.0, 1.0) == pytest.approx(1 / 3)
+        assert strict_monotonic_reads_probability(config, 0.0, 1.0) == 0.0
+
+    def test_faster_client_reads_improve_monotonicity(self):
+        config = ReplicaConfig(3, 1, 1)
+        slow = monotonic_reads_probability(config, 10.0, 1.0)
+        fast = monotonic_reads_probability(config, 10.0, 100.0)
+        assert fast < slow  # fewer versions pass between reads -> smaller exponent
+        # Sanity: with a tiny exponent the probability approaches 1 - p_s.
+        assert fast == pytest.approx(1 - (2 / 3) ** 1.1, abs=1e-6)
+
+    def test_invalid_rates_rejected(self):
+        config = ReplicaConfig(3, 1, 1)
+        with pytest.raises(ConfigurationError):
+            monotonic_reads_probability(config, -1.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            monotonic_reads_probability(config, 1.0, 0.0)
+
+    def test_model_properties(self):
+        model = MonotonicReadsModel(
+            config=ReplicaConfig(3, 1, 1), global_write_rate=4.0, client_read_rate=2.0
+        )
+        assert model.versions_between_reads == pytest.approx(2.0)
+        assert model.effective_k == pytest.approx(3.0)
+        assert model.probability() == pytest.approx(1 - (2 / 3) ** 3)
+        assert model.strict_probability() == pytest.approx(1 - (2 / 3) ** 2)
+
+    def test_required_read_rate_achieves_target(self):
+        model = MonotonicReadsModel(
+            config=ReplicaConfig(3, 1, 1), global_write_rate=10.0, client_read_rate=1.0
+        )
+        target = 0.99
+        required = model.required_read_rate_for(target)
+        achieved = MonotonicReadsModel(
+            config=model.config,
+            global_write_rate=model.global_write_rate,
+            client_read_rate=max(required, 1e-9),
+        ).probability()
+        assert achieved >= target - 1e-9
+
+    def test_required_read_rate_zero_when_trivially_met(self):
+        model = MonotonicReadsModel(
+            config=ReplicaConfig(3, 2, 2), global_write_rate=10.0, client_read_rate=1.0
+        )
+        assert model.required_read_rate_for(0.999) == 0.0

@@ -1,0 +1,97 @@
+"""Unit tests for the §3.3 load and capacity bounds."""
+
+from __future__ import annotations
+
+from math import sqrt
+
+import pytest
+
+from repro.core.load import (
+    LoadModel,
+    capacity_from_load,
+    epsilon_intersecting_load,
+    k_staleness_load,
+    monotonic_reads_load,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestEpsilonIntersectingLoad:
+    def test_formula(self):
+        assert epsilon_intersecting_load(9, 0.25) == pytest.approx((1 - 0.5) / 3.0)
+
+    def test_zero_epsilon_gives_strict_bound(self):
+        assert epsilon_intersecting_load(4, 0.0) == pytest.approx(0.5)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            epsilon_intersecting_load(0, 0.5)
+        with pytest.raises(ConfigurationError):
+            epsilon_intersecting_load(3, 1.5)
+
+
+class TestKStalenessLoad:
+    def test_matches_paper_formula(self):
+        # load >= (1 - p)^(1/(2k)) / sqrt(N)
+        assert k_staleness_load(n=3, p=0.1, k=2) == pytest.approx((0.9) ** 0.25 / sqrt(3))
+
+    def test_k_of_one_case(self):
+        assert k_staleness_load(n=4, p=0.04, k=1) == pytest.approx((0.96) ** 0.5 / 2.0)
+
+    def test_bound_increases_with_k(self):
+        # As printed in the paper, the k-tolerant bound approaches 1/sqrt(N)
+        # from below as k grows.
+        values = [k_staleness_load(n=3, p=0.5, k=k) for k in (1, 2, 5, 10, 100)]
+        assert values == sorted(values)
+        assert values[-1] < 1.0 / sqrt(3) + 1e-9
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            k_staleness_load(n=3, p=0.1, k=0)
+        with pytest.raises(ConfigurationError):
+            k_staleness_load(n=3, p=-0.1, k=1)
+
+
+class TestMonotonicReadsLoad:
+    def test_matches_exponent_c(self):
+        # C = 1 + 4/2 = 3.
+        expected = (1 - 0.2) ** (1.0 / 6.0) / sqrt(5)
+        assert monotonic_reads_load(5, 0.2, 4.0, 2.0) == pytest.approx(expected)
+
+    def test_invalid_rates(self):
+        with pytest.raises(ConfigurationError):
+            monotonic_reads_load(3, 0.1, -1.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            monotonic_reads_load(3, 0.1, 1.0, 0.0)
+
+
+class TestCapacityAndModel:
+    def test_capacity_is_reciprocal(self):
+        assert capacity_from_load(0.25) == pytest.approx(4.0)
+        with pytest.raises(ConfigurationError):
+            capacity_from_load(0.0)
+
+    def test_load_model_consistency(self):
+        model = LoadModel(n=3, p=0.01)
+        assert model.strict_load() == pytest.approx(epsilon_intersecting_load(3, 0.01))
+        assert model.staleness_tolerant_load(4) == pytest.approx(k_staleness_load(3, 0.01, 4))
+
+    def test_load_curve_shape(self):
+        model = LoadModel(n=3, p=0.3)
+        curve = model.load_curve(ks=(1, 2, 4))
+        assert [k for k, _ in curve] == [1, 2, 4]
+        loads = [load for _, load in curve]
+        assert loads == sorted(loads)
+
+    def test_capacity_improvement_at_least_checks_ratio(self):
+        model = LoadModel(n=3, p=0.5)
+        assert model.capacity_improvement(1) == pytest.approx(1.0)
+        assert model.capacity_improvement(10) == pytest.approx(
+            model.staleness_tolerant_load(1) / model.staleness_tolerant_load(10)
+        )
+
+    def test_invalid_model(self):
+        with pytest.raises(ConfigurationError):
+            LoadModel(n=0, p=0.1)
+        with pytest.raises(ConfigurationError):
+            LoadModel(n=3, p=2.0)

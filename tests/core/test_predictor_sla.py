@@ -1,0 +1,151 @@
+"""Unit tests for the PBSPredictor facade and the §6 SLA optimizer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.predictor import PBSPredictor
+from repro.core.quorum import ReplicaConfig
+from repro.core.sla import SLAOptimizer, SLATarget
+from repro.exceptions import ConfigurationError
+from repro.latency.distributions import ConstantLatency, ExponentialLatency
+from repro.latency.production import WARSDistributions, lnkd_ssd
+
+
+class TestPBSPredictor:
+    def test_report_fields_are_sane(self, exponential_wars, partial_config):
+        predictor = PBSPredictor(exponential_wars, partial_config)
+        report = predictor.report(trials=20_000, rng=0)
+        assert 0.0 <= report.consistency_at_commit <= 1.0
+        assert report.t_visibility_99 <= report.t_visibility_999
+        assert report.k_staleness[1] < report.k_staleness[2] < report.k_staleness[3]
+        assert report.read_latency_ms[50.0] <= report.read_latency_ms[99.9]
+        assert report.write_latency_ms[50.0] <= report.write_latency_ms[99.9]
+        assert report.trials == 20_000
+
+    def test_summary_lines_mention_configuration(self, exponential_wars, partial_config):
+        report = PBSPredictor(exponential_wars, partial_config).report(trials=5_000, rng=0)
+        text = "\n".join(report.summary_lines())
+        assert "N=3 R=1 W=1" in text
+        assert "partial" in text
+
+    def test_report_requires_enough_trials(self, exponential_wars, partial_config):
+        with pytest.raises(ConfigurationError):
+            PBSPredictor(exponential_wars, partial_config).report(trials=10)
+
+    def test_k_staleness_model_exposed(self, exponential_wars, partial_config):
+        predictor = PBSPredictor(exponential_wars, partial_config)
+        assert predictor.k_staleness().consistency(1) == pytest.approx(1 / 3)
+
+    def test_monotonic_reads_helper(self, exponential_wars, partial_config):
+        model = PBSPredictor(exponential_wars, partial_config).monotonic_reads(2.0, 1.0)
+        assert model.effective_k == pytest.approx(3.0)
+
+    def test_t_visibility_helper_consistent_with_curve(self, exponential_wars, partial_config):
+        predictor = PBSPredictor(exponential_wars, partial_config)
+        t = predictor.t_visibility(target_probability=0.95, trials=30_000, rng=1)
+        curve = predictor.consistency_curve([t], trials=30_000, rng=1)
+        assert curve[0][1] >= 0.95
+
+    def test_kt_staleness_bridges_to_empirical_propagation(
+        self, exponential_wars, partial_config
+    ):
+        predictor = PBSPredictor(exponential_wars, partial_config)
+        p_k1 = predictor.kt_staleness(k=1, t_ms=0.0, trials=20_000, rng=0)
+        p_k3 = predictor.kt_staleness(k=3, t_ms=0.0, trials=20_000, rng=0)
+        assert 0.0 <= p_k1 <= p_k3 <= 1.0
+
+    def test_strict_quorum_report_is_perfectly_consistent(self, exponential_wars):
+        predictor = PBSPredictor(exponential_wars, ReplicaConfig(3, 2, 2))
+        report = predictor.report(trials=10_000, rng=0)
+        assert report.consistency_at_commit == pytest.approx(1.0)
+        assert report.t_visibility_999 == 0.0
+
+
+class TestSLATarget:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SLATarget(latency_percentile=0.0)
+        with pytest.raises(ConfigurationError):
+            SLATarget(consistency_probability=0.0)
+        with pytest.raises(ConfigurationError):
+            SLATarget(min_write_quorum=0)
+        with pytest.raises(ConfigurationError):
+            SLATarget(min_replication=0)
+
+    def test_defaults_are_permissive(self):
+        target = SLATarget()
+        assert target.read_latency_ms is None
+        assert target.t_visibility_ms is None
+
+
+class TestSLAOptimizer:
+    def test_requires_candidates_and_trials(self, exponential_wars):
+        with pytest.raises(ConfigurationError):
+            SLAOptimizer(exponential_wars, replication_factors=(), trials=1_000)
+        with pytest.raises(ConfigurationError):
+            SLAOptimizer(exponential_wars, trials=10)
+
+    def test_evaluate_single_config(self, exponential_wars):
+        optimizer = SLAOptimizer(exponential_wars, replication_factors=(3,), trials=5_000, rng=0)
+        evaluation = optimizer.evaluate(ReplicaConfig(3, 1, 1), SLATarget())
+        assert evaluation.meets_target
+        assert evaluation.combined_latency_ms == pytest.approx(
+            evaluation.read_latency_ms + evaluation.write_latency_ms
+        )
+
+    def test_durability_floor_filters_configs(self, exponential_wars):
+        optimizer = SLAOptimizer(exponential_wars, replication_factors=(3,), trials=2_000, rng=0)
+        target = SLATarget(min_write_quorum=2)
+        evaluations = optimizer.evaluate_all(target)
+        assert all(evaluation.config.w >= 2 for evaluation in evaluations)
+
+    def test_best_breaks_latency_ties_toward_durability(self):
+        # Deterministic latencies make every configuration equally fast and
+        # instantly consistent, so the documented tie-break (higher W wins
+        # among equal combined latencies) decides the outcome.
+        distributions = WARSDistributions(
+            w=ConstantLatency(1.0),
+            a=ConstantLatency(1.0),
+            r=ConstantLatency(1.0),
+            s=ConstantLatency(1.0),
+        )
+        optimizer = SLAOptimizer(distributions, replication_factors=(3,), trials=1_000, rng=0)
+        best = optimizer.best(SLATarget(t_visibility_ms=0.0))
+        assert best is not None
+        assert best.combined_latency_ms == pytest.approx(4.0)
+        assert best.config.w == 3
+
+    def test_best_returns_none_when_infeasible(self):
+        distributions = WARSDistributions.symmetric(ExponentialLatency.from_mean(10.0))
+        optimizer = SLAOptimizer(distributions, replication_factors=(3,), trials=2_000, rng=0)
+        impossible = SLATarget(read_latency_ms=0.0001, write_latency_ms=0.0001)
+        assert optimizer.best(impossible) is None
+
+    def test_staleness_constraint_excludes_weak_configs(self, exponential_wars):
+        optimizer = SLAOptimizer(exponential_wars, replication_factors=(3,), trials=20_000, rng=0)
+        # Demand effectively-immediate consistency: R=W=1 under a slow write
+        # path cannot deliver it, strict quorums can.
+        target = SLATarget(t_visibility_ms=0.0, consistency_probability=0.999)
+        best = optimizer.best(target)
+        assert best is not None
+        assert best.config.is_strict
+
+    def test_violations_are_reported(self, exponential_wars):
+        optimizer = SLAOptimizer(exponential_wars, replication_factors=(3,), trials=5_000, rng=0)
+        evaluation = optimizer.evaluate(
+            ReplicaConfig(3, 1, 1), SLATarget(t_visibility_ms=0.0, consistency_probability=0.999)
+        )
+        assert not evaluation.meets_target
+        assert any("t-visibility" in violation for violation in evaluation.violations)
+
+    def test_callable_distributions_receive_n(self):
+        captured: list[int] = []
+
+        def factory(n: int):
+            captured.append(n)
+            return lnkd_ssd()
+
+        optimizer = SLAOptimizer(factory, replication_factors=(2, 3), trials=1_000, rng=0)
+        optimizer.evaluate_all(SLATarget())
+        assert set(captured) == {2, 3}

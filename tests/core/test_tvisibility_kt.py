@@ -1,0 +1,156 @@
+"""Unit tests for the Equation 4 t-visibility bound and Equation 5 ⟨k,t⟩-staleness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.kstaleness import probability_nonintersection
+from repro.core.ktstaleness import (
+    KTStalenessModel,
+    kt_consistency_probability,
+    kt_staleness_probability,
+)
+from repro.core.quorum import ReplicaConfig
+from repro.core.tvisibility import (
+    EmpiricalPropagation,
+    ExponentialPropagation,
+    InstantaneousPropagation,
+    staleness_upper_bound,
+    visibility_curve,
+    visibility_lower_bound,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestPropagationModels:
+    def test_instantaneous_pmf_concentrated_at_w(self, partial_config):
+        pmf = InstantaneousPropagation().replica_count_pmf(partial_config, 5.0)
+        assert pmf[partial_config.w] == 1.0
+        assert np.sum(pmf) == pytest.approx(1.0)
+
+    def test_exponential_pmf_is_binomial_over_extra_replicas(self):
+        config = ReplicaConfig(3, 1, 1)
+        model = ExponentialPropagation(rate_per_ms=0.1)
+        pmf = model.replica_count_pmf(config, 10.0)
+        p = 1.0 - np.exp(-1.0)
+        assert pmf[1] == pytest.approx((1 - p) ** 2)
+        assert pmf[2] == pytest.approx(2 * p * (1 - p))
+        assert pmf[3] == pytest.approx(p**2)
+        assert np.sum(pmf) == pytest.approx(1.0)
+
+    def test_exponential_at_time_zero_matches_instantaneous(self, partial_config):
+        exp_pmf = ExponentialPropagation(rate_per_ms=1.0).replica_count_pmf(partial_config, 0.0)
+        inst_pmf = InstantaneousPropagation().replica_count_pmf(partial_config, 0.0)
+        assert np.allclose(exp_pmf, inst_pmf)
+
+    def test_exponential_rejects_bad_inputs(self, partial_config):
+        with pytest.raises(ConfigurationError):
+            ExponentialPropagation(rate_per_ms=0.0)
+        with pytest.raises(ConfigurationError):
+            ExponentialPropagation(rate_per_ms=1.0).replica_count_pmf(partial_config, -1.0)
+
+    def test_cumulative_is_reverse_cumsum(self, partial_config):
+        model = ExponentialPropagation(rate_per_ms=0.5)
+        pmf = model.replica_count_pmf(partial_config, 2.0)
+        cumulative = model.cumulative(partial_config, 2.0)
+        assert cumulative[0] == pytest.approx(1.0)
+        assert cumulative[-1] == pytest.approx(pmf[-1])
+
+    def test_empirical_propagation_counts_arrivals(self):
+        config = ReplicaConfig(3, 1, 1)
+        # Two writes: in the first, replicas get the write at -1, 5, 20 ms
+        # relative to commit; in the second at -2, 1, 2 ms.
+        delays = np.array([[-1.0, 5.0, 20.0], [-2.0, 1.0, 2.0]])
+        model = EmpiricalPropagation(arrival_delays_ms=delays)
+        pmf_at_3 = model.replica_count_pmf(config, 3.0)
+        # At t=3: first write has 1 replica, second write has 3 replicas.
+        assert pmf_at_3[1] == pytest.approx(0.5)
+        assert pmf_at_3[3] == pytest.approx(0.5)
+
+    def test_empirical_rejects_wrong_shape(self):
+        with pytest.raises(ConfigurationError):
+            EmpiricalPropagation(arrival_delays_ms=np.array([1.0, 2.0]))
+        model = EmpiricalPropagation(arrival_delays_ms=np.zeros((5, 4)))
+        with pytest.raises(ConfigurationError):
+            model.replica_count_pmf(ReplicaConfig(3, 1, 1), 0.0)
+
+
+class TestEquationFour:
+    def test_no_propagation_reduces_to_equation_one(self, partial_config):
+        bound = staleness_upper_bound(partial_config, InstantaneousPropagation(), 100.0)
+        assert bound == pytest.approx(probability_nonintersection(partial_config))
+
+    def test_strict_quorum_never_stale(self, strict_config):
+        bound = staleness_upper_bound(strict_config, InstantaneousPropagation(), 0.0)
+        assert bound == 0.0
+
+    def test_staleness_decreases_with_time(self, partial_config):
+        model = ExponentialPropagation(rate_per_ms=0.05)
+        bounds = [
+            staleness_upper_bound(partial_config, model, t) for t in (0.0, 5.0, 20.0, 100.0)
+        ]
+        assert bounds == sorted(bounds, reverse=True)
+
+    def test_full_propagation_eliminates_staleness(self, partial_config):
+        model = ExponentialPropagation(rate_per_ms=10.0)
+        assert staleness_upper_bound(partial_config, model, 1_000.0) < 1e-6
+
+    def test_visibility_is_complement(self, partial_config):
+        model = ExponentialPropagation(rate_per_ms=0.1)
+        assert visibility_lower_bound(partial_config, model, 7.0) == pytest.approx(
+            1.0 - staleness_upper_bound(partial_config, model, 7.0)
+        )
+
+    def test_visibility_curve_grid(self, partial_config):
+        curve = visibility_curve(partial_config, ExponentialPropagation(0.1), [0.0, 10.0])
+        assert [t for t, _ in curve] == [0.0, 10.0]
+        assert curve[1][1] >= curve[0][1]
+
+    def test_negative_time_rejected(self, partial_config):
+        with pytest.raises(ConfigurationError):
+            staleness_upper_bound(partial_config, InstantaneousPropagation(), -1.0)
+
+    def test_larger_read_quorum_lowers_staleness(self):
+        model = ExponentialPropagation(rate_per_ms=0.05)
+        r1 = staleness_upper_bound(ReplicaConfig(3, 1, 1), model, 5.0)
+        r2 = staleness_upper_bound(ReplicaConfig(3, 2, 1), model, 5.0)
+        assert r2 < r1
+
+
+class TestEquationFive:
+    def test_exponentiation_in_k(self, partial_config):
+        model = ExponentialPropagation(rate_per_ms=0.05)
+        single = kt_staleness_probability(partial_config, model, 1, 5.0)
+        assert kt_staleness_probability(partial_config, model, 3, 5.0) == pytest.approx(
+            single**3
+        )
+
+    def test_k1_t0_matches_equation_one(self, partial_config):
+        value = kt_staleness_probability(partial_config, InstantaneousPropagation(), 1, 0.0)
+        assert value == pytest.approx(probability_nonintersection(partial_config))
+
+    def test_consistency_complement(self, partial_config):
+        model = ExponentialPropagation(rate_per_ms=0.1)
+        assert kt_consistency_probability(partial_config, model, 2, 3.0) == pytest.approx(
+            1.0 - kt_staleness_probability(partial_config, model, 2, 3.0)
+        )
+
+    def test_invalid_k_rejected(self, partial_config):
+        with pytest.raises(ConfigurationError):
+            kt_staleness_probability(partial_config, InstantaneousPropagation(), 0, 1.0)
+
+    def test_model_surface_and_individual_times(self, partial_config):
+        model = KTStalenessModel(partial_config, ExponentialPropagation(rate_per_ms=0.1))
+        surface = model.surface(ks=(1, 2), times_ms=(0.0, 10.0))
+        assert len(surface) == 4
+        assert all(0.0 <= row["p_consistent"] <= 1.0 for row in surface)
+        # Individual commit ages: staler (older) writes contribute smaller factors.
+        joint = model.staleness_with_individual_times([0.0, 50.0, 200.0])
+        worst_case = model.staleness(3, 0.0)
+        assert joint <= worst_case + 1e-12
+
+    def test_individual_times_requires_ages(self, partial_config):
+        model = KTStalenessModel(partial_config, InstantaneousPropagation())
+        with pytest.raises(ConfigurationError):
+            model.staleness_with_individual_times([])

@@ -1,0 +1,54 @@
+"""Tests for the ablation experiments (read repair, read fan-out, failures)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.registry import list_experiments, run_experiment
+
+
+class TestAblationRegistry:
+    def test_ablations_registered(self):
+        ids = {experiment_id for experiment_id, _ in list_experiments()}
+        assert {"ablation-read-repair", "ablation-read-fanout", "ablation-failures"} <= ids
+
+
+class TestReadRepairAblation:
+    def test_read_repair_never_increases_staleness(self):
+        result = run_experiment("ablation-read-repair", trials=150, rng=0)
+        by_label = {row["read_repair"]: row for row in result.rows}
+        baseline = by_label["disabled (paper model)"]
+        repaired = by_label["enabled"]
+        assert baseline["staleness_rate"] > 0.0
+        assert repaired["staleness_rate"] <= baseline["staleness_rate"] + 0.03
+        assert repaired["repairs_sent"] > 0
+        assert baseline["repairs_sent"] == 0
+
+
+class TestFanoutAblation:
+    def test_staleness_unchanged_but_load_differs(self):
+        result = run_experiment("ablation-read-fanout", trials=150, rng=0)
+        by_label = {row["read_fanout"]: row for row in result.rows}
+        dynamo = by_label["all N replicas (Dynamo)"]
+        voldemort = by_label["only R replicas (Voldemort)"]
+        # §2.3: staleness probabilities are unaffected by fan-out choice.
+        assert dynamo["staleness_rate"] == pytest.approx(
+            voldemort["staleness_rate"], abs=0.10
+        )
+        # ...but aggregate replica read load drops when only R replicas are contacted
+        # (the busiest replica still serves every read it is sent in both modes).
+        assert voldemort["total_replica_read_load"] < dynamo["total_replica_read_load"]
+        assert voldemort["max_replica_read_load"] <= dynamo["max_replica_read_load"]
+
+
+class TestFailureAblation:
+    def test_crashed_replica_changes_observed_staleness(self):
+        result = run_experiment("ablation-failures", trials=150, rng=0)
+        by_label = {row["scenario"]: row for row in result.rows}
+        steady = by_label["steady state"]
+        degraded = by_label["one replica crashed"]
+        assert steady["observations"] > 0 and degraded["observations"] > 0
+        # With one of three replicas down and R=W=1, the effective replica set
+        # is two, so a random single-replica read is *more* likely to hit the
+        # replica that already has the write (Figure 7's N-sensitivity).
+        assert degraded["staleness_rate"] <= steady["staleness_rate"] + 0.05

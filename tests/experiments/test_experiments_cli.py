@@ -1,0 +1,182 @@
+"""Tests for the experiment registry, the individual experiments (fast settings), and the CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.exceptions import ExperimentError
+from repro.experiments.registry import (
+    ExperimentResult,
+    get_experiment,
+    list_experiments,
+    register,
+    run_experiment,
+)
+
+#: Paper artifacts that must all be covered by registered experiments.
+EXPECTED_EXPERIMENTS = {
+    "section3-kstaleness",
+    "section3-monotonic",
+    "section3-load",
+    "figure4",
+    "section5.3-variance",
+    "figure5",
+    "figure6",
+    "figure7",
+    "table1-2-3",
+    "table3-refit",
+    "table4",
+    "validation",
+    "sla",
+}
+
+
+class TestRegistry:
+    def test_every_paper_artifact_is_registered(self):
+        registered = {experiment_id for experiment_id, _ in list_experiments()}
+        assert EXPECTED_EXPERIMENTS <= registered
+
+    def test_get_unknown_experiment_raises(self):
+        with pytest.raises(ExperimentError):
+            get_experiment("does-not-exist")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ExperimentError):
+
+            @register("section3-kstaleness", "duplicate")
+            def runner(**kwargs):  # pragma: no cover - never called
+                raise AssertionError
+
+    def test_result_to_text_includes_title_and_notes(self):
+        result = ExperimentResult(
+            experiment_id="x",
+            title="A title",
+            paper_artifact="Table 9",
+            rows=[{"a": 1.0}],
+            notes=("something",),
+        )
+        text = result.to_text()
+        assert "A title" in text and "Table 9" in text and "note: something" in text
+
+
+class TestClosedFormExperiments:
+    def test_kstaleness_rows_match_closed_form(self):
+        result = run_experiment("section3-kstaleness")
+        row = next(r for r in result.rows if r["config"] == "N=3 R=1 W=1")
+        assert row["p_within_3"] == pytest.approx(0.7037, abs=1e-3)
+        assert row["p_within_10"] > 0.98
+
+    def test_monotonic_rows_bounded(self):
+        result = run_experiment("section3-monotonic")
+        assert all(0.0 <= row["p_monotonic"] <= 1.0 for row in result.rows)
+
+    def test_load_rows_have_expected_columns(self):
+        result = run_experiment("section3-load")
+        assert {"n", "p_inconsistency", "load_k=1", "load_k=10"} <= result.rows[0].keys()
+
+
+class TestMonteCarloExperiments:
+    """Each experiment runs at reduced fidelity to keep the suite fast."""
+
+    def test_figure4_shapes(self):
+        result = run_experiment("figure4", trials=20_000, rng=0)
+        by_ratio = {row["w_to_ars_ratio"]: row for row in result.rows}
+        # Fast writes: very high consistency immediately; slow writes: low.
+        assert by_ratio["1:4"]["p@t=0ms"] > 0.9
+        assert by_ratio["1:0.10"]["p@t=0ms"] < 0.6
+        # Everything converges by 100 ms except possibly the slowest ratio.
+        assert by_ratio["1:1"]["p@t=100ms"] > 0.999
+
+    def test_variance_sweep_orders_by_variance(self):
+        result = run_experiment("section5.3-variance", trials=20_000, rng=0)
+        rows = {row["write_distribution"]: row for row in result.rows}
+        assert (
+            rows["normal sd=5"]["p_consistent_at_commit"]
+            <= rows["normal sd=0.5"]["p_consistent_at_commit"]
+        )
+
+    def test_figure5_read_latency_grows_with_quorum_size(self):
+        result = run_experiment("figure5", trials=20_000, rng=0)
+        ymmr_reads = {
+            row["quorum_size"]: row
+            for row in result.rows
+            if row["environment"] == "YMMR" and row["operation"] == "read"
+        }
+        assert ymmr_reads[1]["p99.9_ms"] <= ymmr_reads[3]["p99.9_ms"]
+
+    def test_figure6_expected_shapes(self):
+        result = run_experiment("figure6", trials=30_000, rng=0)
+        rows = {(row["environment"], row["config"]): row for row in result.rows}
+        assert rows[("LNKD-SSD", "N=3 R=1 W=1")]["p_at_commit"] > 0.95
+        assert rows[("LNKD-DISK", "N=3 R=1 W=1")]["p_at_commit"] < 0.6
+        assert rows[("YMMR", "N=3 R=1 W=1")]["t_visibility_99.9_ms"] > 500.0
+        assert rows[("WAN", "N=3 R=1 W=1")]["p_at_commit"] < 0.6
+
+    def test_figure7_commit_consistency_decreases_with_n(self):
+        result = run_experiment("figure7", trials=20_000, rng=0)
+        disk = {
+            row["n"]: row["p_at_commit"]
+            for row in result.rows
+            if row["environment"] == "LNKD-DISK"
+        }
+        assert disk[2] > disk[10]
+
+    def test_table4_strict_quorums_report_zero_window(self):
+        result = run_experiment("table4", trials=20_000, rng=0)
+        for row in result.rows:
+            if row["strict_quorum"]:
+                assert row["t_visibility_99.9_ms"] == 0.0
+            assert row["combined_p99.9_ms"] == pytest.approx(
+                row["read_p99.9_ms"] + row["write_p99.9_ms"]
+            )
+
+    def test_table1_2_3_rows_reference_published_summaries(self):
+        result = run_experiment("table1-2-3", trials=50_000, rng=0)
+        assert any(row["source"].startswith("Table 1") for row in result.rows)
+        assert any(row["source"].startswith("Table 2") for row in result.rows)
+
+    def test_sla_experiment_reports_best_configs(self):
+        result = run_experiment("sla", trials=5_000, rng=0)
+        assert all("best_config" in row for row in result.rows)
+
+
+class TestValidationExperiment:
+    def test_small_grid_runs_and_reports_error(self):
+        result = run_experiment("validation", trials=60, rng=0, prediction_trials=20_000)
+        assert len(result.rows) == 9
+        for row in result.rows:
+            assert row["consistency_rmse_pct"] < 25.0
+            assert row["observations"] > 0
+
+
+class TestCLI:
+    def test_parser_subcommands(self):
+        parser = build_parser()
+        args = parser.parse_args(["run", "figure6", "--trials", "1000"])
+        assert args.command == "run" and args.trials == 1000
+
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "figure6" in output and "table4" in output
+
+    def test_run_command_prints_table(self, capsys):
+        assert main(["run", "section3-kstaleness"]) == 0
+        output = capsys.readouterr().out
+        assert "Closed-form PBS k-staleness" in output
+
+    def test_run_unknown_experiment_errors(self, capsys):
+        assert main(["run", "nope"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_predict_command(self, capsys):
+        assert main(
+            ["predict", "--fit", "LNKD-SSD", "--n", "3", "--r", "1", "--w", "1", "--trials", "5000"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "P(consistent read immediately after commit)" in output
+
+    def test_predict_invalid_config_errors(self, capsys):
+        assert main(["predict", "--n", "3", "--r", "4", "--w", "1", "--trials", "5000"]) == 1
+        assert "error:" in capsys.readouterr().err

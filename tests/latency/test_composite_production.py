@@ -1,0 +1,181 @@
+"""Unit tests for per-replica composites and the production fits (Tables 1-3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, DistributionError
+from repro.latency.composite import (
+    PerReplicaLatency,
+    ReplicaLatencyModel,
+    uniform_replica_model,
+    wan_replica_model,
+)
+from repro.latency.distributions import ConstantLatency, ExponentialLatency
+from repro.latency.production import (
+    LINKEDIN_DISK_SUMMARY,
+    LINKEDIN_SSD_SUMMARY,
+    PRODUCTION_FIT_NAMES,
+    WARSDistributions,
+    YAMMER_READ_SUMMARY,
+    YAMMER_WRITE_SUMMARY,
+    lnkd_disk,
+    lnkd_ssd,
+    production_fit,
+    wan,
+    ymmr,
+)
+
+
+class TestPerReplicaLatency:
+    def test_requires_at_least_one_replica(self):
+        with pytest.raises(DistributionError):
+            PerReplicaLatency(replicas=())
+
+    def test_sample_matrix_shape_and_columns(self, rng):
+        model = PerReplicaLatency(
+            replicas=(ConstantLatency(1.0), ConstantLatency(2.0), ConstantLatency(3.0))
+        )
+        matrix = model.sample_matrix(100, rng)
+        assert matrix.shape == (100, 3)
+        assert np.all(matrix[:, 0] == 1.0)
+        assert np.all(matrix[:, 2] == 3.0)
+
+    def test_flat_sample_mixes_replicas(self, rng):
+        model = PerReplicaLatency(replicas=(ConstantLatency(1.0), ConstantLatency(3.0)))
+        samples = model.sample(20_000, rng)
+        assert set(np.unique(samples)) == {1.0, 3.0}
+        assert model.mean() == pytest.approx(2.0)
+
+    def test_uniform_replica_model(self):
+        model = uniform_replica_model(ConstantLatency(5.0), replica_count=4)
+        assert model.replica_count == 4
+        assert model.mean() == pytest.approx(5.0)
+
+    def test_uniform_replica_model_rejects_bad_count(self):
+        with pytest.raises(DistributionError):
+            uniform_replica_model(ConstantLatency(1.0), replica_count=0)
+
+
+class TestWanReplicaModel:
+    def test_one_local_rest_remote(self, rng):
+        model = wan_replica_model(ConstantLatency(1.0), replica_count=3, wan_delay_ms=75.0)
+        matrix = model.sample_matrix(10, rng)
+        assert np.all(matrix[:, 0] == 1.0)
+        assert np.all(matrix[:, 1] == 76.0)
+        assert np.all(matrix[:, 2] == 76.0)
+
+    def test_local_replica_count_configurable(self, rng):
+        model = wan_replica_model(
+            ConstantLatency(2.0), replica_count=4, wan_delay_ms=10.0, local_replicas=2
+        )
+        matrix = model.sample_matrix(5, rng)
+        assert np.all(matrix[:, :2] == 2.0)
+        assert np.all(matrix[:, 2:] == 12.0)
+
+    def test_invalid_configurations_rejected(self):
+        with pytest.raises(DistributionError):
+            wan_replica_model(ConstantLatency(1.0), replica_count=0)
+        with pytest.raises(DistributionError):
+            wan_replica_model(ConstantLatency(1.0), replica_count=2, local_replicas=5)
+
+
+class TestReplicaLatencyModel:
+    def test_implied_replica_count_none_for_iid(self):
+        dist = ExponentialLatency(rate=1.0)
+        model = ReplicaLatencyModel(write=dist, ack=dist, read=dist, response=dist)
+        assert model.implied_replica_count() is None
+
+    def test_implied_replica_count_from_per_replica(self):
+        per = uniform_replica_model(ConstantLatency(1.0), replica_count=3)
+        dist = ExponentialLatency(rate=1.0)
+        model = ReplicaLatencyModel(write=per, ack=dist, read=dist, response=dist)
+        assert model.implied_replica_count() == 3
+
+    def test_inconsistent_counts_rejected(self):
+        model = ReplicaLatencyModel(
+            write=uniform_replica_model(ConstantLatency(1.0), replica_count=3),
+            ack=uniform_replica_model(ConstantLatency(1.0), replica_count=5),
+            read=ConstantLatency(1.0),
+            response=ConstantLatency(1.0),
+        )
+        with pytest.raises(DistributionError):
+            model.implied_replica_count()
+
+
+class TestWARSDistributions:
+    def test_symmetric_shares_one_distribution(self):
+        dist = ExponentialLatency(rate=1.0)
+        wars = WARSDistributions.symmetric(dist)
+        assert wars.w is dist and wars.a is dist and wars.r is dist and wars.s is dist
+
+    def test_write_specialised_separates_write_path(self):
+        write = ExponentialLatency(rate=0.1)
+        other = ExponentialLatency(rate=1.0)
+        wars = WARSDistributions.write_specialised(write=write, other=other)
+        assert wars.w is write
+        assert wars.a is other and wars.r is other and wars.s is other
+
+    def test_components_mapping(self):
+        wars = WARSDistributions.symmetric(ExponentialLatency(rate=1.0))
+        assert set(wars.components()) == {"W", "A", "R", "S"}
+
+
+class TestProductionFits:
+    def test_registry_names(self):
+        assert set(PRODUCTION_FIT_NAMES) == {"LNKD-SSD", "LNKD-DISK", "YMMR", "WAN"}
+
+    def test_lookup_is_case_insensitive(self):
+        assert production_fit("lnkd-ssd").name == "LNKD-SSD"
+        assert production_fit("lnkd_disk").name == "LNKD-DISK"
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            production_fit("CASSANDRA-PROD")
+
+    def test_lnkd_ssd_is_symmetric_and_fast(self):
+        fit = lnkd_ssd()
+        assert fit.w is fit.a is fit.r is fit.s
+        # Table 3: mostly Pareto(xm=.235, alpha=10) -> sub-millisecond median.
+        assert fit.w.ppf(0.5) < 1.0
+
+    def test_lnkd_disk_write_tail_heavier_than_ssd(self):
+        disk = lnkd_disk()
+        ssd = lnkd_ssd()
+        assert disk.w.ppf(0.999) > 5 * ssd.w.ppf(0.999)
+        # Reads share the SSD fit.
+        assert disk.r.ppf(0.99) == pytest.approx(ssd.r.ppf(0.99))
+
+    def test_ymmr_write_tail_is_very_long(self):
+        fit = ymmr()
+        # Table 2 reports a 99.9th percentile write latency of ~436 ms; the
+        # one-way fit's extreme tail should reach hundreds of milliseconds.
+        assert fit.w.ppf(0.999) > 100.0
+        assert fit.r.ppf(0.5) < 5.0
+
+    def test_wan_has_per_replica_structure(self):
+        fit = wan(replica_count=3)
+        assert fit.w.replica_count == 3  # type: ignore[attr-defined]
+        assert fit.r.replica_count == 3  # type: ignore[attr-defined]
+
+    def test_wan_replica_count_forwarded(self):
+        fit = production_fit("WAN", replica_count=5)
+        assert fit.w.replica_count == 5  # type: ignore[attr-defined]
+
+    def test_wan_rejects_bad_replica_count(self):
+        with pytest.raises(ConfigurationError):
+            wan(replica_count=0)
+
+    def test_published_summaries_match_paper_tables(self):
+        assert LINKEDIN_DISK_SUMMARY.mean == pytest.approx(4.85)
+        assert LINKEDIN_SSD_SUMMARY.percentile(99.0) == pytest.approx(2.0)
+        assert YAMMER_READ_SUMMARY.percentile(99.9) == pytest.approx(32.89)
+        assert YAMMER_WRITE_SUMMARY.percentile(99.9) == pytest.approx(435.83)
+        assert YAMMER_WRITE_SUMMARY.mean == pytest.approx(8.62)
+
+    def test_summary_missing_percentile_raises(self):
+        from repro.exceptions import DistributionError
+
+        with pytest.raises(DistributionError):
+            LINKEDIN_DISK_SUMMARY.percentile(42.0)

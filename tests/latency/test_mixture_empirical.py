@@ -1,0 +1,148 @@
+"""Unit tests for mixture, empirical, and quantile-table distributions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DistributionError
+from repro.latency.distributions import ConstantLatency, ExponentialLatency, ParetoLatency
+from repro.latency.empirical import EmpiricalDistribution, QuantileTableDistribution
+from repro.latency.mixture import (
+    MixtureComponent,
+    MixtureDistribution,
+    pareto_exponential_mixture,
+)
+
+
+class TestMixtureDistribution:
+    def test_weights_must_sum_to_one(self):
+        with pytest.raises(DistributionError):
+            MixtureDistribution.from_pairs(
+                [(0.5, ConstantLatency(1.0)), (0.4, ConstantLatency(2.0))]
+            )
+
+    def test_empty_mixture_rejected(self):
+        with pytest.raises(DistributionError):
+            MixtureDistribution(components=())
+
+    def test_component_weight_validated(self):
+        with pytest.raises(DistributionError):
+            MixtureComponent(weight=1.5, distribution=ConstantLatency(1.0))
+
+    def test_mean_is_weighted_average(self):
+        mixture = MixtureDistribution.from_pairs(
+            [(0.25, ConstantLatency(4.0)), (0.75, ConstantLatency(8.0))]
+        )
+        assert mixture.mean() == pytest.approx(7.0)
+
+    def test_variance_law_of_total_variance(self):
+        mixture = MixtureDistribution.from_pairs(
+            [(0.5, ConstantLatency(0.0)), (0.5, ConstantLatency(10.0))]
+        )
+        # Two point masses at 0 and 10: variance = 25.
+        assert mixture.variance() == pytest.approx(25.0)
+
+    def test_cdf_is_weighted_sum(self):
+        mixture = MixtureDistribution.from_pairs(
+            [(0.3, ConstantLatency(1.0)), (0.7, ConstantLatency(5.0))]
+        )
+        assert mixture.cdf(2.0) == pytest.approx(0.3)
+        assert mixture.cdf(6.0) == pytest.approx(1.0)
+
+    def test_sampling_respects_weights(self, rng):
+        mixture = MixtureDistribution.from_pairs(
+            [(0.9, ConstantLatency(1.0)), (0.1, ConstantLatency(100.0))]
+        )
+        samples = mixture.sample(100_000, rng)
+        fraction_fast = np.mean(samples == 1.0)
+        assert fraction_fast == pytest.approx(0.9, abs=0.01)
+
+    def test_sample_mean_converges(self, rng):
+        mixture = pareto_exponential_mixture(0.9, xm=1.0, alpha=5.0, exponential_rate=0.1)
+        samples = mixture.sample(400_000, rng)
+        assert np.mean(samples) == pytest.approx(mixture.mean(), rel=0.03)
+
+
+class TestParetoExponentialMixture:
+    def test_components_match_parameters(self):
+        mixture = pareto_exponential_mixture(0.8, xm=2.0, alpha=3.0, exponential_rate=0.5)
+        assert len(mixture.components) == 2
+        pareto = mixture.components[0].distribution
+        tail = mixture.components[1].distribution
+        assert isinstance(pareto, ParetoLatency) and pareto.xm == 2.0 and pareto.alpha == 3.0
+        assert isinstance(tail, ExponentialLatency) and tail.rate == 0.5
+        assert mixture.components[0].weight == pytest.approx(0.8)
+
+    def test_invalid_weight_rejected(self):
+        with pytest.raises(DistributionError):
+            pareto_exponential_mixture(1.2, xm=1.0, alpha=2.0, exponential_rate=1.0)
+
+
+class TestEmpiricalDistribution:
+    def test_statistics_match_observations(self):
+        data = [1.0, 2.0, 3.0, 4.0]
+        dist = EmpiricalDistribution.from_samples(data)
+        assert dist.mean() == pytest.approx(2.5)
+        assert dist.cdf(2.0) == pytest.approx(0.5)
+        assert dist.ppf(1.0) == pytest.approx(4.0)
+        assert len(dist) == 4
+
+    def test_samples_drawn_from_observations(self, rng):
+        dist = EmpiricalDistribution.from_samples([5.0, 7.0])
+        samples = dist.sample(1_000, rng)
+        assert set(np.unique(samples)) <= {5.0, 7.0}
+
+    def test_rejects_empty_and_negative(self):
+        with pytest.raises(DistributionError):
+            EmpiricalDistribution.from_samples([])
+        with pytest.raises(DistributionError):
+            EmpiricalDistribution.from_samples([1.0, -2.0])
+
+
+class TestQuantileTableDistribution:
+    def test_from_percentiles_builds_valid_table(self):
+        dist = QuantileTableDistribution.from_percentiles(
+            [(50.0, 4.0), (99.0, 25.0)], minimum=1.0, maximum=100.0
+        )
+        assert dist.ppf(0.0) == pytest.approx(1.0)
+        assert dist.ppf(0.5) == pytest.approx(4.0)
+        assert dist.ppf(1.0) == pytest.approx(100.0)
+
+    def test_mean_is_quantile_integral(self):
+        # Uniform on [0, 10] expressed as a quantile table: mean 5.
+        dist = QuantileTableDistribution(
+            quantiles=np.array([0.0, 1.0]), latencies=np.array([0.0, 10.0])
+        )
+        assert dist.mean() == pytest.approx(5.0)
+
+    def test_cdf_inverts_ppf(self):
+        dist = QuantileTableDistribution(
+            quantiles=np.array([0.0, 0.5, 1.0]), latencies=np.array([0.0, 2.0, 10.0])
+        )
+        assert dist.cdf(2.0) == pytest.approx(0.5)
+        assert dist.cdf(-1.0) == 0.0
+        assert dist.cdf(20.0) == 1.0
+
+    def test_sample_range_respects_table(self, rng):
+        dist = QuantileTableDistribution(
+            quantiles=np.array([0.0, 1.0]), latencies=np.array([2.0, 4.0])
+        )
+        samples = dist.sample(10_000, rng)
+        assert np.min(samples) >= 2.0
+        assert np.max(samples) <= 4.0
+
+    def test_invalid_tables_rejected(self):
+        with pytest.raises(DistributionError):
+            QuantileTableDistribution(
+                quantiles=np.array([0.0, 0.5]), latencies=np.array([1.0, 2.0])
+            )
+        with pytest.raises(DistributionError):
+            QuantileTableDistribution(
+                quantiles=np.array([0.0, 0.5, 1.0]), latencies=np.array([1.0, 0.5, 2.0])
+            )
+        with pytest.raises(DistributionError):
+            QuantileTableDistribution(
+                quantiles=np.array([0.0, 0.5, 0.5, 1.0]),
+                latencies=np.array([1.0, 2.0, 3.0, 4.0]),
+            )

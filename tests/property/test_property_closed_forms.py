@@ -1,0 +1,156 @@
+"""Property-based tests for the closed-form PBS models (Equations 1-5)."""
+
+from __future__ import annotations
+
+from math import comb
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.kstaleness import (
+    consistency_probability,
+    probability_nonintersection,
+    staleness_probability,
+)
+from repro.core.ktstaleness import kt_staleness_probability
+from repro.core.load import k_staleness_load
+from repro.core.monotonic import monotonic_reads_probability
+from repro.core.quorum import ReplicaConfig
+from repro.core.tvisibility import ExponentialPropagation, staleness_upper_bound
+
+
+@st.composite
+def replica_configs(draw, max_n: int = 12) -> ReplicaConfig:
+    """Any valid (N, R, W) configuration up to ``max_n`` replicas."""
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    r = draw(st.integers(min_value=1, max_value=n))
+    w = draw(st.integers(min_value=1, max_value=n))
+    return ReplicaConfig(n=n, r=r, w=w)
+
+
+class TestEquationOneProperties:
+    @given(config=replica_configs())
+    def test_probability_in_unit_interval(self, config):
+        p = probability_nonintersection(config)
+        assert 0.0 <= p <= 1.0
+
+    @given(config=replica_configs())
+    def test_strict_iff_zero(self, config):
+        p = probability_nonintersection(config)
+        if config.is_strict:
+            assert p == 0.0
+        else:
+            assert p > 0.0
+
+    @given(config=replica_configs())
+    def test_symmetry_in_r_and_w(self, config):
+        swapped = ReplicaConfig(n=config.n, r=config.w, w=config.r)
+        assert probability_nonintersection(config) == (
+            probability_nonintersection(swapped)
+        )
+
+    @given(config=replica_configs())
+    def test_matches_hypergeometric_identity(self, config):
+        # C(N-W, R)/C(N, R) == C(N-R, W)/C(N, W) when both sides are defined.
+        n, r, w = config.n, config.r, config.w
+        lhs = probability_nonintersection(config)
+        rhs = (comb(n - r, w) / comb(n, w)) if n - r >= 0 else 0.0
+        assert abs(lhs - rhs) < 1e-12
+
+    @given(config=replica_configs(max_n=8))
+    def test_growing_read_quorum_never_hurts(self, config):
+        if config.r < config.n:
+            bigger = config.with_r(config.r + 1)
+            assert probability_nonintersection(bigger) <= probability_nonintersection(config)
+
+    @given(config=replica_configs(max_n=8))
+    def test_growing_write_quorum_never_hurts(self, config):
+        if config.w < config.n:
+            bigger = config.with_w(config.w + 1)
+            assert probability_nonintersection(bigger) <= probability_nonintersection(config)
+
+
+class TestEquationTwoProperties:
+    @given(config=replica_configs(), k=st.integers(min_value=1, max_value=50))
+    def test_staleness_bounded_and_complementary(self, config, k):
+        stale = staleness_probability(config, k)
+        assert 0.0 <= stale <= 1.0
+        assert abs(stale + consistency_probability(config, k) - 1.0) < 1e-12
+
+    @given(config=replica_configs(), k=st.integers(min_value=1, max_value=30))
+    def test_monotone_nonincreasing_in_k(self, config, k):
+        assert staleness_probability(config, k + 1) <= staleness_probability(config, k) + 1e-15
+
+    @given(config=replica_configs(), k=st.integers(min_value=1, max_value=20))
+    def test_exponentiation_identity(self, config, k):
+        base = probability_nonintersection(config)
+        assert abs(staleness_probability(config, k) - base**k) < 1e-12
+
+
+class TestMonotonicReadsProperties:
+    @given(
+        config=replica_configs(),
+        write_rate=st.floats(min_value=0.0, max_value=1e4, allow_nan=False),
+        read_rate=st.floats(min_value=1e-3, max_value=1e4, allow_nan=False),
+    )
+    def test_probability_in_unit_interval(self, config, write_rate, read_rate):
+        p = monotonic_reads_probability(config, write_rate, read_rate)
+        assert 0.0 <= p <= 1.0
+
+    @given(
+        config=replica_configs(),
+        write_rate=st.floats(min_value=0.0, max_value=1e3),
+        read_rate=st.floats(min_value=1e-3, max_value=1e3),
+    )
+    def test_at_least_single_version_consistency(self, config, write_rate, read_rate):
+        # Monotonic reads (k >= 1 exponent) is never harder than k=1 freshness.
+        assert monotonic_reads_probability(config, write_rate, read_rate) >= (
+            consistency_probability(config, 1) - 1e-12
+        )
+
+
+class TestLoadProperties:
+    @given(
+        n=st.integers(min_value=1, max_value=100),
+        p=st.floats(min_value=0.0, max_value=1.0),
+        k=st.integers(min_value=1, max_value=50),
+    )
+    def test_load_bound_in_unit_interval(self, n, p, k):
+        load = k_staleness_load(n, p, k)
+        assert 0.0 <= load <= 1.0
+
+    @given(
+        n=st.integers(min_value=1, max_value=50),
+        p=st.floats(min_value=0.0, max_value=0.999),
+        k=st.integers(min_value=1, max_value=20),
+    )
+    def test_bound_never_exceeds_one_over_sqrt_n(self, n, p, k):
+        assert k_staleness_load(n, p, k) <= 1.0 / np.sqrt(n) + 1e-12
+
+
+class TestTVisibilityProperties:
+    @settings(max_examples=50)
+    @given(
+        config=replica_configs(max_n=8),
+        rate=st.floats(min_value=1e-3, max_value=10.0),
+        t_ms=st.floats(min_value=0.0, max_value=1e3),
+    )
+    def test_equation4_bounded_by_equation1(self, config, rate, t_ms):
+        propagation = ExponentialPropagation(rate_per_ms=rate)
+        bound = staleness_upper_bound(config, propagation, t_ms)
+        assert 0.0 <= bound <= probability_nonintersection(config) + 1e-12
+
+    @settings(max_examples=50)
+    @given(
+        config=replica_configs(max_n=6),
+        rate=st.floats(min_value=1e-3, max_value=5.0),
+        t_ms=st.floats(min_value=0.0, max_value=500.0),
+        k=st.integers(min_value=1, max_value=10),
+    )
+    def test_equation5_monotone_in_k_and_bounded(self, config, rate, t_ms, k):
+        propagation = ExponentialPropagation(rate_per_ms=rate)
+        p_k = kt_staleness_probability(config, propagation, k, t_ms)
+        p_k1 = kt_staleness_probability(config, propagation, k + 1, t_ms)
+        assert 0.0 <= p_k <= 1.0
+        assert p_k1 <= p_k + 1e-12

@@ -1,0 +1,118 @@
+"""Property-based tests for cluster data structures: versioning, ring, Merkle trees."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.merkle import MerkleTree
+from repro.cluster.ring import ConsistentHashRing
+from repro.cluster.versioning import Causality, VectorClock, Version
+
+_node_names = st.text(alphabet="abcdefghij", min_size=1, max_size=4)
+_vector_clocks = st.dictionaries(_node_names, st.integers(min_value=0, max_value=20), max_size=5).map(
+    VectorClock
+)
+
+
+class TestVectorClockProperties:
+    @given(a=_vector_clocks, b=_vector_clocks)
+    def test_merge_is_commutative(self, a, b):
+        assert a.merge(b).counters == b.merge(a).counters
+
+    @given(a=_vector_clocks, b=_vector_clocks, c=_vector_clocks)
+    def test_merge_is_associative(self, a, b, c):
+        assert a.merge(b).merge(c).counters == a.merge(b.merge(c)).counters
+
+    @given(a=_vector_clocks)
+    def test_merge_is_idempotent(self, a):
+        assert a.merge(a).counters == a.counters
+
+    @given(a=_vector_clocks, b=_vector_clocks)
+    def test_merge_dominates_both_inputs(self, a, b):
+        merged = a.merge(b)
+        assert merged.dominates(a)
+        assert merged.dominates(b)
+
+    @given(a=_vector_clocks, b=_vector_clocks)
+    def test_compare_is_antisymmetric(self, a, b):
+        forward = a.compare(b)
+        backward = b.compare(a)
+        if forward is Causality.BEFORE:
+            assert backward is Causality.AFTER
+        elif forward is Causality.AFTER:
+            assert backward is Causality.BEFORE
+        elif forward is Causality.EQUAL:
+            assert backward is Causality.EQUAL
+        else:
+            assert backward is Causality.CONCURRENT
+
+    @given(a=_vector_clocks, node=_node_names)
+    def test_increment_strictly_dominates(self, a, node):
+        advanced = a.increment(node)
+        assert advanced.compare(a) is Causality.AFTER
+
+
+class TestVersionProperties:
+    @given(
+        t1=st.integers(min_value=0, max_value=1000),
+        t2=st.integers(min_value=0, max_value=1000),
+        w1=_node_names,
+        w2=_node_names,
+    )
+    def test_total_order_is_total_and_antisymmetric(self, t1, t2, w1, w2):
+        a, b = Version(t1, w1), Version(t2, w2)
+        assert (a < b) or (b < a) or (a == b)
+        if a < b:
+            assert not b < a
+
+
+class TestRingProperties:
+    @settings(max_examples=30)
+    @given(
+        node_count=st.integers(min_value=1, max_value=10),
+        n=st.integers(min_value=1, max_value=5),
+        key=st.text(min_size=1, max_size=20),
+    )
+    def test_preference_list_distinct_and_sized(self, node_count, n, key):
+        if n > node_count:
+            return
+        ring = ConsistentHashRing([f"node-{i}" for i in range(node_count)], virtual_nodes=16)
+        replicas = ring.preference_list(key, n)
+        assert len(replicas) == n
+        assert len(set(replicas)) == n
+        assert set(replicas) <= ring.nodes
+
+    @settings(max_examples=30)
+    @given(key=st.text(min_size=1, max_size=20), n=st.integers(min_value=1, max_value=4))
+    def test_preference_list_prefixes_are_consistent(self, key, n):
+        ring = ConsistentHashRing([f"node-{i}" for i in range(6)], virtual_nodes=16)
+        full = ring.preference_list(key, 4)
+        assert ring.preference_list(key, n) == full[:n]
+
+
+class TestMerkleProperties:
+    _contents = st.dictionaries(
+        st.text(alphabet="abcdefkey-0123456789", min_size=1, max_size=12),
+        st.integers(min_value=0, max_value=50).map(lambda t: Version(t, "w")),
+        max_size=30,
+    )
+
+    @settings(max_examples=40)
+    @given(contents=_contents)
+    def test_same_contents_same_root(self, contents):
+        assert (
+            MerkleTree.build(contents, 16).root_hash == MerkleTree.build(dict(contents), 16).root_hash
+        )
+
+    @settings(max_examples=40)
+    @given(contents=_contents, key=st.text(alphabet="xyz", min_size=1, max_size=5))
+    def test_adding_a_key_changes_the_root(self, contents, key):
+        if key in contents:
+            return
+        modified = dict(contents)
+        modified[key] = Version(99, "w")
+        left = MerkleTree.build(contents, 16)
+        right = MerkleTree.build(modified, 16)
+        assert left.root_hash != right.root_hash
+        assert len(left.differing_buckets(right)) >= 1

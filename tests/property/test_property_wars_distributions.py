@@ -1,0 +1,129 @@
+"""Property-based tests for latency distributions and the WARS Monte Carlo kernel."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.quorum import ReplicaConfig
+from repro.core.wars import WARSModel
+from repro.latency.distributions import (
+    ConstantLatency,
+    ExponentialLatency,
+    ParetoLatency,
+    UniformLatency,
+)
+from repro.latency.mixture import pareto_exponential_mixture
+from repro.latency.production import WARSDistributions
+
+
+def _distribution_strategy():
+    """A strategy over a representative set of latency distributions."""
+    return st.one_of(
+        st.floats(min_value=0.05, max_value=50.0).map(ExponentialLatency.from_mean),
+        st.tuples(
+            st.floats(min_value=0.05, max_value=10.0), st.floats(min_value=1.1, max_value=8.0)
+        ).map(lambda args: ParetoLatency(xm=args[0], alpha=args[1])),
+        st.tuples(
+            st.floats(min_value=0.0, max_value=5.0), st.floats(min_value=0.1, max_value=10.0)
+        ).map(lambda args: UniformLatency(low=args[0], high=args[0] + args[1])),
+        st.floats(min_value=0.0, max_value=20.0).map(ConstantLatency),
+        st.tuples(
+            st.floats(min_value=0.5, max_value=0.99),
+            st.floats(min_value=0.1, max_value=5.0),
+            st.floats(min_value=1.5, max_value=8.0),
+            st.floats(min_value=0.01, max_value=2.0),
+        ).map(lambda args: pareto_exponential_mixture(*args)),
+    )
+
+
+class TestDistributionProperties:
+    @settings(max_examples=60)
+    @given(distribution=_distribution_strategy(), seed=st.integers(min_value=0, max_value=2**31))
+    def test_samples_are_finite_and_non_negative(self, distribution, seed):
+        samples = distribution.sample(500, np.random.default_rng(seed))
+        assert samples.shape == (500,)
+        assert np.all(np.isfinite(samples))
+        assert np.all(samples >= 0.0)
+
+    @settings(max_examples=60)
+    @given(
+        distribution=_distribution_strategy(),
+        q=st.floats(min_value=0.01, max_value=0.99),
+    )
+    def test_cdf_of_quantile_round_trips(self, distribution, q):
+        x = distribution.ppf(q)
+        # CDF is non-decreasing, so the CDF at the q-quantile is at least q
+        # minus sampling error for distributions with sampled fallbacks.
+        assert distribution.cdf(x) >= q - 0.05
+
+    @settings(max_examples=40)
+    @given(
+        distribution=_distribution_strategy(),
+        lo=st.floats(min_value=0.01, max_value=0.5),
+        hi=st.floats(min_value=0.5, max_value=0.99),
+    )
+    def test_quantiles_monotone(self, distribution, lo, hi):
+        assert distribution.ppf(lo) <= distribution.ppf(hi) + 1e-9
+
+
+@st.composite
+def wars_configs(draw):
+    n = draw(st.integers(min_value=1, max_value=5))
+    r = draw(st.integers(min_value=1, max_value=n))
+    w = draw(st.integers(min_value=1, max_value=n))
+    return ReplicaConfig(n=n, r=r, w=w)
+
+
+class TestWARSKernelProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        config=wars_configs(),
+        write_mean=st.floats(min_value=0.1, max_value=30.0),
+        other_mean=st.floats(min_value=0.1, max_value=10.0),
+        seed=st.integers(min_value=0, max_value=1_000),
+    )
+    def test_invariants_hold_for_any_configuration(self, config, write_mean, other_mean, seed):
+        distributions = WARSDistributions.write_specialised(
+            write=ExponentialLatency.from_mean(write_mean),
+            other=ExponentialLatency.from_mean(other_mean),
+        )
+        result = WARSModel(distributions, config).sample(2_000, rng=seed)
+
+        # Latencies are positive and finite.
+        assert np.all(result.commit_latencies_ms > 0)
+        assert np.all(result.read_latencies_ms > 0)
+        assert np.all(np.isfinite(result.staleness_thresholds_ms))
+
+        # Probability of consistency is a CDF in t: bounded and non-decreasing.
+        p0 = result.consistency_probability(0.0)
+        p_large = result.consistency_probability(1e6)
+        assert 0.0 <= p0 <= p_large <= 1.0
+
+        # Strict quorums are always consistent at commit time.
+        if config.is_strict:
+            assert p0 == 1.0
+
+        # t-visibility targets are ordered in the target probability.
+        assert result.t_visibility(0.5) <= result.t_visibility(0.99) + 1e-9
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        write_mean=st.floats(min_value=0.5, max_value=20.0),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    def test_monte_carlo_matches_closed_form_without_propagation(self, write_mean, seed):
+        """When reads race writes with zero elapsed time and instant read legs,
+        consistency at t=0 can never drop below the Equation 1 lower bound
+        1 - C(N-W,R)/C(N,R); sampling noise stays well inside 5 points."""
+        from repro.core.kstaleness import consistency_probability
+
+        config = ReplicaConfig(3, 1, 1)
+        distributions = WARSDistributions.write_specialised(
+            write=ExponentialLatency.from_mean(write_mean),
+            other=ConstantLatency(0.0),
+        )
+        result = WARSModel(distributions, config).sample(4_000, rng=seed)
+        closed_form = consistency_probability(config, 1)
+        assert result.consistency_probability(0.0) >= closed_form - 0.05

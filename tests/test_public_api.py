@@ -1,0 +1,69 @@
+"""Hygiene tests for the public API surface.
+
+A downstream user should be able to rely on ``repro``'s documented exports:
+every name in ``__all__`` must resolve, every subpackage must re-export what
+its ``__all__`` promises, and the version string must match the packaging
+metadata convention.
+"""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+import repro
+
+SUBPACKAGES = (
+    "repro.core",
+    "repro.latency",
+    "repro.cluster",
+    "repro.workloads",
+    "repro.montecarlo",
+    "repro.analysis",
+    "repro.experiments",
+)
+
+
+class TestTopLevelExports:
+    def test_version_is_semver_like(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(part.isdigit() for part in parts)
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.__all__ lists missing attribute {name}"
+
+    def test_headline_classes_importable_from_top_level(self):
+        assert repro.PBSPredictor is not None
+        assert repro.ReplicaConfig(3, 1, 1).is_partial
+        assert callable(repro.production_fit)
+
+
+@pytest.mark.parametrize("module_name", SUBPACKAGES)
+class TestSubpackageExports:
+    def test_all_names_resolve(self, module_name):
+        module = importlib.import_module(module_name)
+        assert hasattr(module, "__all__"), f"{module_name} must declare __all__"
+        for name in module.__all__:
+            assert hasattr(module, name), f"{module_name}.__all__ lists missing {name}"
+
+    def test_docstring_present(self, module_name):
+        module = importlib.import_module(module_name)
+        assert module.__doc__ and module.__doc__.strip()
+
+
+class TestDocstringCoverage:
+    """Every public module in the package carries a module docstring."""
+
+    def test_every_module_has_a_docstring(self):
+        import pkgutil
+
+        package_path = repro.__path__
+        missing: list[str] = []
+        for module_info in pkgutil.walk_packages(package_path, prefix="repro."):
+            module = importlib.import_module(module_info.name)
+            if not (module.__doc__ and module.__doc__.strip()):
+                missing.append(module_info.name)
+        assert not missing, f"modules without docstrings: {missing}"
