@@ -6,9 +6,12 @@ interesting measurement is the experiment runtime, not per-call jitter), and
 attaches the resulting rows to ``benchmark.extra_info`` so the numbers appear
 in ``--benchmark-json`` output and can be diffed across runs.
 
-Run everything with::
+Everything under ``benchmarks/`` is automatically marked ``slow`` (see
+``pytest_collection_modifyitems`` below) and is therefore deselected by the
+tier-1 ``pytest -x -q`` run (the repository ``pytest.ini`` adds
+``-m "not slow"``).  Run the benchmarks with::
 
-    pytest benchmarks/ --benchmark-only
+    pytest -m slow --benchmark-only
 """
 
 from __future__ import annotations
@@ -26,6 +29,15 @@ if _SRC.is_dir() and str(_SRC) not in sys.path:
         sys.path.insert(0, str(_SRC))
 
 from repro.experiments.registry import ExperimentResult, run_experiment  # noqa: E402
+
+_BENCH_DIR = Path(__file__).resolve().parent
+
+
+def pytest_collection_modifyitems(items) -> None:
+    """Mark every test under benchmarks/ as ``slow`` so tier-1 skips them."""
+    for item in items:
+        if _BENCH_DIR in Path(str(item.fspath)).resolve().parents:
+            item.add_marker(pytest.mark.slow)
 
 
 def run_once(benchmark, experiment_id: str, **kwargs) -> ExperimentResult:

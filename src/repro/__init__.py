@@ -37,8 +37,10 @@ from repro.core import (
     SLAOptimizer,
     SLATarget,
     WARSModel,
+    WARSSampleBatch,
     WARSTrialResult,
     iter_configs,
+    sample_wars_batch,
 )
 from repro.exceptions import (
     AnalysisError,
@@ -61,6 +63,12 @@ from repro.latency import (
     wan,
     ymmr,
 )
+from repro.montecarlo import (
+    ConfigSweepResult,
+    StreamingHistogram,
+    SweepEngine,
+    SweepResult,
+)
 
 __version__ = "1.0.0"
 
@@ -80,8 +88,15 @@ __all__ = [
     "SLAOptimizer",
     "SLATarget",
     "WARSModel",
+    "WARSSampleBatch",
     "WARSTrialResult",
     "iter_configs",
+    "sample_wars_batch",
+    # Monte Carlo sweep engine
+    "ConfigSweepResult",
+    "StreamingHistogram",
+    "SweepEngine",
+    "SweepResult",
     # Exceptions
     "AnalysisError",
     "ConfigurationError",

@@ -46,6 +46,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_parser.add_argument("--seed", type=int, default=0, help="random seed")
     run_parser.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        help="sweep-engine chunk size (trials accumulated between convergence checks)",
+    )
+    run_parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help=(
+            "stop sweeps early once every Wilson half-width is at most this tight; "
+            "experiments reporting 99.9%% tail quantiles never stop before ~100k "
+            "trials (tail-support floor), so the flag only takes effect above that"
+        ),
+    )
+    run_parser.add_argument(
         "--precision", type=int, default=3, help="decimal places in printed tables"
     )
     run_parser.add_argument(
@@ -69,6 +85,22 @@ def build_parser() -> argparse.ArgumentParser:
     predict_parser.add_argument("--w", type=int, default=1, help="write quorum size W")
     predict_parser.add_argument("--trials", type=int, default=100_000)
     predict_parser.add_argument("--seed", type=int, default=0)
+    predict_parser.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        help="sweep-engine chunk size (trials accumulated between convergence checks)",
+    )
+    predict_parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help=(
+            "stop the prediction sweep early at this Wilson half-width; the report's "
+            "99.9%% tail quantiles impose a ~100k-trial floor, so this only takes "
+            "effect when --trials exceeds it"
+        ),
+    )
     return parser
 
 
@@ -79,14 +111,25 @@ def _command_list() -> int:
 
 
 def _command_run(
-    experiment: str, trials: int, seed: int, precision: int, export_dir: str | None
+    experiment: str,
+    trials: int,
+    seed: int,
+    precision: int,
+    export_dir: str | None,
+    chunk_size: int | None = None,
+    tolerance: float | None = None,
 ) -> int:
     if experiment == "all":
         experiment_ids = [experiment_id for experiment_id, _ in list_experiments()]
     else:
         experiment_ids = [experiment]
+    sweep_kwargs: dict[str, object] = {}
+    if chunk_size is not None:
+        sweep_kwargs["chunk_size"] = chunk_size
+    if tolerance is not None:
+        sweep_kwargs["tolerance"] = tolerance
     for experiment_id in experiment_ids:
-        result = run_experiment(experiment_id, trials=trials, rng=seed)
+        result = run_experiment(experiment_id, trials=trials, rng=seed, **sweep_kwargs)
         print(result.to_text(precision=precision))
         if export_dir is not None:
             from repro.analysis.export import export_result
@@ -97,12 +140,25 @@ def _command_run(
     return 0
 
 
-def _command_predict(fit: str, n: int, r: int, w: int, trials: int, seed: int) -> int:
+def _command_predict(
+    fit: str,
+    n: int,
+    r: int,
+    w: int,
+    trials: int,
+    seed: int,
+    chunk_size: int | None = None,
+    tolerance: float | None = None,
+) -> int:
     config = ReplicaConfig(n=n, r=r, w=w)
     kwargs = {"replica_count": n} if fit.upper() == "WAN" else {}
     predictor = PBSPredictor(production_fit(fit, **kwargs), config)
-    report = predictor.report(trials=trials, rng=seed)
+    report = predictor.report(
+        trials=trials, rng=seed, chunk_size=chunk_size, tolerance=tolerance
+    )
     print(f"latency environment: {fit}")
+    if report.trials < trials:
+        print(f"converged early after {report.trials} of {trials} trials")
     for line in report.summary_lines():
         print(line)
     return 0
@@ -117,10 +173,25 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _command_list()
         if args.command == "run":
             return _command_run(
-                args.experiment, args.trials, args.seed, args.precision, args.export
+                args.experiment,
+                args.trials,
+                args.seed,
+                args.precision,
+                args.export,
+                args.chunk_size,
+                args.tolerance,
             )
         if args.command == "predict":
-            return _command_predict(args.fit, args.n, args.r, args.w, args.trials, args.seed)
+            return _command_predict(
+                args.fit,
+                args.n,
+                args.r,
+                args.w,
+                args.trials,
+                args.seed,
+                args.chunk_size,
+                args.tolerance,
+            )
         parser.error(f"unknown command {args.command!r}")  # pragma: no cover
         return 2  # pragma: no cover
     except PBSError as error:

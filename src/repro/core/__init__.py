@@ -42,7 +42,7 @@ from repro.core.tvisibility import (
     visibility_curve,
     visibility_lower_bound,
 )
-from repro.core.wars import WARSModel, WARSTrialResult
+from repro.core.wars import WARSModel, WARSSampleBatch, WARSTrialResult, sample_wars_batch
 
 __all__ = [
     "KStalenessModel",
@@ -78,5 +78,7 @@ __all__ = [
     "visibility_curve",
     "visibility_lower_bound",
     "WARSModel",
+    "WARSSampleBatch",
     "WARSTrialResult",
+    "sample_wars_batch",
 ]

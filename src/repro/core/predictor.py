@@ -29,7 +29,6 @@ from repro.core.quorum import ReplicaConfig
 from repro.core.tvisibility import EmpiricalPropagation
 from repro.core.wars import WARSModel, WARSTrialResult
 from repro.exceptions import ConfigurationError
-from repro.latency.base import as_rng
 from repro.latency.production import WARSDistributions
 
 __all__ = ["PBSReport", "PBSPredictor"]
@@ -158,6 +157,11 @@ class PBSPredictor:
         propagation model, then applies Equation 5.
         """
         result = self.simulate(trials, rng)
+        if result.write_arrivals_ms is None:
+            raise ConfigurationError(
+                "kt_staleness requires trial results that retain the per-replica "
+                "write-arrival matrix (write_arrivals_ms is None)"
+            )
         arrivals = result.write_arrivals_ms - result.commit_latencies_ms[:, None]
         propagation = EmpiricalPropagation(arrival_delays_ms=arrivals)
         return kt_consistency_probability(self.config, propagation, k, t_ms)
@@ -170,26 +174,52 @@ class PBSPredictor:
         trials: int = 100_000,
         rng: np.random.Generator | int | None = None,
         ks: Sequence[int] = (1, 2, 3),
+        chunk_size: int | None = None,
+        tolerance: float | None = None,
     ) -> PBSReport:
-        """Produce a :class:`PBSReport` summarising latency and staleness predictions."""
+        """Produce a :class:`PBSReport` summarising latency and staleness predictions.
+
+        Trials run through the streaming sweep engine, so arbitrarily large
+        trial counts use bounded memory; ``tolerance`` optionally stops early
+        once the consistency estimates are that tight (Wilson half-width).
+        ``rng`` is forwarded to the engine verbatim, so integer seeds give
+        results independent of ``chunk_size``.
+        """
+        # Imported lazily: repro.core must stay importable without pulling in
+        # the montecarlo package at module-import time.
+        from repro.montecarlo.engine import (
+            DEFAULT_CHUNK_SIZE,
+            SweepEngine,
+            min_trials_for_quantile,
+        )
+
         if trials < 100:
             raise ConfigurationError(
                 f"at least 100 trials are required for a meaningful report, got {trials}"
             )
-        generator = as_rng(rng)
-        result = self.simulate(trials, generator)
+        engine = SweepEngine(
+            self.distributions,
+            (self.config,),
+            chunk_size=chunk_size if chunk_size is not None else DEFAULT_CHUNK_SIZE,
+            tolerance=tolerance,
+            # The report quotes 99.9% t-visibility and p99.9 latencies; keep
+            # early stopping from starving that tail of samples.
+            min_trials=min_trials_for_quantile(0.999),
+        )
+        sweep = engine.run(trials, rng)
+        summary = sweep.results[0]
         staleness_model = self.k_staleness()
         return PBSReport(
             config=self.config,
-            trials=trials,
-            consistency_at_commit=result.probability_never_stale(),
-            t_visibility_999=result.t_visibility(0.999),
-            t_visibility_99=result.t_visibility(0.99),
+            trials=sweep.trials_run,
+            consistency_at_commit=summary.probability_never_stale(),
+            t_visibility_999=summary.t_visibility(0.999),
+            t_visibility_99=summary.t_visibility(0.99),
             k_staleness={k: staleness_model.consistency(k) for k in ks},
             read_latency_ms={
-                p: result.read_latency_percentile(p) for p in _REPORT_PERCENTILES
+                p: summary.read_latency_percentile(p) for p in _REPORT_PERCENTILES
             },
             write_latency_ms={
-                p: result.write_latency_percentile(p) for p in _REPORT_PERCENTILES
+                p: summary.write_latency_percentile(p) for p in _REPORT_PERCENTILES
             },
         )

@@ -21,9 +21,7 @@ from typing import Callable, Iterable, Sequence
 import numpy as np
 
 from repro.core.quorum import ReplicaConfig, iter_configs
-from repro.core.wars import WARSModel, WARSTrialResult
 from repro.exceptions import ConfigurationError
-from repro.latency.base import as_rng
 from repro.latency.production import WARSDistributions
 
 __all__ = ["SLATarget", "ConfigurationEvaluation", "SLAOptimizer"]
@@ -119,6 +117,8 @@ class SLAOptimizer:
         replication_factors: Sequence[int] = (1, 2, 3, 4, 5),
         trials: int = 50_000,
         rng: np.random.Generator | int | None = None,
+        chunk_size: int | None = None,
+        tolerance: float | None = None,
     ) -> None:
         if trials < 100:
             raise ConfigurationError(f"at least 100 trials are required, got {trials}")
@@ -127,7 +127,12 @@ class SLAOptimizer:
         self._distributions = distributions
         self._replication_factors = tuple(sorted(set(replication_factors)))
         self._trials = trials
-        self._rng = as_rng(rng)
+        # Kept verbatim: integer seeds select the engine's chunk-size-invariant
+        # mode (and give common random numbers across evaluate() calls); a
+        # generator is consumed sequentially across evaluations.
+        self._rng = rng
+        self._chunk_size = chunk_size
+        self._tolerance = tolerance
 
     def _distributions_for(self, n: int) -> WARSDistributions:
         if callable(self._distributions):
@@ -142,16 +147,15 @@ class SLAOptimizer:
                 if config.w >= target.min_write_quorum:
                     yield config
 
-    def evaluate(self, config: ReplicaConfig, target: SLATarget) -> ConfigurationEvaluation:
-        """Evaluate one configuration against the target."""
-        model = WARSModel(
-            distributions=self._distributions_for(config.n), config=config
-        )
-        result: WARSTrialResult = model.sample(self._trials, self._rng)
-        read_latency = result.read_latency_percentile(target.latency_percentile)
-        write_latency = result.write_latency_percentile(target.latency_percentile)
-        t_visibility = result.t_visibility(target.consistency_probability)
-
+    def _build_evaluation(
+        self,
+        config: ReplicaConfig,
+        target: SLATarget,
+        read_latency: float,
+        write_latency: float,
+        t_visibility: float,
+        consistency_at_commit: float,
+    ) -> ConfigurationEvaluation:
         violations: list[str] = []
         if target.read_latency_ms is not None and read_latency > target.read_latency_ms:
             violations.append(
@@ -165,26 +169,87 @@ class SLAOptimizer:
             violations.append(
                 f"t-visibility {t_visibility:.2f} ms exceeds {target.t_visibility_ms:.2f} ms"
             )
-
         return ConfigurationEvaluation(
             config=config,
             read_latency_ms=read_latency,
             write_latency_ms=write_latency,
             t_visibility_ms=t_visibility,
-            consistency_at_commit=result.probability_never_stale(),
+            consistency_at_commit=consistency_at_commit,
             meets_target=not violations,
             violations=tuple(violations),
         )
 
+    def evaluate(self, config: ReplicaConfig, target: SLATarget) -> ConfigurationEvaluation:
+        """Evaluate one configuration against the target.
+
+        Runs a single-configuration sweep through the same engine as
+        :meth:`evaluate_all`.  With an integer seed and no early-stopping
+        ``tolerance`` the numbers agree exactly with the corresponding
+        :meth:`evaluate_all` row (seeded sample streams are keyed by
+        replication factor, not by sweep shape).  With a tolerance the two
+        calls may stop at different trial counts (a lone configuration can
+        converge before its whole group); with a shared generator they
+        consume the stream at different points.  Either way the numbers
+        differ only within Monte Carlo noise.
+        """
+        summary = self._engine_for(config.n, (config,), target).run(
+            self._trials, self._rng
+        ).results[0]
+        return self._evaluation_from_summary(summary, target)
+
+    def _engine_for(self, n: int, configs: Sequence[ReplicaConfig], target: SLATarget):
+        # Imported lazily: repro.core must stay importable without pulling in
+        # the montecarlo package at module-import time.
+        from repro.montecarlo.engine import (
+            DEFAULT_CHUNK_SIZE,
+            SweepEngine,
+            min_trials_for_quantile,
+        )
+
+        return SweepEngine(
+            self._distributions_for(n),
+            configs,
+            chunk_size=(
+                self._chunk_size if self._chunk_size is not None else DEFAULT_CHUNK_SIZE
+            ),
+            tolerance=self._tolerance,
+            # The evaluation reports tail quantiles of the target; early
+            # stopping must leave them ~100 tail samples of support.
+            min_trials=max(
+                min_trials_for_quantile(target.consistency_probability),
+                min_trials_for_quantile(target.latency_percentile / 100.0),
+            ),
+        )
+
+    def _evaluation_from_summary(self, summary, target: SLATarget) -> ConfigurationEvaluation:
+        return self._build_evaluation(
+            summary.config,
+            target,
+            read_latency=summary.read_latency_percentile(target.latency_percentile),
+            write_latency=summary.write_latency_percentile(target.latency_percentile),
+            t_visibility=summary.t_visibility(target.consistency_probability),
+            consistency_at_commit=summary.probability_never_stale(),
+        )
+
     def evaluate_all(self, target: SLATarget) -> list[ConfigurationEvaluation]:
-        """Evaluate every candidate configuration, sorted by combined tail latency."""
-        evaluations = [
-            self.evaluate(config, target) for config in self._candidate_configs(target)
-        ]
-        if not evaluations:
+        """Evaluate every candidate configuration, sorted by combined tail latency.
+
+        Candidates sharing a replication factor are evaluated against one
+        shared sample batch (:class:`~repro.montecarlo.engine.SweepEngine`),
+        so each latency environment is sampled once per replication factor
+        rather than once per (R, W) pair.
+        """
+        by_factor: dict[int, list[ReplicaConfig]] = {}
+        for config in self._candidate_configs(target):
+            by_factor.setdefault(config.n, []).append(config)
+        if not by_factor:
             raise ConfigurationError(
                 "no candidate configurations satisfy the durability/availability floors"
             )
+        evaluations: list[ConfigurationEvaluation] = []
+        for n, configs in by_factor.items():
+            for summary in self._engine_for(n, configs, target).run(self._trials, self._rng):
+                evaluations.append(self._evaluation_from_summary(summary, target))
         return sorted(evaluations, key=lambda e: e.combined_latency_ms)
 
     def best(self, target: SLATarget) -> ConfigurationEvaluation | None:

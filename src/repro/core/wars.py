@@ -41,7 +41,7 @@ from repro.latency.base import LatencyDistribution, as_rng
 from repro.latency.composite import PerReplicaLatency
 from repro.latency.production import WARSDistributions
 
-__all__ = ["WARSTrialResult", "WARSModel"]
+__all__ = ["WARSTrialResult", "WARSSampleBatch", "WARSModel", "sample_wars_batch"]
 
 
 def _sample_pair_matrices(
@@ -85,6 +85,122 @@ def _sample_pair_matrices(
 
 
 @dataclass(frozen=True)
+class WARSSampleBatch:
+    """One shared draw of the WARS delay matrices, pre-reduced for any (R, W).
+
+    The four sampled delay matrices depend only on the latency distributions
+    and the replication factor ``N`` — never on the quorum sizes ``R`` and
+    ``W``.  This object therefore stores one draw in a form that makes the
+    per-configuration reduction a set of column reads:
+
+    * ``commit_latency_by_w_ms[:, w - 1]`` is the commit latency for write
+      quorum size ``w`` (the ``w``-th smallest per-replica ``W[i] + A[i]``);
+    * ``read_latency_by_r_ms[:, r - 1]`` is the read latency for read quorum
+      size ``r`` (the ``r``-th smallest per-replica ``R[i] + S[i]``);
+    * ``freshness_margin_by_r_ms[:, r - 1]`` is the running minimum of
+      ``W[i] - R[i]`` over the first ``r`` responders in read-response order,
+      so the staleness threshold for configuration ``(r, w)`` is simply
+      ``freshness_margin_by_r_ms[:, r - 1] - commit_latency_by_w_ms[:, w - 1]``.
+
+    Evaluating many configurations against one batch preserves the per-trial
+    coupling between read and write order statistics exactly as if each
+    configuration had been reduced from the same four matrices individually —
+    :meth:`reduce` is bit-for-bit identical to what
+    :meth:`WARSModel.sample` computes for a single configuration.
+    """
+
+    n: int
+    #: Raw per-trial, per-replica write-propagation delays (the W matrix).
+    write_arrivals_ms: np.ndarray = field(repr=False)
+    #: Sorted per-trial write round trips (W + A), ascending along axis 1.
+    commit_latency_by_w_ms: np.ndarray = field(repr=False)
+    #: Sorted per-trial read round trips (R + S), ascending along axis 1.
+    read_latency_by_r_ms: np.ndarray = field(repr=False)
+    #: Prefix minima of (W - R) in read-responder order along axis 1.
+    freshness_margin_by_r_ms: np.ndarray = field(repr=False)
+
+    @property
+    def trials(self) -> int:
+        """Number of simulated operations in this batch."""
+        return int(self.commit_latency_by_w_ms.shape[0])
+
+    def reduce(self, config: ReplicaConfig) -> "WARSTrialResult":
+        """Reduce the shared samples for one (N, R, W) configuration.
+
+        O(trials) column reads; no re-sampling and no re-sorting.
+        """
+        if config.n != self.n:
+            raise ConfigurationError(
+                f"batch was sampled for N={self.n} but the configuration requires "
+                f"N={config.n}"
+            )
+        commit_latencies = self.commit_latency_by_w_ms[:, config.w - 1]
+        read_latencies = self.read_latency_by_r_ms[:, config.r - 1]
+        staleness_thresholds = (
+            self.freshness_margin_by_r_ms[:, config.r - 1] - commit_latencies
+        )
+        return WARSTrialResult(
+            config=config,
+            commit_latencies_ms=commit_latencies,
+            read_latencies_ms=read_latencies,
+            staleness_thresholds_ms=staleness_thresholds,
+            write_arrivals_ms=self.write_arrivals_ms,
+        )
+
+
+def sample_wars_batch(
+    distributions: WARSDistributions,
+    trials: int,
+    n: int,
+    rng: np.random.Generator,
+) -> WARSSampleBatch:
+    """Draw the four WARS delay matrices once and pre-reduce the order statistics.
+
+    The sampling order (W/A pair first, then R/S pair) matches
+    :meth:`WARSModel.sample` exactly, so a batch drawn from a generator in a
+    given state yields the same trials the single-configuration kernel would
+    have produced from that state.
+    """
+    if trials < 1:
+        raise ConfigurationError(f"trial count must be >= 1, got {trials}")
+    if n < 1:
+        raise ConfigurationError(f"replication factor must be >= 1, got {n}")
+
+    write_delays, ack_delays = _sample_pair_matrices(
+        distributions.w, distributions.a, trials, n, rng
+    )
+    read_delays, response_delays = _sample_pair_matrices(
+        distributions.r, distributions.s, trials, n, rng
+    )
+
+    # Sorting the write round trips once exposes the commit latency for every
+    # write quorum size w as column w-1.
+    write_round_trips = write_delays + ack_delays
+    commit_latency_by_w = np.sort(write_round_trips, axis=1)
+
+    # The responder order (ascending R + S) is shared by every read quorum
+    # size; the r-th smallest round trip is column r-1 of the sorted matrix.
+    read_round_trips = read_delays + response_delays
+    responder_order = np.argsort(read_round_trips, axis=1, kind="stable")
+    row_index = np.arange(trials)[:, None]
+    read_latency_by_r = read_round_trips[row_index, responder_order]
+
+    # Replica i (among the first r responders) returns fresh data iff
+    # commit_latency + t + R[i] >= W[i]; a prefix minimum over (W - R) in
+    # responder order yields min over the first r responders as column r-1.
+    margins = (write_delays - read_delays)[row_index, responder_order]
+    freshness_margin_by_r = np.minimum.accumulate(margins, axis=1)
+
+    return WARSSampleBatch(
+        n=n,
+        write_arrivals_ms=write_delays,
+        commit_latency_by_w_ms=commit_latency_by_w,
+        read_latency_by_r_ms=read_latency_by_r,
+        freshness_margin_by_r_ms=freshness_margin_by_r,
+    )
+
+
+@dataclass(frozen=True)
 class WARSTrialResult:
     """Vectorised outcome of a batch of WARS Monte Carlo trials.
 
@@ -96,8 +212,9 @@ class WARSTrialResult:
     read_latencies_ms: np.ndarray
     staleness_thresholds_ms: np.ndarray
     #: Per-trial, per-replica write arrival times (W delays); useful for
-    #: building empirical propagation models.
-    write_arrivals_ms: np.ndarray = field(repr=False, default=None)  # type: ignore[assignment]
+    #: building empirical propagation models.  ``None`` when the producer did
+    #: not retain the raw propagation matrix.
+    write_arrivals_ms: np.ndarray | None = field(repr=False, default=None)
 
     @property
     def trials(self) -> int:
@@ -167,48 +284,17 @@ class WARSModel:
     def sample(
         self, trials: int, rng: np.random.Generator | int | None = None
     ) -> WARSTrialResult:
-        """Run ``trials`` simulated write/read pairs and return the batched result."""
-        if trials < 1:
-            raise ConfigurationError(f"trial count must be >= 1, got {trials}")
+        """Run ``trials`` simulated write/read pairs and return the batched result.
+
+        This is the single-configuration kernel: one shared draw of the four
+        delay matrices (:func:`sample_wars_batch`) reduced for this model's
+        configuration.  Multi-configuration sweeps should share the batch via
+        :class:`repro.montecarlo.engine.SweepEngine` instead of calling this
+        once per configuration.
+        """
         generator = as_rng(rng)
-        n, r, w = self.config.n, self.config.r, self.config.w
-
-        write_delays, ack_delays = _sample_pair_matrices(
-            self.distributions.w, self.distributions.a, trials, n, generator
-        )
-        read_delays, response_delays = _sample_pair_matrices(
-            self.distributions.r, self.distributions.s, trials, n, generator
-        )
-
-        # Commit latency: W-th smallest of per-replica (write + ack) round trips.
-        write_round_trips = write_delays + ack_delays
-        commit_latencies = np.partition(write_round_trips, w - 1, axis=1)[:, w - 1]
-
-        # Read latency: R-th smallest of per-replica (request + response) round trips.
-        read_round_trips = read_delays + response_delays
-        read_latencies = np.partition(read_round_trips, r - 1, axis=1)[:, r - 1]
-
-        # The first R responders are those with the smallest (R + S) round trips.
-        responder_order = np.argsort(read_round_trips, axis=1, kind="stable")[:, :r]
-        row_index = np.arange(trials)[:, None]
-        responder_write_delays = write_delays[row_index, responder_order]
-        responder_read_delays = read_delays[row_index, responder_order]
-
-        # Replica i (among the first R responders) returns fresh data iff
-        # commit_latency + t + R[i] >= W[i]; the read is consistent iff any
-        # responder is fresh, i.e. t >= min_i (W[i] - R[i]) - commit_latency.
-        per_responder_thresholds = responder_write_delays - responder_read_delays
-        staleness_thresholds = (
-            np.min(per_responder_thresholds, axis=1) - commit_latencies
-        )
-
-        return WARSTrialResult(
-            config=self.config,
-            commit_latencies_ms=commit_latencies,
-            read_latencies_ms=read_latencies,
-            staleness_thresholds_ms=staleness_thresholds,
-            write_arrivals_ms=write_delays,
-        )
+        batch = sample_wars_batch(self.distributions, trials, self.config.n, generator)
+        return batch.reduce(self.config)
 
     def consistency_probability(
         self,

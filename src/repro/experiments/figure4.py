@@ -16,11 +16,14 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.quorum import ReplicaConfig
-from repro.core.wars import WARSModel
 from repro.experiments.registry import ExperimentResult, register
-from repro.latency.base import as_rng
 from repro.latency.distributions import ExponentialLatency, NormalLatency, UniformLatency
 from repro.latency.production import WARSDistributions
+from repro.montecarlo.engine import (
+    DEFAULT_CHUNK_SIZE,
+    SweepEngine,
+    min_trials_for_quantile,
+)
 
 __all__ = ["run_figure4", "run_write_variance_sweep", "FIGURE4_RATIOS"]
 
@@ -39,10 +42,16 @@ _TIMES_MS: tuple[float, ...] = (0.0, 0.5, 1.0, 2.0, 3.0, 5.0, 10.0, 20.0, 40.0, 
 
 @register("figure4", "Figure 4: t-visibility with exponential W and A=R=S (N=3, R=W=1)")
 def run_figure4(
-    trials: int = 100_000, rng: np.random.Generator | int | None = 0
+    trials: int = 100_000,
+    rng: np.random.Generator | int | None = 0,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    tolerance: float | None = None,
 ) -> ExperimentResult:
-    """Probability of consistency vs t for each W:ARS rate ratio in Figure 4."""
-    generator = as_rng(rng)
+    """Probability of consistency vs t for each W:ARS rate ratio in Figure 4.
+
+    ``rng`` is forwarded to the sweep engine verbatim, so integer seeds give
+    chunk-size-invariant results.
+    """
     config = ReplicaConfig(n=3, r=1, w=1)
     ars = ExponentialLatency(rate=1.0)
     rows = []
@@ -50,13 +59,19 @@ def run_figure4(
         distributions = WARSDistributions.write_specialised(
             write=ExponentialLatency(rate=write_rate), other=ars, name=f"exp-{label}"
         )
-        result = WARSModel(distributions=distributions, config=config).sample(
-            trials, generator
+        engine = SweepEngine(
+            distributions,
+            (config,),
+            times_ms=_TIMES_MS,
+            chunk_size=chunk_size,
+            tolerance=tolerance,
+            min_trials=min_trials_for_quantile(0.999),
         )
+        summary = engine.run(trials, rng).results[0]
         row: dict[str, object] = {"w_to_ars_ratio": label, "w_mean_ms": 1.0 / write_rate}
         for t_ms in _TIMES_MS:
-            row[f"p@t={t_ms:g}ms"] = result.consistency_probability(t_ms)
-        row["t_visibility_99.9_ms"] = result.t_visibility(0.999)
+            row[f"p@t={t_ms:g}ms"] = summary.consistency_probability(t_ms)
+        row["t_visibility_99.9_ms"] = summary.t_visibility(0.999)
         rows.append(row)
     return ExperimentResult(
         experiment_id="figure4",
@@ -76,10 +91,12 @@ def run_figure4(
     "§5.3: fixed-mean, variable-variance write distributions (variance matters more than mean)",
 )
 def run_write_variance_sweep(
-    trials: int = 100_000, rng: np.random.Generator | int | None = 0
+    trials: int = 100_000,
+    rng: np.random.Generator | int | None = 0,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    tolerance: float | None = None,
 ) -> ExperimentResult:
     """Hold the mean of W fixed and vary its variance using uniform and normal shapes."""
-    generator = as_rng(rng)
     config = ReplicaConfig(n=3, r=1, w=1)
     ars = ExponentialLatency(rate=1.0)
     mean_ms = 5.0
@@ -94,17 +111,23 @@ def run_write_variance_sweep(
     rows = []
     for label, write in write_distributions:
         distributions = WARSDistributions.write_specialised(write=write, other=ars)
-        result = WARSModel(distributions=distributions, config=config).sample(
-            trials, generator
+        engine = SweepEngine(
+            distributions,
+            (config,),
+            times_ms=(0.0, 5.0),
+            chunk_size=chunk_size,
+            tolerance=tolerance,
+            min_trials=min_trials_for_quantile(0.999),
         )
+        summary = engine.run(trials, rng).results[0]
         rows.append(
             {
                 "write_distribution": label,
                 "w_mean_ms": write.mean(),
                 "w_variance": write.variance(),
-                "p_consistent_at_commit": result.consistency_probability(0.0),
-                "p_consistent_at_5ms": result.consistency_probability(5.0),
-                "t_visibility_99.9_ms": result.t_visibility(0.999),
+                "p_consistent_at_commit": summary.probability_never_stale(),
+                "p_consistent_at_5ms": summary.consistency_probability(5.0),
+                "t_visibility_99.9_ms": summary.t_visibility(0.999),
             }
         )
     return ExperimentResult(

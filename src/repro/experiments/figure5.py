@@ -12,9 +12,8 @@ import numpy as np
 
 from repro.core.quorum import ReplicaConfig
 from repro.experiments.registry import ExperimentResult, register
-from repro.latency.base import as_rng
 from repro.latency.production import lnkd_disk, lnkd_ssd, wan, ymmr
-from repro.montecarlo.latency import operation_latency_cdf
+from repro.montecarlo.engine import DEFAULT_CHUNK_SIZE, SweepEngine, min_trials_for_quantile
 
 __all__ = ["run_figure5"]
 
@@ -23,21 +22,36 @@ _PERCENTILES = (10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 99.9)
 
 @register("figure5", "Figure 5: operation latency CDFs for production fits, R/W in {1,2,3}")
 def run_figure5(
-    trials: int = 100_000, rng: np.random.Generator | int | None = 0
+    trials: int = 100_000,
+    rng: np.random.Generator | int | None = 0,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    tolerance: float | None = None,
 ) -> ExperimentResult:
     """Read/write latency percentiles per production environment and quorum size."""
-    generator = as_rng(rng)
     environments = {
         "LNKD-SSD": lnkd_ssd(),
         "LNKD-DISK": lnkd_disk(),
         "YMMR": ymmr(),
         "WAN": wan(),
     }
+    configs = tuple(ReplicaConfig(n=3, r=q, w=q) for q in (1, 2, 3))
     rows = []
     for name, distributions in environments.items():
-        for quorum_size in (1, 2, 3):
-            config = ReplicaConfig(n=3, r=quorum_size, w=quorum_size)
-            cdf = operation_latency_cdf(distributions, config, trials, generator)
+        # keep_samples: this experiment is about precise latency CDF
+        # percentiles, so query the exact per-trial arrays rather than the
+        # streaming sketches (adjacent quorum sizes can differ by less than
+        # a sketch bin).
+        engine = SweepEngine(
+            distributions,
+            configs,
+            chunk_size=chunk_size,
+            tolerance=tolerance,
+            min_trials=min_trials_for_quantile(max(_PERCENTILES) / 100.0),
+            keep_samples=True,
+        )
+        sweep = engine.run(trials, rng)
+        for summary in sweep:
+            quorum_size = summary.config.r
             read_row: dict[str, object] = {
                 "environment": name,
                 "operation": "read",
@@ -49,8 +63,8 @@ def run_figure5(
                 "quorum_size": quorum_size,
             }
             for percentile in _PERCENTILES:
-                read_row[f"p{percentile:g}_ms"] = cdf.read_percentile(percentile)
-                write_row[f"p{percentile:g}_ms"] = cdf.write_percentile(percentile)
+                read_row[f"p{percentile:g}_ms"] = summary.read_latency_percentile(percentile)
+                write_row[f"p{percentile:g}_ms"] = summary.write_latency_percentile(percentile)
             rows.append(read_row)
             rows.append(write_row)
     return ExperimentResult(

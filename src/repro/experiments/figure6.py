@@ -11,10 +11,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.quorum import ReplicaConfig
-from repro.core.wars import WARSModel
 from repro.experiments.registry import ExperimentResult, register
-from repro.latency.base import as_rng
 from repro.latency.production import lnkd_disk, lnkd_ssd, wan, ymmr
+from repro.montecarlo.engine import (
+    DEFAULT_CHUNK_SIZE,
+    SweepEngine,
+    min_trials_for_quantile,
+)
 
 __all__ = ["run_figure6", "FIGURE6_CONFIGS"]
 
@@ -30,10 +33,12 @@ _TIMES_MS: tuple[float, ...] = (0.0, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0
 
 @register("figure6", "Figure 6: t-visibility for production fits, (R,W) in {(1,1),(1,2),(2,1)}")
 def run_figure6(
-    trials: int = 100_000, rng: np.random.Generator | int | None = 0
+    trials: int = 100_000,
+    rng: np.random.Generator | int | None = 0,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    tolerance: float | None = None,
 ) -> ExperimentResult:
     """Consistency-vs-t series for each production environment and partial quorum."""
-    generator = as_rng(rng)
     environments = {
         "LNKD-SSD": lnkd_ssd(),
         "LNKD-DISK": lnkd_disk(),
@@ -42,18 +47,23 @@ def run_figure6(
     }
     rows = []
     for name, distributions in environments.items():
-        for config in FIGURE6_CONFIGS:
-            result = WARSModel(distributions=distributions, config=config).sample(
-                trials, generator
-            )
+        engine = SweepEngine(
+            distributions,
+            FIGURE6_CONFIGS,
+            times_ms=_TIMES_MS,
+            chunk_size=chunk_size,
+            tolerance=tolerance,
+            min_trials=min_trials_for_quantile(0.999),
+        )
+        for summary in engine.run(trials, rng):
             row: dict[str, object] = {
                 "environment": name,
-                "config": config.label(),
-                "p_at_commit": result.consistency_probability(0.0),
+                "config": summary.config.label(),
+                "p_at_commit": summary.probability_never_stale(),
             }
             for t_ms in _TIMES_MS:
-                row[f"p@t={t_ms:g}ms"] = result.consistency_probability(t_ms)
-            row["t_visibility_99.9_ms"] = result.t_visibility(0.999)
+                row[f"p@t={t_ms:g}ms"] = summary.consistency_probability(t_ms)
+            row["t_visibility_99.9_ms"] = summary.t_visibility(0.999)
             rows.append(row)
     return ExperimentResult(
         experiment_id="figure6",

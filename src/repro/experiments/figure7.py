@@ -11,10 +11,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.quorum import ReplicaConfig
-from repro.core.wars import WARSModel
 from repro.experiments.registry import ExperimentResult, register
-from repro.latency.base import as_rng
 from repro.latency.production import lnkd_disk, lnkd_ssd, wan
+from repro.montecarlo.engine import (
+    DEFAULT_CHUNK_SIZE,
+    SweepEngine,
+    min_trials_for_quantile,
+)
 
 __all__ = ["run_figure7", "FIGURE7_REPLICATION_FACTORS"]
 
@@ -26,30 +29,54 @@ _TIMES_MS: tuple[float, ...] = (0.0, 1.0, 2.0, 5.0, 10.0, 20.0, 40.0, 60.0, 80.0
 
 @register("figure7", "Figure 7: t-visibility vs replication factor N (R=W=1)")
 def run_figure7(
-    trials: int = 100_000, rng: np.random.Generator | int | None = 0
+    trials: int = 100_000,
+    rng: np.random.Generator | int | None = 0,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    tolerance: float | None = None,
 ) -> ExperimentResult:
     """Consistency-vs-t series for N in {2, 3, 5, 10} with R=W=1."""
-    generator = as_rng(rng)
-    environments = {
-        "LNKD-DISK": lambda n: lnkd_disk(),
-        "LNKD-SSD": lambda n: lnkd_ssd(),
-        "WAN": lambda n: wan(replica_count=n),
-    }
-    rows = []
-    for name, factory in environments.items():
-        for n in FIGURE7_REPLICATION_FACTORS:
-            config = ReplicaConfig(n=n, r=1, w=1)
-            result = WARSModel(distributions=factory(n), config=config).sample(
-                trials, generator
+    configs = tuple(ReplicaConfig(n=n, r=1, w=1) for n in FIGURE7_REPLICATION_FACTORS)
+
+    def summaries_for(name: str):
+        """One engine sweep per environment; per-N sweeps when the fit depends on N."""
+        if name == "WAN":
+            # The WAN fit depends on the replica count, so each N needs its
+            # own distributions (and therefore its own sweep).
+            for config in configs:
+                engine = SweepEngine(
+                    wan(replica_count=config.n),
+                    (config,),
+                    times_ms=_TIMES_MS,
+                    chunk_size=chunk_size,
+                    tolerance=tolerance,
+                    min_trials=min_trials_for_quantile(0.999),
+                )
+                yield engine.run(trials, rng).results[0]
+        else:
+            # LNKD fits are N-independent: one engine call sweeps every
+            # replication factor (the engine groups the draws by N).
+            distributions = lnkd_disk() if name == "LNKD-DISK" else lnkd_ssd()
+            engine = SweepEngine(
+                distributions,
+                configs,
+                times_ms=_TIMES_MS,
+                chunk_size=chunk_size,
+                tolerance=tolerance,
+                min_trials=min_trials_for_quantile(0.999),
             )
+            yield from engine.run(trials, rng)
+
+    rows = []
+    for name in ("LNKD-DISK", "LNKD-SSD", "WAN"):
+        for summary in summaries_for(name):
             row: dict[str, object] = {
                 "environment": name,
-                "n": n,
-                "p_at_commit": result.consistency_probability(0.0),
+                "n": summary.config.n,
+                "p_at_commit": summary.probability_never_stale(),
             }
             for t_ms in _TIMES_MS:
-                row[f"p@t={t_ms:g}ms"] = result.consistency_probability(t_ms)
-            row["t_visibility_99.9_ms"] = result.t_visibility(0.999)
+                row[f"p@t={t_ms:g}ms"] = summary.consistency_probability(t_ms)
+            row["t_visibility_99.9_ms"] = summary.t_visibility(0.999)
             rows.append(row)
     return ExperimentResult(
         experiment_id="figure7",

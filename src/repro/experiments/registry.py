@@ -13,6 +13,7 @@ Each runner accepts two keyword arguments:
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass, field
 from typing import Callable, Mapping, Sequence
 
@@ -81,9 +82,32 @@ def get_experiment(experiment_id: str) -> ExperimentRunner:
         ) from exc
 
 
+#: Sweep-engine knobs that not every runner supports (closed-form and
+#: cluster-based experiments have no Monte Carlo sweep to tune).  These — and
+#: only these — are dropped silently when a runner does not accept them, so
+#: ``pbs-repro run all --tolerance ...`` works across heterogeneous runners.
+_OPTIONAL_SWEEP_KWARGS: tuple[str, ...] = ("chunk_size", "tolerance")
+
+
 def run_experiment(experiment_id: str, **kwargs: object) -> ExperimentResult:
-    """Run one experiment by identifier."""
-    return get_experiment(experiment_id)(**kwargs)
+    """Run one experiment by identifier.
+
+    Unsupported sweep-engine knobs (:data:`_OPTIONAL_SWEEP_KWARGS`) are
+    filtered out per runner; every other keyword is passed through verbatim.
+    """
+    runner = get_experiment(experiment_id)
+    parameters = inspect.signature(runner).parameters
+    accepts_everything = any(
+        parameter.kind is inspect.Parameter.VAR_KEYWORD
+        for parameter in parameters.values()
+    )
+    if not accepts_everything:
+        kwargs = {
+            key: value
+            for key, value in kwargs.items()
+            if key not in _OPTIONAL_SWEEP_KWARGS or key in parameters
+        }
+    return runner(**kwargs)
 
 
 def _ensure_loaded() -> None:

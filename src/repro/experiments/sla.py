@@ -11,7 +11,6 @@ import numpy as np
 
 from repro.core.sla import SLAOptimizer, SLATarget
 from repro.experiments.registry import ExperimentResult, register
-from repro.latency.base import as_rng
 from repro.latency.production import lnkd_disk, ymmr
 
 __all__ = ["run_sla_search"]
@@ -19,10 +18,16 @@ __all__ = ["run_sla_search"]
 
 @register("sla", "§6: SLA-driven (N, R, W) configuration search")
 def run_sla_search(
-    trials: int = 30_000, rng: np.random.Generator | int | None = 0
+    trials: int = 30_000,
+    rng: np.random.Generator | int | None = 0,
+    chunk_size: int | None = None,
+    tolerance: float | None = None,
 ) -> ExperimentResult:
-    """Search (N, R, W) under two representative SLAs for LNKD-DISK and YMMR."""
-    generator = as_rng(rng)
+    """Search (N, R, W) under two representative SLAs for LNKD-DISK and YMMR.
+
+    Each scenario's candidate set is evaluated against shared sample batches
+    (one per replication factor) via the sweep engine.
+    """
     scenarios = [
         (
             "LNKD-DISK: p99.9 latency <= 25 ms, 99.9% consistent within 50 ms, W >= 1",
@@ -62,7 +67,9 @@ def run_sla_search(
             distributions=distributions,
             replication_factors=(3,),
             trials=trials,
-            rng=generator,
+            rng=rng,
+            chunk_size=chunk_size,
+            tolerance=tolerance,
         )
         evaluations = optimizer.evaluate_all(target)
         best = optimizer.best(target)

@@ -18,8 +18,8 @@ import numpy as np
 
 from repro.core.quorum import ReplicaConfig
 from repro.experiments.registry import ExperimentResult, register
-from repro.latency.base import as_rng
 from repro.latency.production import lnkd_disk, lnkd_ssd, wan, ymmr
+from repro.montecarlo.engine import DEFAULT_CHUNK_SIZE
 from repro.montecarlo.tvisibility import t_visibility_table
 
 __all__ = ["run_table4", "TABLE4_CONFIGS"]
@@ -37,10 +37,12 @@ TABLE4_CONFIGS: tuple[ReplicaConfig, ...] = (
 
 @register("table4", "Table 4: 99.9% t-visibility and 99.9th-percentile latency across (R, W)")
 def run_table4(
-    trials: int = 100_000, rng: np.random.Generator | int | None = 0
+    trials: int = 100_000,
+    rng: np.random.Generator | int | None = 0,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    tolerance: float | None = None,
 ) -> ExperimentResult:
     """Reproduce the Table 4 grid for all four production environments."""
-    generator = as_rng(rng)
     environments = {
         "LNKD-SSD": lnkd_ssd(),
         "LNKD-DISK": lnkd_disk(),
@@ -53,7 +55,9 @@ def run_table4(
         target_probability=0.999,
         latency_percentile=99.9,
         trials=trials,
-        rng=generator,
+        rng=rng,
+        chunk_size=chunk_size,
+        tolerance=tolerance,
     )
     rows = []
     for raw in raw_rows:

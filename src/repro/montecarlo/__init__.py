@@ -5,6 +5,15 @@ from repro.montecarlo.convergence import (
     trials_for_margin,
     wilson_interval,
 )
+from repro.montecarlo.engine import (
+    DEFAULT_CHUNK_SIZE,
+    SAMPLE_BLOCK,
+    ConfigSweepResult,
+    StreamingHistogram,
+    SweepEngine,
+    SweepResult,
+    min_trials_for_quantile,
+)
 from repro.montecarlo.latency import (
     OperationLatencyCDF,
     latency_percentile_table,
@@ -21,6 +30,13 @@ __all__ = [
     "ProbabilityEstimate",
     "trials_for_margin",
     "wilson_interval",
+    "DEFAULT_CHUNK_SIZE",
+    "SAMPLE_BLOCK",
+    "ConfigSweepResult",
+    "StreamingHistogram",
+    "SweepEngine",
+    "SweepResult",
+    "min_trials_for_quantile",
     "OperationLatencyCDF",
     "latency_percentile_table",
     "operation_latency_cdf",

@@ -1,0 +1,661 @@
+"""Shared-sample batched Monte Carlo engine for multi-configuration sweeps.
+
+The paper's evaluation (Figures 4-7, Table 4, the §6 SLA search) repeatedly
+evaluates one latency environment under many (R, W) quorum configurations.
+The four WARS delay matrices depend only on the latency distributions and the
+replication factor ``N`` — not on the quorum sizes — so drawing them once per
+batch and reducing every configuration against the shared samples turns an
+O(configs x trials) sampling cost into O(trials).
+
+Why one draw is valid across configurations
+-------------------------------------------
+For a fixed latency environment, a WARS trial is a joint draw of the four
+delay matrices ``(W, A, R, S)`` of shape ``(trials, N)``.  The quorum sizes
+``R`` and ``W`` enter only through *reductions* of that draw: the commit
+latency is the ``W``-th order statistic of ``W[i] + A[i]``, the read latency
+the ``R``-th order statistic of ``R[i] + S[i]``, and the staleness threshold
+couples the two through the responder order.  Evaluating several
+configurations against one draw therefore samples each configuration from
+exactly the same distribution as independent draws would — the estimators are
+unbiased per configuration — while additionally making the *differences*
+between configurations lower-variance, because every configuration sees the
+same trials (common random numbers).  What the sharing deliberately preserves
+is the per-trial coupling: for one trial, the commit latency, responder order,
+and freshness margins come from the same four matrices, so quantities like
+"threshold(R=2) <= threshold(R=1)" hold trial-for-trial, not just in
+expectation.  What it removes is only the *independence between
+configurations*, which none of the paper's per-configuration statistics
+require.
+
+Chunking and reproducibility
+----------------------------
+Trials are processed in fixed-size chunks with streaming accumulation:
+consistency counts at the probe times are exact, while staleness thresholds
+and operation latencies accumulate into :class:`StreamingHistogram` sketches
+whose bin edges are frozen after the first chunk.  Two RNG regimes are
+supported:
+
+* Passing a ``numpy.random.Generator`` consumes it sequentially, exactly the
+  way :meth:`repro.core.wars.WARSModel.sample` would: a single-chunk run with
+  a generator in the same state reproduces the kernel's trials bit-for-bit.
+* Passing an integer seed (or ``None``) derives one child stream per internal
+  sampling block of ``SAMPLE_BLOCK`` trials from a ``SeedSequence``.  Because
+  block boundaries are fixed (chunk sizes are rounded up to a multiple of
+  ``SAMPLE_BLOCK``), the sampled trials — and therefore every accumulated
+  count — are invariant to the chosen chunk size.
+
+Optional early stopping halts the sweep once the Wilson score interval
+(:func:`repro.montecarlo.convergence.wilson_interval`) of every configuration
+at every probe time is tighter than a requested half-width tolerance.
+
+Accuracy: consistency probabilities at probe times are exact counts.
+Quantities inverted from the sketches (t-visibility, latency percentiles)
+carry a sub-bin interpolation error — well under 1% at the default
+resolution, and in practice dominated by the seed-to-seed Monte Carlo noise
+of the quantile itself at the trial counts the experiments use.  When exact
+order statistics are required, run with ``keep_samples=True``: percentile and
+t-visibility queries then use the retained per-trial arrays and match
+:class:`~repro.core.wars.WARSTrialResult` exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import ceil
+from typing import Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.quorum import ReplicaConfig
+from repro.core.wars import WARSSampleBatch, WARSTrialResult, sample_wars_batch
+from repro.exceptions import AnalysisError, ConfigurationError
+from repro.latency.production import WARSDistributions
+from repro.montecarlo.convergence import ProbabilityEstimate, wilson_interval
+
+__all__ = [
+    "SAMPLE_BLOCK",
+    "DEFAULT_CHUNK_SIZE",
+    "StreamingHistogram",
+    "ConfigSweepResult",
+    "SweepResult",
+    "SweepEngine",
+    "min_trials_for_quantile",
+]
+
+#: Fixed internal sampling granularity (trials per RNG block in seed mode).
+#: Chunk sizes are rounded up to a multiple of this so that block boundaries —
+#: and therefore seeded sample streams — do not depend on the chunk size.
+SAMPLE_BLOCK: int = 8_192
+
+#: Default chunk size (trials accumulated between convergence checks).
+DEFAULT_CHUNK_SIZE: int = 65_536
+
+
+def min_trials_for_quantile(quantile: float, tail_samples: int = 100) -> int:
+    """Early-stopping floor for a sweep that reports the ``quantile``-quantile.
+
+    The Wilson tolerance only constrains probe-time consistency estimates, so
+    a caller that reports tail quantiles (t-visibility at 99.9%, p99.9
+    latency) should not let a loose tolerance stop the sweep before the tail
+    has ~``tail_samples`` observations: ``ceil(tail_samples / (1 - q))``.
+    """
+    if not 0.0 < quantile <= 1.0:
+        raise ConfigurationError(f"quantile must be in (0, 1], got {quantile}")
+    if quantile == 1.0:
+        # The exact maximum never converges by tail-count; disable early
+        # stopping in practice by requiring an unattainably large floor.
+        return np.iinfo(np.int64).max
+    return int(ceil(tail_samples / (1.0 - quantile)))
+
+
+class StreamingHistogram:
+    """A fixed-bin streaming histogram with exact extremes.
+
+    Bin edges are frozen from the range of the first batch of values; later
+    values outside that range fall into exact underflow/overflow buckets whose
+    spans are bounded by the tracked global minimum and maximum.  Quantile
+    queries interpolate within a bucket, so ``quantile(0.0)`` and
+    ``quantile(1.0)`` return the exact extremes and degenerate (constant)
+    data is reproduced exactly.
+
+    With ``log_scale=True`` (and a strictly positive first batch) the bins are
+    geometrically spaced, giving constant *relative* resolution — the right
+    shape for heavy-tailed latency data whose p50 and p99.9 differ by orders
+    of magnitude.  Data that turns out non-positive falls back to linear bins.
+    """
+
+    __slots__ = (
+        "_bins",
+        "_log_scale",
+        "_edges",
+        "_counts",
+        "_underflow",
+        "_overflow",
+        "_count",
+        "_min",
+        "_max",
+    )
+
+    def __init__(self, bins: int = 2_048, log_scale: bool = False) -> None:
+        if bins < 1:
+            raise AnalysisError(f"histogram bin count must be >= 1, got {bins}")
+        self._bins = bins
+        self._log_scale = log_scale
+        self._edges: np.ndarray | None = None
+        self._counts: np.ndarray | None = None
+        self._underflow = 0
+        self._overflow = 0
+        self._count = 0
+        self._min = float("inf")
+        self._max = float("-inf")
+
+    @property
+    def count(self) -> int:
+        """Total number of accumulated values."""
+        return self._count
+
+    @property
+    def min(self) -> float:
+        """Exact minimum of the accumulated values."""
+        if self._count == 0:
+            raise AnalysisError("histogram is empty")
+        return self._min
+
+    @property
+    def max(self) -> float:
+        """Exact maximum of the accumulated values."""
+        if self._count == 0:
+            raise AnalysisError("histogram is empty")
+        return self._max
+
+    def update(self, values: np.ndarray) -> None:
+        """Accumulate a batch of values."""
+        values = np.asarray(values, dtype=float).ravel()
+        if values.size == 0:
+            return
+        self._min = min(self._min, float(values.min()))
+        self._max = max(self._max, float(values.max()))
+        if self._edges is None:
+            lo, hi = self._min, self._max
+            if not hi > lo:
+                # Degenerate first batch: give the bins a tiny span; quantile
+                # queries short-circuit on min == max anyway.
+                hi = lo + max(abs(lo), 1.0) * 1e-9
+            # Pad the frozen range well beyond the first batch's extremes so
+            # that the (heavier) tail of later batches still lands in binned
+            # territory instead of the single coarse overflow bucket.
+            if self._log_scale and lo > 0.0:
+                self._edges = np.geomspace(lo / 4.0, hi * 64.0, self._bins + 1)
+            else:
+                span = hi - lo
+                self._edges = np.linspace(lo - 0.5 * span, hi + 2.0 * span, self._bins + 1)
+            self._counts = np.zeros(self._bins, dtype=np.int64)
+        self._underflow += int(np.count_nonzero(values < self._edges[0]))
+        self._overflow += int(np.count_nonzero(values > self._edges[-1]))
+        self._counts += np.histogram(values, bins=self._edges)[0]
+        self._count += int(values.size)
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (``q`` in [0, 1]) of the accumulated values."""
+        if self._count == 0:
+            raise AnalysisError("cannot query quantiles of an empty histogram")
+        if not 0.0 <= q <= 1.0:
+            raise AnalysisError(f"quantile must be in [0, 1], got {q}")
+        if self._min == self._max:
+            return self._min
+        assert self._edges is not None and self._counts is not None
+        lows = np.concatenate(([self._min], self._edges[:-1], [self._edges[-1]]))
+        highs = np.concatenate(([self._edges[0]], self._edges[1:], [self._max]))
+        counts = np.concatenate(([self._underflow], self._counts, [self._overflow]))
+        cumulative = np.cumsum(counts)
+        target = q * self._count
+        index = int(np.searchsorted(cumulative, target, side="left"))
+        index = min(index, counts.size - 1)
+        below = float(cumulative[index - 1]) if index > 0 else 0.0
+        in_bucket = float(counts[index])
+        fraction = (target - below) / in_bucket if in_bucket > 0 else 0.0
+        low = float(lows[index])
+        high = max(float(highs[index]), low)
+        if self._log_scale and low > 0.0:
+            value = low * (high / low) ** fraction
+        else:
+            value = low + (high - low) * fraction
+        # The padded edges can spill past the observed extremes; the data
+        # cannot.
+        return min(max(value, self._min), self._max)
+
+    def percentile(self, p: float) -> float:
+        """Estimate the latency at percentile ``p`` (``p`` in [0, 100])."""
+        if not 0.0 <= p <= 100.0:
+            raise AnalysisError(f"percentile must be in [0, 100], got {p}")
+        return self.quantile(p / 100.0)
+
+
+@dataclass(frozen=True)
+class ConfigSweepResult:
+    """Streaming summary of one configuration's share of a sweep.
+
+    Consistency counts at the probe times are exact; threshold and latency
+    distributions are histogram sketches.  When the engine was constructed
+    with ``keep_samples=True``, :meth:`as_trial_result` exposes the raw
+    per-trial arrays as a :class:`~repro.core.wars.WARSTrialResult`.
+    """
+
+    config: ReplicaConfig
+    trials: int
+    times_ms: tuple[float, ...]
+    #: Exact count of trials whose staleness threshold is <= the probe time.
+    consistent_counts: tuple[int, ...]
+    #: Exact count of trials consistent immediately after commit (t = 0).
+    nonpositive_thresholds: int
+    confidence: float
+    _threshold_histogram: StreamingHistogram = field(repr=False)
+    _read_histogram: StreamingHistogram = field(repr=False)
+    _write_histogram: StreamingHistogram = field(repr=False)
+    _samples: WARSTrialResult | None = field(repr=False, default=None)
+
+    def consistency_probability(self, t_ms: float) -> float:
+        """P(consistent read at ``t_ms`` after commit): exact at probe times.
+
+        Probe times use the exact streaming counts; times between probes are
+        linearly interpolated.  Times beyond the last probe raise — unlike
+        the exact-for-any-t :meth:`WARSTrialResult.consistency_probability`,
+        a streaming summary has no information past its probe grid, and
+        silently clamping to the last probe's value would understate the
+        curve.
+        """
+        if t_ms < 0:
+            raise ConfigurationError(f"time since commit must be non-negative, got {t_ms}")
+        if t_ms == 0.0:
+            return self.probability_never_stale()
+        times = np.asarray(self.times_ms)
+        if t_ms > times[-1]:
+            raise ConfigurationError(
+                f"t={t_ms} lies beyond this sweep's probe grid (max probe "
+                f"{times[-1]}); include it in the engine's times_ms"
+            )
+        index = np.searchsorted(times, t_ms)
+        if index < times.size and times[index] == t_ms:
+            return self.consistent_counts[index] / self.trials
+        probabilities = np.asarray(self.consistent_counts) / self.trials
+        return float(np.interp(t_ms, times, probabilities))
+
+    def consistency_curve(self, times_ms: Sequence[float] | None = None) -> list[tuple[float, float]]:
+        """``(t, P(consistent at t))`` pairs (defaults to the probe grid)."""
+        times = self.times_ms if times_ms is None else times_ms
+        return [(float(t), self.consistency_probability(float(t))) for t in times]
+
+    def probability_never_stale(self) -> float:
+        """Exact fraction of trials consistent even at ``t = 0``."""
+        return self.nonpositive_thresholds / self.trials
+
+    def estimate_at(self, t_ms: float, confidence: float | None = None) -> ProbabilityEstimate:
+        """Wilson interval for the consistency probability at a probe time."""
+        times = np.asarray(self.times_ms)
+        index = np.searchsorted(times, t_ms)
+        if index >= times.size or times[index] != t_ms:
+            raise ConfigurationError(
+                f"t={t_ms} is not one of this sweep's probe times {self.times_ms}"
+            )
+        return wilson_interval(
+            self.consistent_counts[index],
+            self.trials,
+            confidence if confidence is not None else self.confidence,
+        )
+
+    def max_margin(self, confidence: float | None = None) -> float:
+        """Largest Wilson half-width across all probe times."""
+        return max(
+            self.estimate_at(t, confidence).margin for t in self.times_ms
+        )
+
+    def t_visibility(self, target_probability: float) -> float:
+        """Smallest ``t`` (ms) reaching the target probability of consistency.
+
+        Strict quorums (whose thresholds are all non-positive) report exactly
+        0.0 via the exact non-positive count; otherwise the threshold
+        histogram sketch is inverted.
+        """
+        if not 0.0 < target_probability <= 1.0:
+            raise ConfigurationError(
+                f"target probability must be in (0, 1], got {target_probability}"
+            )
+        needed = ceil(target_probability * self.trials)
+        if needed <= self.nonpositive_thresholds:
+            return 0.0
+        if self._samples is not None:
+            return self._samples.t_visibility(target_probability)
+        return float(max(self._threshold_histogram.quantile(target_probability), 0.0))
+
+    def read_latency_percentile(self, percentile: float) -> float:
+        """Read operation latency (ms) at the given percentile.
+
+        Sketch-based when streaming; exact (``numpy.percentile`` over the
+        retained trials) when the engine ran with ``keep_samples=True``.
+        """
+        if self._samples is not None:
+            return float(np.percentile(self._samples.read_latencies_ms, percentile))
+        return self._read_histogram.percentile(percentile)
+
+    def write_latency_percentile(self, percentile: float) -> float:
+        """Write (commit) latency (ms) at the given percentile.
+
+        Sketch-based when streaming; exact when the engine ran with
+        ``keep_samples=True``.
+        """
+        if self._samples is not None:
+            return float(np.percentile(self._samples.commit_latencies_ms, percentile))
+        return self._write_histogram.percentile(percentile)
+
+    def as_trial_result(self) -> WARSTrialResult:
+        """Raw per-trial arrays (requires ``keep_samples=True`` on the engine)."""
+        if self._samples is None:
+            raise AnalysisError(
+                "raw samples were not retained; construct the SweepEngine with "
+                "keep_samples=True"
+            )
+        return self._samples
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """The outcome of one :meth:`SweepEngine.run` call."""
+
+    results: tuple[ConfigSweepResult, ...]
+    trials_requested: int
+    trials_run: int
+    chunk_size: int
+    tolerance: float | None
+    confidence: float
+
+    @property
+    def stopped_early(self) -> bool:
+        """True when early stopping ended the sweep before the trial budget."""
+        return self.trials_run < self.trials_requested
+
+    @property
+    def converged(self) -> bool:
+        """True when every configuration meets the tolerance at every probe time."""
+        if self.tolerance is None:
+            return False
+        return self.max_margin() <= self.tolerance
+
+    def max_margin(self) -> float:
+        """Largest Wilson half-width across all configurations and probe times."""
+        return max(result.max_margin() for result in self.results)
+
+    def for_config(self, config: ReplicaConfig) -> ConfigSweepResult:
+        """Look up the summary for one configuration."""
+        for result in self.results:
+            if result.config == config:
+                return result
+        raise ConfigurationError(f"configuration {config.label()} was not part of this sweep")
+
+    def __iter__(self) -> Iterator[ConfigSweepResult]:
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+
+class _ConfigAccumulator:
+    """Streaming per-configuration accumulation across chunks."""
+
+    def __init__(
+        self,
+        config: ReplicaConfig,
+        times_ms: np.ndarray,
+        histogram_bins: int,
+        keep_samples: bool,
+    ) -> None:
+        self.config = config
+        self.times_ms = times_ms
+        self.trials = 0
+        self.consistent_counts = np.zeros(times_ms.size, dtype=np.int64)
+        self.nonpositive_thresholds = 0
+        # Thresholds can be negative (strict quorums), so they bin linearly;
+        # operation latencies are positive and heavy-tailed, so they get
+        # constant relative resolution from log-spaced bins.
+        self.threshold_histogram = StreamingHistogram(histogram_bins)
+        self.read_histogram = StreamingHistogram(histogram_bins, log_scale=True)
+        self.write_histogram = StreamingHistogram(histogram_bins, log_scale=True)
+        self._kept: list[WARSTrialResult] | None = [] if keep_samples else None
+
+    def update(self, result: WARSTrialResult) -> None:
+        thresholds = result.staleness_thresholds_ms
+        self.trials += thresholds.size
+        if self.times_ms.size:
+            self.consistent_counts += np.count_nonzero(
+                thresholds[:, None] <= self.times_ms[None, :], axis=0
+            )
+        self.nonpositive_thresholds += int(np.count_nonzero(thresholds <= 0.0))
+        self.threshold_histogram.update(thresholds)
+        self.read_histogram.update(result.read_latencies_ms)
+        self.write_histogram.update(result.commit_latencies_ms)
+        if self._kept is not None:
+            self._kept.append(result)
+
+    def max_margin(self, confidence: float) -> float:
+        # The probe grid always contains t=0 (SweepEngine injects it), so the
+        # counts array is never empty.
+        return max(
+            wilson_interval(int(count), self.trials, confidence).margin
+            for count in self.consistent_counts
+        )
+
+    def kept_results(self) -> list[WARSTrialResult]:
+        return self._kept or []
+
+    def finalize(
+        self, confidence: float, shared_arrivals: np.ndarray | None = None
+    ) -> ConfigSweepResult:
+        samples: WARSTrialResult | None = None
+        if self._kept is not None:
+            samples = WARSTrialResult(
+                config=self.config,
+                commit_latencies_ms=np.concatenate(
+                    [kept.commit_latencies_ms for kept in self._kept]
+                ),
+                read_latencies_ms=np.concatenate(
+                    [kept.read_latencies_ms for kept in self._kept]
+                ),
+                staleness_thresholds_ms=np.concatenate(
+                    [kept.staleness_thresholds_ms for kept in self._kept]
+                ),
+                write_arrivals_ms=shared_arrivals,
+            )
+        return ConfigSweepResult(
+            config=self.config,
+            trials=self.trials,
+            times_ms=tuple(float(t) for t in self.times_ms),
+            consistent_counts=tuple(int(c) for c in self.consistent_counts),
+            nonpositive_thresholds=self.nonpositive_thresholds,
+            confidence=confidence,
+            _threshold_histogram=self.threshold_histogram,
+            _read_histogram=self.read_histogram,
+            _write_histogram=self.write_histogram,
+            _samples=samples,
+        )
+
+
+class SweepEngine:
+    """Evaluate many (N, R, W) configurations against shared WARS samples.
+
+    Parameters
+    ----------
+    distributions:
+        The latency environment shared by every configuration in the sweep.
+    configs:
+        The configurations to evaluate.  Configurations may mix replication
+        factors; each distinct ``N`` gets its own shared draw per chunk (the
+        delay matrices have ``N`` columns, so they cannot be shared across
+        replication factors).
+    times_ms:
+        Probe times (ms since commit) at which exact consistency counts — and
+        the early-stopping Wilson intervals — are maintained.  ``0.0`` is
+        always included.
+    chunk_size:
+        Trials sampled per accumulation step; rounded up to a multiple of
+        :data:`SAMPLE_BLOCK`.  Bounds peak memory at
+        ``O(chunk_size * max(N))`` and sets the early-stopping cadence.
+    tolerance:
+        Optional Wilson half-width target; when every configuration's interval
+        at every probe time is at least this tight, the sweep stops early.
+        The tolerance governs the probe-time consistency estimates only —
+        callers that report tail quantiles (t-visibility, p99.9 latency)
+        should combine it with a ``min_trials`` floor sized for the tail.
+    min_trials:
+        Early stopping never triggers before this many trials, regardless of
+        the tolerance.  Callers reporting a ``q``-quantile should set it to
+        roughly ``100 / (1 - q)`` so the quantile rests on at least ~100 tail
+        samples.
+    confidence:
+        Confidence level for the Wilson intervals (default 95%).
+    histogram_bins:
+        Resolution of the streaming threshold/latency histograms.
+    keep_samples:
+        Retain the raw per-trial arrays (memory O(trials * N)); required for
+        :meth:`ConfigSweepResult.as_trial_result`.
+    """
+
+    def __init__(
+        self,
+        distributions: WARSDistributions,
+        configs: Sequence[ReplicaConfig],
+        *,
+        times_ms: Sequence[float] = (),
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        tolerance: float | None = None,
+        min_trials: int = 1,
+        confidence: float = 0.95,
+        histogram_bins: int = 4_096,
+        keep_samples: bool = False,
+    ) -> None:
+        self._configs = tuple(configs)
+        if not self._configs:
+            raise ConfigurationError("a sweep requires at least one configuration")
+        if chunk_size < 1:
+            raise ConfigurationError(f"chunk size must be >= 1, got {chunk_size}")
+        if min_trials < 1:
+            raise ConfigurationError(f"min_trials must be >= 1, got {min_trials}")
+        if tolerance is not None and not 0.0 < tolerance < 1.0:
+            raise ConfigurationError(
+                f"tolerance must be a probability half-width in (0, 1), got {tolerance}"
+            )
+        if not 0.0 < confidence < 1.0:
+            raise ConfigurationError(f"confidence must be in (0, 1), got {confidence}")
+        times = np.unique(np.asarray([0.0, *times_ms], dtype=float))
+        if times.size and times[0] < 0.0:
+            raise ConfigurationError("probe times since commit must be non-negative")
+        self._distributions = distributions
+        self._times_ms = times
+        self._chunk_size = ceil(chunk_size / SAMPLE_BLOCK) * SAMPLE_BLOCK
+        self._tolerance = tolerance
+        self._min_trials = min_trials
+        self._confidence = confidence
+        self._histogram_bins = histogram_bins
+        self._keep_samples = keep_samples
+        # Group configuration indices by replication factor, preserving the
+        # first-seen group order (which fixes the RNG consumption order).
+        groups: dict[int, list[int]] = {}
+        for index, config in enumerate(self._configs):
+            groups.setdefault(config.n, []).append(index)
+        self._groups = groups
+
+    @property
+    def configs(self) -> tuple[ReplicaConfig, ...]:
+        return self._configs
+
+    def run(
+        self, trials: int, rng: np.random.Generator | int | None = None
+    ) -> SweepResult:
+        """Run up to ``trials`` shared-sample trials and summarise every config."""
+        if trials < 1:
+            raise ConfigurationError(f"trial count must be >= 1, got {trials}")
+
+        accumulators = [
+            _ConfigAccumulator(
+                config, self._times_ms, self._histogram_bins, self._keep_samples
+            )
+            for config in self._configs
+        ]
+
+        sequential = rng if isinstance(rng, np.random.Generator) else None
+        block_seeds: Mapping[int, list] = {}
+        if sequential is None:
+            root = np.random.SeedSequence(rng)
+            total_blocks = ceil(trials / SAMPLE_BLOCK)
+            # Group streams are keyed by the replication factor itself (via
+            # spawn_key), not by group order, so a configuration's samples for
+            # a given seed are identical whether it is swept alone or
+            # alongside configurations with other replication factors.
+            block_seeds = {
+                n: np.random.SeedSequence(
+                    entropy=root.entropy, spawn_key=(n,)
+                ).spawn(total_blocks)
+                for n in self._groups
+            }
+
+        processed = 0
+        while processed < trials:
+            count = min(self._chunk_size, trials - processed)
+            for n, config_indices in self._groups.items():
+
+                def accumulate(batch: WARSSampleBatch) -> None:
+                    for index in config_indices:
+                        accumulators[index].update(batch.reduce(self._configs[index]))
+
+                if sequential is not None:
+                    accumulate(sample_wars_batch(self._distributions, count, n, sequential))
+                else:
+                    offset = 0
+                    while offset < count:
+                        start = processed + offset
+                        rows = min(SAMPLE_BLOCK, count - offset)
+                        generator = np.random.default_rng(
+                            block_seeds[n][start // SAMPLE_BLOCK]
+                        )
+                        accumulate(
+                            sample_wars_batch(self._distributions, rows, n, generator)
+                        )
+                        offset += rows
+            processed += count
+            if (
+                self._tolerance is not None
+                and processed < trials
+                and processed >= self._min_trials
+            ):
+                if all(
+                    accumulator.max_margin(self._confidence) <= self._tolerance
+                    for accumulator in accumulators
+                ):
+                    break
+
+        # One shared write-arrivals matrix per replication factor: every
+        # configuration in a group references the same per-batch arrays, so
+        # concatenating once avoids duplicating the (trials x N) matrix.
+        shared_arrivals: dict[int, np.ndarray | None] = {}
+        if self._keep_samples:
+            for n, config_indices in self._groups.items():
+                kept = accumulators[config_indices[0]].kept_results()
+                arrays = [result.write_arrivals_ms for result in kept]
+                shared_arrivals[n] = (
+                    np.concatenate(arrays, axis=0)
+                    if arrays and all(a is not None for a in arrays)
+                    else None
+                )
+
+        return SweepResult(
+            results=tuple(
+                accumulator.finalize(
+                    self._confidence,
+                    shared_arrivals.get(accumulator.config.n),
+                )
+                for accumulator in accumulators
+            ),
+            trials_requested=trials,
+            trials_run=processed,
+            chunk_size=self._chunk_size,
+            tolerance=self._tolerance,
+            confidence=self._confidence,
+        )

@@ -14,11 +14,15 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from repro.core.quorum import ReplicaConfig
-from repro.core.wars import WARSModel, WARSTrialResult
+from repro.core.wars import WARSModel
 from repro.exceptions import ConfigurationError
-from repro.latency.base import as_rng
 from repro.latency.production import WARSDistributions
 from repro.montecarlo.convergence import ProbabilityEstimate, wilson_interval
+from repro.montecarlo.engine import (
+    DEFAULT_CHUNK_SIZE,
+    SweepEngine,
+    min_trials_for_quantile,
+)
 
 __all__ = ["TVisibilityCurve", "visibility_curve", "visibility_curves", "t_visibility_table"]
 
@@ -87,16 +91,39 @@ def visibility_curves(
     times_ms: Sequence[float],
     trials: int = 100_000,
     rng: np.random.Generator | int | None = None,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    tolerance: float | None = None,
 ) -> list[TVisibilityCurve]:
     """Curves for several configurations sharing one latency environment.
 
-    A single seed (or generator) is used for the whole batch so that curves
-    for different (R, W) choices are comparable trial-for-trial.
+    All configurations are evaluated against one shared sample batch via
+    :class:`~repro.montecarlo.engine.SweepEngine`, so the delay matrices are
+    drawn once per chunk (not once per configuration) and the curves are
+    comparable trial-for-trial.  ``tolerance`` enables early stopping once
+    every curve's Wilson half-width is at least that tight at every probe
+    time.  ``rng`` is forwarded to the engine verbatim: an integer seed (or
+    ``None``) selects the chunk-size-invariant seeded mode, a generator is
+    consumed sequentially.
     """
-    generator = as_rng(rng)
+    engine = SweepEngine(
+        distributions,
+        configs,
+        times_ms=times_ms,
+        chunk_size=chunk_size,
+        tolerance=tolerance,
+    )
+    sweep = engine.run(trials, rng)
     return [
-        visibility_curve(distributions, config, times_ms, trials, generator)
-        for config in configs
+        TVisibilityCurve(
+            config=summary.config,
+            label=f"{distributions.name} {summary.config.label()}",
+            times_ms=tuple(float(t) for t in times_ms),
+            probabilities=tuple(
+                summary.consistency_probability(float(t)) for t in times_ms
+            ),
+            trials=sweep.trials_run,
+        )
+        for summary in sweep
     ]
 
 
@@ -107,27 +134,45 @@ def t_visibility_table(
     latency_percentile: float = 99.9,
     trials: int = 100_000,
     rng: np.random.Generator | int | None = None,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    tolerance: float | None = None,
 ) -> list[dict[str, object]]:
     """Build Table 4 style rows: per (environment, config), tail latencies and t-visibility.
 
     Each row contains the environment name, the configuration, the read and
     write latency at ``latency_percentile``, and the ``t`` needed to reach
-    ``target_probability`` probability of consistent reads.
+    ``target_probability`` probability of consistent reads.  Every environment
+    evaluates all configurations against one shared sample batch.  ``rng`` is
+    forwarded to each environment's engine verbatim, so an integer seed keeps
+    the results independent of ``chunk_size`` (environments then share the
+    same underlying uniforms — common random numbers across rows).
     """
-    generator = as_rng(rng)
+    # The table's headline columns are tail quantiles, which the Wilson
+    # tolerance does not constrain; keep early stopping from cutting the
+    # tail support below ~100 samples.
+    tail_floor = max(
+        min_trials_for_quantile(target_probability),
+        min_trials_for_quantile(latency_percentile / 100.0),
+    )
     rows: list[dict[str, object]] = []
     for name, distributions in distributions_by_name.items():
-        for config in configs:
-            model = WARSModel(distributions=distributions, config=config)
-            result: WARSTrialResult = model.sample(trials, generator)
+        engine = SweepEngine(
+            distributions,
+            configs,
+            chunk_size=chunk_size,
+            tolerance=tolerance,
+            min_trials=tail_floor,
+        )
+        sweep = engine.run(trials, rng)
+        for summary in sweep:
             rows.append(
                 {
                     "environment": name,
-                    "config": config,
-                    "read_latency_ms": result.read_latency_percentile(latency_percentile),
-                    "write_latency_ms": result.write_latency_percentile(latency_percentile),
-                    "t_visibility_ms": result.t_visibility(target_probability),
-                    "consistency_at_commit": result.probability_never_stale(),
+                    "config": summary.config,
+                    "read_latency_ms": summary.read_latency_percentile(latency_percentile),
+                    "write_latency_ms": summary.write_latency_percentile(latency_percentile),
+                    "t_visibility_ms": summary.t_visibility(target_probability),
+                    "consistency_at_commit": summary.probability_never_stale(),
                 }
             )
     return rows

@@ -139,6 +139,17 @@ class TestSLAOptimizer:
         assert not evaluation.meets_target
         assert any("t-visibility" in violation for violation in evaluation.violations)
 
+    def test_evaluate_agrees_exactly_with_evaluate_all_for_seeded_runs(self, exponential_wars):
+        # Seeded sample streams are keyed by replication factor, so a
+        # single-config evaluate() sees the same trials as the corresponding
+        # evaluate_all() row and must report identical numbers.
+        optimizer = SLAOptimizer(exponential_wars, replication_factors=(3,), trials=5_000, rng=0)
+        target = SLATarget(t_visibility_ms=10.0)
+        batched = {e.config: e for e in optimizer.evaluate_all(target)}
+        for config in (ReplicaConfig(3, 1, 1), ReplicaConfig(3, 2, 2)):
+            single = optimizer.evaluate(config, target)
+            assert single == batched[config]
+
     def test_callable_distributions_receive_n(self):
         captured: list[int] = []
 

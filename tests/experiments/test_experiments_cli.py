@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -148,6 +150,86 @@ class TestValidationExperiment:
         for row in result.rows:
             assert row["consistency_rmse_pct"] < 25.0
             assert row["observations"] > 0
+
+
+def _registered_experiment_ids() -> list[str]:
+    return [experiment_id for experiment_id, _ in list_experiments()]
+
+
+class TestRegistrySmoke:
+    """Every registered experiment must run end-to-end through the CLI.
+
+    Tiny trial counts keep this fast; the assertions only check that each
+    experiment produces a well-formed table (non-empty rows with a consistent
+    schema) and renders through the CLI without error.
+    """
+
+    #: Small but valid everywhere (the SLA search requires >= 100 trials).
+    _SMOKE_TRIALS = 120
+
+    @pytest.mark.parametrize("experiment_id", _registered_experiment_ids())
+    def test_cli_smoke_run_produces_well_formed_rows(self, experiment_id, capsys, tmp_path):
+        assert (
+            main(
+                [
+                    "run",
+                    experiment_id,
+                    "--trials",
+                    str(self._SMOKE_TRIALS),
+                    "--seed",
+                    "1",
+                    "--export",
+                    str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert output.startswith("== ")
+        # Header line, separator, and at least one data row.
+        assert len([line for line in output.splitlines() if line.strip()]) >= 3
+
+        # The exported artifact carries the rows the CLI rendered; assert
+        # they are well-formed without re-running the experiment.
+        payload = json.loads((tmp_path / f"{experiment_id}.json").read_text())
+        rows = payload["rows"]
+        assert len(rows) > 0
+        # Rows must be non-empty and share a common key core (some
+        # experiments legitimately add columns per row, e.g. table1-2-3's
+        # published percentile sets).
+        common_keys = set(rows[0].keys())
+        for row in rows:
+            assert len(row) > 0
+            common_keys &= set(row.keys())
+        assert common_keys
+
+    def test_cli_forwards_sweep_knobs_to_supporting_runners(self, capsys):
+        assert (
+            main(
+                [
+                    "run",
+                    "table4",
+                    "--trials",
+                    "20000",
+                    "--chunk-size",
+                    "8192",
+                    "--tolerance",
+                    "0.05",
+                ]
+            )
+            == 0
+        )
+        assert "t_visibility_99.9_ms" in capsys.readouterr().out
+
+    def test_cli_sweep_knobs_ignored_by_closed_form_runners(self, capsys):
+        # Closed-form experiments have no sweep to tune; the registry drops
+        # the knobs instead of crashing `run all`-style invocations.
+        assert main(["run", "section3-kstaleness", "--tolerance", "0.01"]) == 0
+        assert "k-staleness" in capsys.readouterr().out
+
+    def test_registry_still_rejects_unknown_kwargs(self):
+        with pytest.raises(TypeError):
+            run_experiment("section3-kstaleness", bogus_kwarg=1)
 
 
 class TestCLI:
