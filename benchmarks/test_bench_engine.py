@@ -10,6 +10,7 @@ independent kernel runs.
 
 from __future__ import annotations
 
+import os
 import time
 
 import numpy as np
@@ -19,7 +20,7 @@ from repro.core.quorum import ReplicaConfig
 from repro.core.wars import WARSModel
 from repro.latency.production import ymmr
 from repro.montecarlo.convergence import wilson_interval
-from repro.montecarlo.engine import SweepEngine
+from repro.montecarlo.engine import SAMPLE_BLOCK, SweepEngine
 
 TRIALS = 100_000
 CONFIGS = (
@@ -74,6 +75,54 @@ def test_engine_speedup_over_per_config_loop():
     assert speedup >= 3.0, (
         f"expected >= 3x speedup for an {len(CONFIGS)}-config {TRIALS}-trial sweep, "
         f"got {speedup:.2f}x ({loop_seconds:.3f}s vs {engine_seconds:.3f}s)"
+    )
+
+
+@pytest.mark.benchmark(group="engine")
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 4,
+    reason="parallel speedup needs >= 4 CPU cores; equivalence is covered by "
+    "tier-1 tests on any machine",
+)
+def test_sharded_engine_speedup_at_four_workers():
+    """4 worker processes beat the serial engine by >= 1.8x on a Table-4-style
+    sweep (8 configs, 100k trials), with bit-for-bit identical results.
+
+    Block-sized chunks give the pool 13 tasks to balance across 4 workers;
+    the coordinator's overhead is one inline chunk (layout freezing) plus
+    per-chunk accumulator pickling.
+    """
+    distributions = ymmr()
+
+    def sweep(workers: int):
+        return SweepEngine(
+            distributions,
+            CONFIGS,
+            times_ms=TIMES_MS,
+            chunk_size=SAMPLE_BLOCK,
+            workers=workers,
+        ).run(TRIALS, 1)
+
+    # Warm both paths (imports, allocator, fork machinery).
+    serial_result = sweep(1)
+    sharded_result = sweep(4)
+    for ours, theirs in zip(serial_result, sharded_result):
+        assert ours.consistent_counts == theirs.consistent_counts
+        for percentile in (50.0, 99.0, 99.9):
+            assert ours.read_latency_percentile(percentile) == theirs.read_latency_percentile(percentile)
+            assert ours.write_latency_percentile(percentile) == theirs.write_latency_percentile(percentile)
+
+    serial_seconds = _time_best_of(2, lambda: sweep(1))
+    sharded_seconds = _time_best_of(2, lambda: sweep(4))
+    speedup = serial_seconds / sharded_seconds
+    print(
+        f"\nserial: {serial_seconds:.3f}s  4 workers: {sharded_seconds:.3f}s  "
+        f"speedup: {speedup:.2f}x"
+    )
+    assert speedup >= 1.8, (
+        f"expected >= 1.8x speedup at 4 workers for an {len(CONFIGS)}-config "
+        f"{TRIALS}-trial sweep, got {speedup:.2f}x "
+        f"({serial_seconds:.3f}s vs {sharded_seconds:.3f}s)"
     )
 
 

@@ -17,3 +17,18 @@ if _SRC.is_dir() and str(_SRC) not in sys.path:
         import repro  # noqa: F401
     except ImportError:
         sys.path.insert(0, str(_SRC))
+
+
+def pytest_addoption(parser) -> None:
+    """Test-suite knobs (options must be declared in the rootdir conftest)."""
+    parser.addoption(
+        "--engine-workers",
+        type=int,
+        default=2,
+        help=(
+            "worker-process count used by tests that exercise the sharded "
+            "SweepEngine through the generic `workers` fixture (seed-mode "
+            "results are identical for any value; raise it on many-core "
+            "machines to stress the pool harder)"
+        ),
+    )

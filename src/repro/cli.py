@@ -62,6 +62,15 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     run_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help=(
+            "shard seeded Monte Carlo sweeps across this many worker processes "
+            "(default: serial); results are identical for any worker count"
+        ),
+    )
+    run_parser.add_argument(
         "--precision", type=int, default=3, help="decimal places in printed tables"
     )
     run_parser.add_argument(
@@ -101,6 +110,15 @@ def build_parser() -> argparse.ArgumentParser:
             "effect when --trials exceeds it"
         ),
     )
+    predict_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help=(
+            "shard the prediction sweep across this many worker processes "
+            "(default: serial); results are identical for any worker count"
+        ),
+    )
     return parser
 
 
@@ -118,6 +136,7 @@ def _command_run(
     export_dir: str | None,
     chunk_size: int | None = None,
     tolerance: float | None = None,
+    workers: int | None = None,
 ) -> int:
     if experiment == "all":
         experiment_ids = [experiment_id for experiment_id, _ in list_experiments()]
@@ -128,6 +147,8 @@ def _command_run(
         sweep_kwargs["chunk_size"] = chunk_size
     if tolerance is not None:
         sweep_kwargs["tolerance"] = tolerance
+    if workers is not None:
+        sweep_kwargs["workers"] = workers
     for experiment_id in experiment_ids:
         result = run_experiment(experiment_id, trials=trials, rng=seed, **sweep_kwargs)
         print(result.to_text(precision=precision))
@@ -149,12 +170,17 @@ def _command_predict(
     seed: int,
     chunk_size: int | None = None,
     tolerance: float | None = None,
+    workers: int | None = None,
 ) -> int:
     config = ReplicaConfig(n=n, r=r, w=w)
     kwargs = {"replica_count": n} if fit.upper() == "WAN" else {}
     predictor = PBSPredictor(production_fit(fit, **kwargs), config)
     report = predictor.report(
-        trials=trials, rng=seed, chunk_size=chunk_size, tolerance=tolerance
+        trials=trials,
+        rng=seed,
+        chunk_size=chunk_size,
+        tolerance=tolerance,
+        workers=workers if workers is not None else 1,
     )
     print(f"latency environment: {fit}")
     if report.trials < trials:
@@ -180,6 +206,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                 args.export,
                 args.chunk_size,
                 args.tolerance,
+                args.workers,
             )
         if args.command == "predict":
             return _command_predict(
@@ -191,6 +218,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                 args.seed,
                 args.chunk_size,
                 args.tolerance,
+                args.workers,
             )
         parser.error(f"unknown command {args.command!r}")  # pragma: no cover
         return 2  # pragma: no cover

@@ -176,6 +176,7 @@ class PBSPredictor:
         ks: Sequence[int] = (1, 2, 3),
         chunk_size: int | None = None,
         tolerance: float | None = None,
+        workers: int = 1,
     ) -> PBSReport:
         """Produce a :class:`PBSReport` summarising latency and staleness predictions.
 
@@ -183,7 +184,8 @@ class PBSPredictor:
         trial counts use bounded memory; ``tolerance`` optionally stops early
         once the consistency estimates are that tight (Wilson half-width).
         ``rng`` is forwarded to the engine verbatim, so integer seeds give
-        results independent of ``chunk_size``.
+        results independent of ``chunk_size`` — and of ``workers``, which
+        shards seeded chunks across processes without changing any number.
         """
         # Imported lazily: repro.core must stay importable without pulling in
         # the montecarlo package at module-import time.
@@ -205,6 +207,7 @@ class PBSPredictor:
             # The report quotes 99.9% t-visibility and p99.9 latencies; keep
             # early stopping from starving that tail of samples.
             min_trials=min_trials_for_quantile(0.999),
+            workers=workers,
         )
         sweep = engine.run(trials, rng)
         summary = sweep.results[0]

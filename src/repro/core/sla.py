@@ -119,6 +119,7 @@ class SLAOptimizer:
         rng: np.random.Generator | int | None = None,
         chunk_size: int | None = None,
         tolerance: float | None = None,
+        workers: int = 1,
     ) -> None:
         if trials < 100:
             raise ConfigurationError(f"at least 100 trials are required, got {trials}")
@@ -133,6 +134,9 @@ class SLAOptimizer:
         self._rng = rng
         self._chunk_size = chunk_size
         self._tolerance = tolerance
+        # Forwarded to each sweep; seed-mode results are worker-count
+        # invariant, so sharding never changes which configuration wins.
+        self._workers = workers
 
     def _distributions_for(self, n: int) -> WARSDistributions:
         if callable(self._distributions):
@@ -219,6 +223,7 @@ class SLAOptimizer:
                 min_trials_for_quantile(target.consistency_probability),
                 min_trials_for_quantile(target.latency_percentile / 100.0),
             ),
+            workers=self._workers,
         )
 
     def _evaluation_from_summary(self, summary, target: SLATarget) -> ConfigurationEvaluation:

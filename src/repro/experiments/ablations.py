@@ -34,6 +34,7 @@ def _wars_predicted_t_visibility(
     distributions: WARSDistributions,
     target: float = 0.90,
     trials: int = 20_000,
+    workers: int = 1,
 ) -> float:
     """WARS sweep-engine prediction to place next to the measured cluster numbers.
 
@@ -42,8 +43,8 @@ def _wars_predicted_t_visibility(
     reference column.  A fixed seed keeps the prediction independent of the
     cluster workload's random stream.
     """
-    sweep = SweepEngine(distributions, (config,), keep_samples=True).run(trials, rng=0)
-    return sweep.results[0].t_visibility(target)
+    engine = SweepEngine(distributions, (config,), keep_samples=True, workers=workers)
+    return engine.run(trials, rng=0).results[0].t_visibility(target)
 
 
 def _slow_write_distributions(write_mean_ms: float = 50.0) -> WARSDistributions:
@@ -98,13 +99,15 @@ def _run_cluster_workload(
 
 @register("ablation-read-repair", "Ablation: staleness with and without read repair (§4.2)")
 def run_read_repair_ablation(
-    trials: int = 400, rng: np.random.Generator | int | None = 0
+    trials: int = 400,
+    rng: np.random.Generator | int | None = 0,
+    workers: int = 1,
 ) -> ExperimentResult:
     """Compare observed staleness with read repair disabled (paper's model) vs enabled."""
     generator = as_rng(rng)
     config = ReplicaConfig(3, 1, 1)
     distributions = _slow_write_distributions()
-    predicted = _wars_predicted_t_visibility(config, distributions)
+    predicted = _wars_predicted_t_visibility(config, distributions, workers=workers)
     rows = []
     for label, read_repair in (("disabled (paper model)", False), ("enabled", True)):
         summary = _run_cluster_workload(
@@ -130,13 +133,15 @@ def run_read_repair_ablation(
     "Ablation: Dynamo-style (N) vs Voldemort-style (R) read fan-out (§2.3)",
 )
 def run_fanout_ablation(
-    trials: int = 400, rng: np.random.Generator | int | None = 0
+    trials: int = 400,
+    rng: np.random.Generator | int | None = 0,
+    workers: int = 1,
 ) -> ExperimentResult:
     """Staleness is unchanged by fan-out choice; per-replica read load is not."""
     generator = as_rng(rng)
     config = ReplicaConfig(3, 1, 1)
     distributions = _slow_write_distributions()
-    predicted = _wars_predicted_t_visibility(config, distributions)
+    predicted = _wars_predicted_t_visibility(config, distributions, workers=workers)
     rows = []
     for label, fanout_all in (("all N replicas (Dynamo)", True), ("only R replicas (Voldemort)", False)):
         summary = _run_cluster_workload(
@@ -159,7 +164,9 @@ def run_fanout_ablation(
 
 @register("ablation-failures", "Ablation: fail-stop replica failure vs steady state (§6)")
 def run_failure_ablation(
-    trials: int = 400, rng: np.random.Generator | int | None = 0
+    trials: int = 400,
+    rng: np.random.Generator | int | None = 0,
+    workers: int = 1,
 ) -> ExperimentResult:
     """A crashed replica effectively shrinks N, changing both staleness and availability."""
     generator = as_rng(rng)
@@ -167,9 +174,9 @@ def run_failure_ablation(
     distributions = _slow_write_distributions()
     # The model's steady-state reference; a crashed replica shrinks the
     # effective N, which the two-replica prediction below captures.
-    predicted_steady = _wars_predicted_t_visibility(config, distributions)
+    predicted_steady = _wars_predicted_t_visibility(config, distributions, workers=workers)
     predicted_degraded = _wars_predicted_t_visibility(
-        ReplicaConfig(2, 1, 1), distributions
+        ReplicaConfig(2, 1, 1), distributions, workers=workers
     )
     rows = []
     for label, crash in (("steady state", False), ("one replica crashed", True)):

@@ -46,6 +46,7 @@ def run_figure4(
     rng: np.random.Generator | int | None = 0,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     tolerance: float | None = None,
+    workers: int = 1,
 ) -> ExperimentResult:
     """Probability of consistency vs t for each W:ARS rate ratio in Figure 4.
 
@@ -66,6 +67,7 @@ def run_figure4(
             chunk_size=chunk_size,
             tolerance=tolerance,
             min_trials=min_trials_for_quantile(0.999),
+            workers=workers,
         )
         summary = engine.run(trials, rng).results[0]
         row: dict[str, object] = {"w_to_ars_ratio": label, "w_mean_ms": 1.0 / write_rate}
@@ -95,6 +97,7 @@ def run_write_variance_sweep(
     rng: np.random.Generator | int | None = 0,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     tolerance: float | None = None,
+    workers: int = 1,
 ) -> ExperimentResult:
     """Hold the mean of W fixed and vary its variance using uniform and normal shapes."""
     config = ReplicaConfig(n=3, r=1, w=1)
@@ -118,6 +121,7 @@ def run_write_variance_sweep(
             chunk_size=chunk_size,
             tolerance=tolerance,
             min_trials=min_trials_for_quantile(0.999),
+            workers=workers,
         )
         summary = engine.run(trials, rng).results[0]
         rows.append(

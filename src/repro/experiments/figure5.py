@@ -26,8 +26,14 @@ def run_figure5(
     rng: np.random.Generator | int | None = 0,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     tolerance: float | None = None,
+    workers: int = 1,
 ) -> ExperimentResult:
-    """Read/write latency percentiles per production environment and quorum size."""
+    """Read/write latency percentiles per production environment and quorum size.
+
+    ``workers`` is accepted for CLI uniformity but has no effect here: the
+    engine runs serially whenever samples are retained (``keep_samples``),
+    which this experiment needs for exact percentiles.
+    """
     environments = {
         "LNKD-SSD": lnkd_ssd(),
         "LNKD-DISK": lnkd_disk(),
@@ -48,6 +54,7 @@ def run_figure5(
             tolerance=tolerance,
             min_trials=min_trials_for_quantile(max(_PERCENTILES) / 100.0),
             keep_samples=True,
+            workers=workers,
         )
         sweep = engine.run(trials, rng)
         for summary in sweep:

@@ -37,6 +37,7 @@ def run_figure6(
     rng: np.random.Generator | int | None = 0,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     tolerance: float | None = None,
+    workers: int = 1,
 ) -> ExperimentResult:
     """Consistency-vs-t series for each production environment and partial quorum."""
     environments = {
@@ -54,6 +55,7 @@ def run_figure6(
             chunk_size=chunk_size,
             tolerance=tolerance,
             min_trials=min_trials_for_quantile(0.999),
+            workers=workers,
         )
         for summary in engine.run(trials, rng):
             row: dict[str, object] = {

@@ -33,6 +33,7 @@ def run_figure7(
     rng: np.random.Generator | int | None = 0,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     tolerance: float | None = None,
+    workers: int = 1,
 ) -> ExperimentResult:
     """Consistency-vs-t series for N in {2, 3, 5, 10} with R=W=1."""
     configs = tuple(ReplicaConfig(n=n, r=1, w=1) for n in FIGURE7_REPLICATION_FACTORS)
@@ -50,6 +51,7 @@ def run_figure7(
                     chunk_size=chunk_size,
                     tolerance=tolerance,
                     min_trials=min_trials_for_quantile(0.999),
+                    workers=workers,
                 )
                 yield engine.run(trials, rng).results[0]
         else:
@@ -63,6 +65,7 @@ def run_figure7(
                 chunk_size=chunk_size,
                 tolerance=tolerance,
                 min_trials=min_trials_for_quantile(0.999),
+                workers=workers,
             )
             yield from engine.run(trials, rng)
 

@@ -85,8 +85,9 @@ def get_experiment(experiment_id: str) -> ExperimentRunner:
 #: Sweep-engine knobs that not every runner supports (closed-form and
 #: cluster-based experiments have no Monte Carlo sweep to tune).  These — and
 #: only these — are dropped silently when a runner does not accept them, so
-#: ``pbs-repro run all --tolerance ...`` works across heterogeneous runners.
-_OPTIONAL_SWEEP_KWARGS: tuple[str, ...] = ("chunk_size", "tolerance")
+#: ``pbs-repro run all --tolerance ... --workers ...`` works across
+#: heterogeneous runners.
+_OPTIONAL_SWEEP_KWARGS: tuple[str, ...] = ("chunk_size", "tolerance", "workers")
 
 
 def run_experiment(experiment_id: str, **kwargs: object) -> ExperimentResult:

@@ -22,11 +22,13 @@ def run_sla_search(
     rng: np.random.Generator | int | None = 0,
     chunk_size: int | None = None,
     tolerance: float | None = None,
+    workers: int = 1,
 ) -> ExperimentResult:
     """Search (N, R, W) under two representative SLAs for LNKD-DISK and YMMR.
 
     Each scenario's candidate set is evaluated against shared sample batches
-    (one per replication factor) via the sweep engine.
+    (one per replication factor) via the sweep engine; ``workers`` shards
+    those sweeps across processes without changing which configuration wins.
     """
     scenarios = [
         (
@@ -70,6 +72,7 @@ def run_sla_search(
             rng=rng,
             chunk_size=chunk_size,
             tolerance=tolerance,
+            workers=workers,
         )
         evaluations = optimizer.evaluate_all(target)
         best = optimizer.best(target)

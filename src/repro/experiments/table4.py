@@ -41,6 +41,7 @@ def run_table4(
     rng: np.random.Generator | int | None = 0,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     tolerance: float | None = None,
+    workers: int = 1,
 ) -> ExperimentResult:
     """Reproduce the Table 4 grid for all four production environments."""
     environments = {
@@ -58,6 +59,7 @@ def run_table4(
         rng=rng,
         chunk_size=chunk_size,
         tolerance=tolerance,
+        workers=workers,
     )
     rows = []
     for raw in raw_rows:

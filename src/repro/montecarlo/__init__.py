@@ -16,6 +16,7 @@ from repro.montecarlo.engine import (
 )
 from repro.montecarlo.latency import (
     OperationLatencyCDF,
+    StreamingOperationLatency,
     latency_percentile_table,
     operation_latency_cdf,
 )
@@ -38,6 +39,7 @@ __all__ = [
     "SweepResult",
     "min_trials_for_quantile",
     "OperationLatencyCDF",
+    "StreamingOperationLatency",
     "latency_percentile_table",
     "operation_latency_cdf",
     "TVisibilityCurve",

@@ -56,10 +56,42 @@ of the quantile itself at the trial counts the experiments use.  When exact
 order statistics are required, run with ``keep_samples=True``: percentile and
 t-visibility queries then use the retained per-trial arrays and match
 :class:`~repro.core.wars.WARSTrialResult` exactly.
+
+Multiprocess sharding and the merge contract
+--------------------------------------------
+With ``workers > 1`` a seed-mode sweep shards its chunks across a process
+pool.  Correctness rests on two properties:
+
+* *Independent streams.*  Seed mode derives one ``SeedSequence`` child per
+  ``SAMPLE_BLOCK`` of trials, keyed by block index, so any process can sample
+  any block and obtain exactly the trials the serial loop would have produced
+  at that offset.  Chunk boundaries are block-aligned, so a chunk is a
+  self-contained span of blocks.
+* *Mergeable accumulators.*  All per-configuration state is a commutative
+  monoid: exact integer counts (trials, per-probe consistency counts,
+  non-positive thresholds) merge by addition, exact extremes by min/max, and
+  :class:`StreamingHistogram` sketches merge by bin-wise count addition —
+  *provided the bin layouts match*.  Layouts are frozen from the first batch
+  of values, which is order-dependent, so the coordinator processes the first
+  chunk inline (freezing every layout exactly as a serial run would), then
+  hands workers empty accumulators spawned from the frozen layouts
+  (:meth:`StreamingHistogram.spawn_empty`).  ``merge(other)`` refuses
+  mismatched layouts rather than approximating.
+
+The coordinator merges worker partials strictly in block order and applies
+the early-stopping convergence check after each merged chunk — the same
+cadence as the serial loop — so ``trials_run``, ``stopped_early``,
+``converged``, every count, and every histogram bin are bit-for-bit identical
+to the serial seed-mode run, for any worker count.  Early stopping discards
+whatever speculative chunks were still in flight.  Two regimes cannot shard
+and silently fall back to serial execution: passing a ``numpy.random.Generator``
+(the stream is inherently sequential) and ``keep_samples=True`` (shipping the
+raw per-trial arrays between processes would cost more than the sampling).
 """
 
 from __future__ import annotations
 
+import multiprocessing
 from dataclasses import dataclass, field
 from math import ceil
 from typing import Iterator, Mapping, Sequence
@@ -67,7 +99,7 @@ from typing import Iterator, Mapping, Sequence
 import numpy as np
 
 from repro.core.quorum import ReplicaConfig
-from repro.core.wars import WARSSampleBatch, WARSTrialResult, sample_wars_batch
+from repro.core.wars import WARSTrialResult, sample_wars_batch
 from repro.exceptions import AnalysisError, ConfigurationError
 from repro.latency.production import WARSDistributions
 from repro.montecarlo.convergence import ProbabilityEstimate, wilson_interval
@@ -168,6 +200,58 @@ class StreamingHistogram:
             raise AnalysisError("histogram is empty")
         return self._max
 
+    def spawn_empty(self) -> "StreamingHistogram":
+        """An empty histogram sharing this histogram's frozen bin layout.
+
+        The clone counts nothing yet but bins incoming values exactly as this
+        histogram would, so the two can later :meth:`merge` without error.
+        Spawning from an unfrozen histogram returns a plain empty histogram
+        with the same configuration.
+        """
+        clone = StreamingHistogram(self._bins, log_scale=self._log_scale)
+        if self._edges is not None:
+            # Frozen layouts are immutable, so sharing the edges is safe (and
+            # pickling for worker processes copies them anyway).
+            clone._edges = self._edges
+            clone._counts = np.zeros(self._bins, dtype=np.int64)
+        return clone
+
+    def merge(self, other: "StreamingHistogram") -> None:
+        """Fold another histogram's state into this one, exactly.
+
+        Merging is pure state addition — bin-wise counts, underflow/overflow,
+        totals — plus min/max reconciliation, so it is associative and
+        commutative: any merge order over a set of histograms yields identical
+        state, and merging per-shard histograms reproduces the single-stream
+        histogram that saw all the data (given a shared layout).  Both sides
+        must have the same bin count, scale, and — when both are frozen — the
+        same bin edges; use :meth:`spawn_empty` to give shards a shared
+        layout.  An unfrozen (empty) side adopts the other's layout.
+        """
+        if other._bins != self._bins or other._log_scale != self._log_scale:
+            raise AnalysisError(
+                "cannot merge histograms with different configurations: "
+                f"bins {self._bins} vs {other._bins}, "
+                f"log_scale {self._log_scale} vs {other._log_scale}"
+            )
+        if other._edges is not None:
+            if self._edges is None:
+                self._edges = other._edges
+                self._counts = np.zeros(self._bins, dtype=np.int64)
+            elif not np.array_equal(self._edges, other._edges):
+                raise AnalysisError(
+                    "cannot merge histograms with mismatched bin layouts; "
+                    "spawn shard histograms from one frozen layout "
+                    "(StreamingHistogram.spawn_empty)"
+                )
+            assert self._counts is not None and other._counts is not None
+            self._counts += other._counts
+        self._underflow += other._underflow
+        self._overflow += other._overflow
+        self._count += other._count
+        self._min = min(self._min, other._min)
+        self._max = max(self._max, other._max)
+
     def update(self, values: np.ndarray) -> None:
         """Accumulate a batch of values."""
         values = np.asarray(values, dtype=float).ravel()
@@ -195,6 +279,18 @@ class StreamingHistogram:
         self._counts += np.histogram(values, bins=self._edges)[0]
         self._count += int(values.size)
 
+    def _extended_buckets(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """``(lows, highs, counts, cumulative)`` over underflow + bins + overflow.
+
+        The single bucket layout both :meth:`quantile` and :meth:`cdf` walk:
+        the exact-extreme underflow/overflow buckets book-end the frozen bins.
+        """
+        assert self._edges is not None and self._counts is not None
+        lows = np.concatenate(([self._min], self._edges[:-1], [self._edges[-1]]))
+        highs = np.concatenate(([self._edges[0]], self._edges[1:], [self._max]))
+        counts = np.concatenate(([self._underflow], self._counts, [self._overflow]))
+        return lows, highs, counts, np.cumsum(counts)
+
     def quantile(self, q: float) -> float:
         """Estimate the ``q``-quantile (``q`` in [0, 1]) of the accumulated values."""
         if self._count == 0:
@@ -203,11 +299,7 @@ class StreamingHistogram:
             raise AnalysisError(f"quantile must be in [0, 1], got {q}")
         if self._min == self._max:
             return self._min
-        assert self._edges is not None and self._counts is not None
-        lows = np.concatenate(([self._min], self._edges[:-1], [self._edges[-1]]))
-        highs = np.concatenate(([self._edges[0]], self._edges[1:], [self._max]))
-        counts = np.concatenate(([self._underflow], self._counts, [self._overflow]))
-        cumulative = np.cumsum(counts)
+        lows, highs, counts, cumulative = self._extended_buckets()
         target = q * self._count
         index = int(np.searchsorted(cumulative, target, side="left"))
         index = min(index, counts.size - 1)
@@ -229,6 +321,34 @@ class StreamingHistogram:
         if not 0.0 <= p <= 100.0:
             raise AnalysisError(f"percentile must be in [0, 100], got {p}")
         return self.quantile(p / 100.0)
+
+    def cdf(self, value: float) -> float:
+        """Estimate P(X <= value) for the accumulated values.
+
+        The inverse of :meth:`quantile`: exact 0/1 outside the observed
+        extremes, interpolated within a bucket otherwise.
+        """
+        if self._count == 0:
+            raise AnalysisError("cannot query the CDF of an empty histogram")
+        if value < self._min:
+            return 0.0
+        if value >= self._max:
+            return 1.0
+        lows, highs, counts, cumulative = self._extended_buckets()
+        index = int(np.searchsorted(highs, value, side="right"))
+        index = min(index, counts.size - 1)
+        below = float(cumulative[index - 1]) if index > 0 else 0.0
+        low = max(float(lows[index]), self._min)
+        high = min(float(highs[index]), self._max)
+        if high > low:
+            if self._log_scale and low > 0.0:
+                fraction = np.log(value / low) / np.log(high / low)
+            else:
+                fraction = (value - low) / (high - low)
+        else:
+            fraction = 1.0
+        fraction = min(max(float(fraction), 0.0), 1.0)
+        return (below + fraction * float(counts[index])) / self._count
 
 
 @dataclass(frozen=True)
@@ -347,6 +467,20 @@ class ConfigSweepResult:
             return float(np.percentile(self._samples.commit_latencies_ms, percentile))
         return self._write_histogram.percentile(percentile)
 
+    def read_latency_cdf(self, latency_ms: float) -> float:
+        """P(read latency <= ``latency_ms``): sketch-based when streaming."""
+        if self._samples is not None:
+            latencies = self._samples.read_latencies_ms
+            return float(np.count_nonzero(latencies <= latency_ms) / latencies.size)
+        return self._read_histogram.cdf(latency_ms)
+
+    def write_latency_cdf(self, latency_ms: float) -> float:
+        """P(write latency <= ``latency_ms``): sketch-based when streaming."""
+        if self._samples is not None:
+            latencies = self._samples.commit_latencies_ms
+            return float(np.count_nonzero(latencies <= latency_ms) / latencies.size)
+        return self._write_histogram.cdf(latency_ms)
+
     def as_trial_result(self) -> WARSTrialResult:
         """Raw per-trial arrays (requires ``keep_samples=True`` on the engine)."""
         if self._samples is None:
@@ -367,6 +501,8 @@ class SweepResult:
     chunk_size: int
     tolerance: float | None
     confidence: float
+    #: The engine's ``workers`` knob (informational; results never depend on it).
+    workers: int = 1
 
     @property
     def stopped_early(self) -> bool:
@@ -399,7 +535,15 @@ class SweepResult:
 
 
 class _ConfigAccumulator:
-    """Streaming per-configuration accumulation across chunks."""
+    """Streaming per-configuration accumulation across chunks.
+
+    All state is mergeable: :meth:`merge` folds another accumulator's counts
+    and sketches into this one exactly (integer addition plus histogram
+    merges), so shard-parallel accumulation followed by in-order merging is
+    bit-for-bit identical to a single sequential accumulation over the same
+    trials.  Shards must share frozen histogram layouts — spawn them from a
+    primed accumulator via :meth:`spawn_empty`.
+    """
 
     def __init__(
         self,
@@ -410,6 +554,7 @@ class _ConfigAccumulator:
     ) -> None:
         self.config = config
         self.times_ms = times_ms
+        self.histogram_bins = histogram_bins
         self.trials = 0
         self.consistent_counts = np.zeros(times_ms.size, dtype=np.int64)
         self.nonpositive_thresholds = 0
@@ -420,6 +565,54 @@ class _ConfigAccumulator:
         self.read_histogram = StreamingHistogram(histogram_bins, log_scale=True)
         self.write_histogram = StreamingHistogram(histogram_bins, log_scale=True)
         self._kept: list[WARSTrialResult] | None = [] if keep_samples else None
+
+    def spawn_empty(self) -> "_ConfigAccumulator":
+        """An empty accumulator sharing this one's frozen histogram layouts.
+
+        Worker shards accumulate into spawned clones so their sketches bin
+        values identically to the coordinator's and merge without error.
+        Spawned accumulators never retain raw samples (sharded runs are
+        streaming-only).
+        """
+        clone = _ConfigAccumulator(
+            self.config, self.times_ms, self.histogram_bins, keep_samples=False
+        )
+        clone.threshold_histogram = self.threshold_histogram.spawn_empty()
+        clone.read_histogram = self.read_histogram.spawn_empty()
+        clone.write_histogram = self.write_histogram.spawn_empty()
+        return clone
+
+    def merge(self, other: "_ConfigAccumulator") -> None:
+        """Fold another accumulator's state into this one, exactly.
+
+        Associative and commutative (integer additions and exact histogram
+        merges), so shard merge order cannot change any count; the engine
+        still merges in block order so that retained-sample concatenation —
+        when a caller merges keep-samples accumulators — preserves trial
+        order.
+        """
+        if other.config != self.config:
+            raise AnalysisError(
+                f"cannot merge accumulators for different configurations: "
+                f"{self.config.label()} vs {other.config.label()}"
+            )
+        if not np.array_equal(other.times_ms, self.times_ms):
+            raise AnalysisError(
+                "cannot merge accumulators with different probe-time grids"
+            )
+        self.trials += other.trials
+        self.consistent_counts += other.consistent_counts
+        self.nonpositive_thresholds += other.nonpositive_thresholds
+        self.threshold_histogram.merge(other.threshold_histogram)
+        self.read_histogram.merge(other.read_histogram)
+        self.write_histogram.merge(other.write_histogram)
+        if self._kept is not None and other._kept is not None:
+            self._kept.extend(other._kept)
+        elif (self._kept is None) != (other._kept is None) and other.trials:
+            # Mixed retention would silently drop one side's raw samples.
+            raise AnalysisError(
+                "cannot merge accumulators with mismatched sample retention"
+            )
 
     def update(self, result: WARSTrialResult) -> None:
         thresholds = result.staleness_thresholds_ms
@@ -478,6 +671,82 @@ class _ConfigAccumulator:
         )
 
 
+@dataclass(frozen=True)
+class _WorkerSpec:
+    """Everything a worker process needs to sample and accumulate any chunk.
+
+    Shipped once per worker via the pool initializer.  ``templates`` are
+    empty accumulators spawned from the coordinator's frozen histogram
+    layouts, so every shard bins values identically and partials merge
+    exactly.  The seed streams are re-derived in the worker from the root
+    entropy, keeping the task payload down to a ``(start, count)`` pair.
+    """
+
+    distributions: WARSDistributions
+    configs: tuple[ReplicaConfig, ...]
+    #: ``(replication factor, indices into configs)`` pairs in group order.
+    groups: tuple[tuple[int, tuple[int, ...]], ...]
+    templates: tuple[_ConfigAccumulator, ...]
+    entropy: object
+    total_blocks: int
+
+
+#: Per-process worker state: (spec, per-replication-factor block seeds).
+_WORKER_STATE: tuple[_WorkerSpec, dict] | None = None
+
+
+def _init_worker(spec: _WorkerSpec) -> None:
+    """Pool initializer: cache the spec and re-derive the block seed streams."""
+    global _WORKER_STATE
+    block_seeds = {
+        n: np.random.SeedSequence(
+            entropy=spec.entropy, spawn_key=(n,)
+        ).spawn(spec.total_blocks)
+        for n, _ in spec.groups
+    }
+    _WORKER_STATE = (spec, block_seeds)
+
+
+def _worker_run_chunk(task: tuple[int, int]) -> list[_ConfigAccumulator]:
+    """Sample one chunk's blocks and return per-configuration partials."""
+    assert _WORKER_STATE is not None, "worker task ran before the pool initializer"
+    spec, block_seeds = _WORKER_STATE
+    start, count = task
+    accumulators = [template.spawn_empty() for template in spec.templates]
+    _accumulate_seeded_span(
+        spec.distributions, spec.configs, spec.groups, block_seeds, accumulators, start, count
+    )
+    return accumulators
+
+
+def _accumulate_seeded_span(
+    distributions: WARSDistributions,
+    configs: tuple[ReplicaConfig, ...],
+    groups: tuple[tuple[int, tuple[int, ...]], ...],
+    block_seeds: Mapping[int, list],
+    accumulators: Sequence[_ConfigAccumulator],
+    start: int,
+    count: int,
+) -> None:
+    """Accumulate the seed-mode sampling blocks covering ``[start, start + count)``.
+
+    ``start`` must be block-aligned (chunk sizes are rounded to multiples of
+    :data:`SAMPLE_BLOCK`).  Shared by the serial loop, the coordinator's
+    first chunk, and the worker processes, so every execution mode samples
+    bit-for-bit identical trials for a given span.
+    """
+    for n, config_indices in groups:
+        offset = 0
+        while offset < count:
+            begin = start + offset
+            rows = min(SAMPLE_BLOCK, count - offset)
+            generator = np.random.default_rng(block_seeds[n][begin // SAMPLE_BLOCK])
+            batch = sample_wars_batch(distributions, rows, n, generator)
+            for index in config_indices:
+                accumulators[index].update(batch.reduce(configs[index]))
+            offset += rows
+
+
 class SweepEngine:
     """Evaluate many (N, R, W) configurations against shared WARS samples.
 
@@ -497,7 +766,8 @@ class SweepEngine:
     chunk_size:
         Trials sampled per accumulation step; rounded up to a multiple of
         :data:`SAMPLE_BLOCK`.  Bounds peak memory at
-        ``O(chunk_size * max(N))`` and sets the early-stopping cadence.
+        ``O(chunk_size * max(N))``, sets the early-stopping cadence, and is
+        the unit of work farmed to worker processes.
     tolerance:
         Optional Wilson half-width target; when every configuration's interval
         at every probe time is at least this tight, the sweep stops early.
@@ -515,7 +785,13 @@ class SweepEngine:
         Resolution of the streaming threshold/latency histograms.
     keep_samples:
         Retain the raw per-trial arrays (memory O(trials * N)); required for
-        :meth:`ConfigSweepResult.as_trial_result`.
+        :meth:`ConfigSweepResult.as_trial_result`.  Forces serial execution.
+    workers:
+        Shard seed-mode chunks across this many worker processes (see the
+        module docstring's merge contract).  Results are bit-for-bit
+        identical to ``workers=1`` for the same seed.  Runs that cannot
+        shard — sequential-generator mode, ``keep_samples=True``, or sweeps
+        no larger than one chunk — silently execute serially.
     """
 
     def __init__(
@@ -530,6 +806,7 @@ class SweepEngine:
         confidence: float = 0.95,
         histogram_bins: int = 4_096,
         keep_samples: bool = False,
+        workers: int = 1,
     ) -> None:
         self._configs = tuple(configs)
         if not self._configs:
@@ -544,6 +821,8 @@ class SweepEngine:
             )
         if not 0.0 < confidence < 1.0:
             raise ConfigurationError(f"confidence must be in (0, 1), got {confidence}")
+        if workers < 1:
+            raise ConfigurationError(f"worker count must be >= 1, got {workers}")
         times = np.unique(np.asarray([0.0, *times_ms], dtype=float))
         if times.size and times[0] < 0.0:
             raise ConfigurationError("probe times since commit must be non-negative")
@@ -555,12 +834,15 @@ class SweepEngine:
         self._confidence = confidence
         self._histogram_bins = histogram_bins
         self._keep_samples = keep_samples
+        self._workers = workers
         # Group configuration indices by replication factor, preserving the
         # first-seen group order (which fixes the RNG consumption order).
         groups: dict[int, list[int]] = {}
         for index, config in enumerate(self._configs):
             groups.setdefault(config.n, []).append(index)
-        self._groups = groups
+        self._groups: tuple[tuple[int, tuple[int, ...]], ...] = tuple(
+            (n, tuple(indices)) for n, indices in groups.items()
+        )
 
     @property
     def configs(self) -> tuple[ReplicaConfig, ...]:
@@ -582,8 +864,11 @@ class SweepEngine:
 
         sequential = rng if isinstance(rng, np.random.Generator) else None
         block_seeds: Mapping[int, list] = {}
+        root_entropy: object = None
+        total_blocks = 0
         if sequential is None:
             root = np.random.SeedSequence(rng)
+            root_entropy = root.entropy
             total_blocks = ceil(trials / SAMPLE_BLOCK)
             # Group streams are keyed by the replication factor itself (via
             # spawn_key), not by group order, so a configuration's samples for
@@ -593,50 +878,28 @@ class SweepEngine:
                 n: np.random.SeedSequence(
                     entropy=root.entropy, spawn_key=(n,)
                 ).spawn(total_blocks)
-                for n in self._groups
+                for n, _ in self._groups
             }
 
-        processed = 0
-        while processed < trials:
-            count = min(self._chunk_size, trials - processed)
-            for n, config_indices in self._groups.items():
-
-                def accumulate(batch: WARSSampleBatch) -> None:
-                    for index in config_indices:
-                        accumulators[index].update(batch.reduce(self._configs[index]))
-
-                if sequential is not None:
-                    accumulate(sample_wars_batch(self._distributions, count, n, sequential))
-                else:
-                    offset = 0
-                    while offset < count:
-                        start = processed + offset
-                        rows = min(SAMPLE_BLOCK, count - offset)
-                        generator = np.random.default_rng(
-                            block_seeds[n][start // SAMPLE_BLOCK]
-                        )
-                        accumulate(
-                            sample_wars_batch(self._distributions, rows, n, generator)
-                        )
-                        offset += rows
-            processed += count
-            if (
-                self._tolerance is not None
-                and processed < trials
-                and processed >= self._min_trials
-            ):
-                if all(
-                    accumulator.max_margin(self._confidence) <= self._tolerance
-                    for accumulator in accumulators
-                ):
-                    break
+        shardable = (
+            self._workers > 1
+            and sequential is None
+            and not self._keep_samples
+            and trials > self._chunk_size
+        )
+        if shardable:
+            processed = self._run_sharded(
+                trials, accumulators, block_seeds, root_entropy, total_blocks
+            )
+        else:
+            processed = self._run_serial(trials, accumulators, sequential, block_seeds)
 
         # One shared write-arrivals matrix per replication factor: every
         # configuration in a group references the same per-batch arrays, so
         # concatenating once avoids duplicating the (trials x N) matrix.
         shared_arrivals: dict[int, np.ndarray | None] = {}
         if self._keep_samples:
-            for n, config_indices in self._groups.items():
+            for n, config_indices in self._groups:
                 kept = accumulators[config_indices[0]].kept_results()
                 arrays = [result.write_arrivals_ms for result in kept]
                 shared_arrivals[n] = (
@@ -658,4 +921,107 @@ class SweepEngine:
             chunk_size=self._chunk_size,
             tolerance=self._tolerance,
             confidence=self._confidence,
+            workers=self._workers,
         )
+
+    def _should_stop(
+        self, accumulators: Sequence[_ConfigAccumulator], processed: int, trials: int
+    ) -> bool:
+        """The early-stopping decision, shared by serial and sharded runs.
+
+        Evaluated after every accumulated chunk (never after the final one),
+        so a sharded coordinator checking merged partials at each chunk
+        boundary stops at exactly the trial count the serial loop would.
+        """
+        if self._tolerance is None or processed >= trials or processed < self._min_trials:
+            return False
+        return all(
+            accumulator.max_margin(self._confidence) <= self._tolerance
+            for accumulator in accumulators
+        )
+
+    def _run_serial(
+        self,
+        trials: int,
+        accumulators: list[_ConfigAccumulator],
+        sequential: np.random.Generator | None,
+        block_seeds: Mapping[int, list],
+    ) -> int:
+        processed = 0
+        while processed < trials:
+            count = min(self._chunk_size, trials - processed)
+            if sequential is not None:
+                for n, config_indices in self._groups:
+                    batch = sample_wars_batch(self._distributions, count, n, sequential)
+                    for index in config_indices:
+                        accumulators[index].update(batch.reduce(self._configs[index]))
+            else:
+                _accumulate_seeded_span(
+                    self._distributions,
+                    self._configs,
+                    self._groups,
+                    block_seeds,
+                    accumulators,
+                    processed,
+                    count,
+                )
+            processed += count
+            if self._should_stop(accumulators, processed, trials):
+                break
+        return processed
+
+    def _run_sharded(
+        self,
+        trials: int,
+        accumulators: list[_ConfigAccumulator],
+        block_seeds: Mapping[int, list],
+        root_entropy: object,
+        total_blocks: int,
+    ) -> int:
+        """Farm seed-mode chunks to a process pool and merge in block order."""
+        # First chunk inline: freezes every histogram's bin layout exactly as
+        # the serial loop would, providing the workers' template accumulators.
+        count = min(self._chunk_size, trials)
+        _accumulate_seeded_span(
+            self._distributions, self._configs, self._groups, block_seeds, accumulators, 0, count
+        )
+        processed = count
+        if processed >= trials or self._should_stop(accumulators, processed, trials):
+            return processed
+
+        tasks = [
+            (start, min(self._chunk_size, trials - start))
+            for start in range(processed, trials, self._chunk_size)
+        ]
+        spec = _WorkerSpec(
+            distributions=self._distributions,
+            configs=self._configs,
+            groups=self._groups,
+            templates=tuple(accumulator.spawn_empty() for accumulator in accumulators),
+            entropy=root_entropy,
+            total_blocks=total_blocks,
+        )
+        # Fork keeps pool start-up negligible where available; the worker
+        # entry points are module-level and the spec picklable, so spawn-only
+        # platforms work identically, just with a slower start.
+        if "fork" in multiprocessing.get_all_start_methods():
+            context = multiprocessing.get_context("fork")
+        else:  # pragma: no cover - spawn-only platforms
+            context = multiprocessing.get_context()
+        with context.Pool(
+            processes=min(self._workers, len(tasks)),
+            initializer=_init_worker,
+            initargs=(spec,),
+        ) as pool:
+            # imap yields results in task order, so partials merge in block
+            # order and the stopping decision sees exactly the serial loop's
+            # state at every chunk boundary.  Breaking out of the loop lets
+            # the pool context terminate whatever speculative chunks were
+            # still in flight.
+            for (_, count), partials in zip(tasks, pool.imap(_worker_run_chunk, tasks)):
+                for accumulator, partial in zip(accumulators, partials):
+                    accumulator.merge(partial)
+                processed += count
+                if self._should_stop(accumulators, processed, trials):
+                    break
+        return processed

@@ -18,8 +18,14 @@ from repro.core.wars import WARSModel
 from repro.exceptions import ConfigurationError
 from repro.latency.base import as_rng
 from repro.latency.production import WARSDistributions
+from repro.montecarlo.engine import DEFAULT_CHUNK_SIZE, ConfigSweepResult, SweepEngine
 
-__all__ = ["OperationLatencyCDF", "operation_latency_cdf", "latency_percentile_table"]
+__all__ = [
+    "OperationLatencyCDF",
+    "StreamingOperationLatency",
+    "operation_latency_cdf",
+    "latency_percentile_table",
+]
 
 
 @dataclass(frozen=True)
@@ -54,16 +60,74 @@ class OperationLatencyCDF:
         return float(np.percentile(self.write_latencies_ms, percentile))
 
 
+@dataclass(frozen=True)
+class StreamingOperationLatency:
+    """Sketch-backed operation-latency summary for one configuration.
+
+    The streaming counterpart of :class:`OperationLatencyCDF`: the same query
+    surface (``read_cdf``/``write_cdf`` over a grid, percentile lookups)
+    answered from :class:`~repro.montecarlo.engine.StreamingHistogram`
+    sketches instead of retained per-trial arrays, so memory stays bounded
+    regardless of the trial count.  CDF and percentile values carry the
+    sketches' sub-bin interpolation error (well under 1% at the engine's
+    default resolution).
+    """
+
+    config: ReplicaConfig
+    label: str
+    trials: int
+    _summary: ConfigSweepResult
+
+    def read_cdf(self, grid_ms: Sequence[float]) -> list[tuple[float, float]]:
+        """``(latency, P(read latency <= latency))`` over a latency grid."""
+        return [(float(x), self._summary.read_latency_cdf(float(x))) for x in grid_ms]
+
+    def write_cdf(self, grid_ms: Sequence[float]) -> list[tuple[float, float]]:
+        """``(latency, P(write latency <= latency))`` over a latency grid."""
+        return [(float(x), self._summary.write_latency_cdf(float(x))) for x in grid_ms]
+
+    def read_percentile(self, percentile: float) -> float:
+        """Read latency (ms) at a percentile."""
+        return self._summary.read_latency_percentile(percentile)
+
+    def write_percentile(self, percentile: float) -> float:
+        """Write latency (ms) at a percentile."""
+        return self._summary.write_latency_percentile(percentile)
+
+
 def operation_latency_cdf(
     distributions: WARSDistributions,
     config: ReplicaConfig,
     trials: int = 100_000,
     rng: np.random.Generator | int | None = None,
     label: str | None = None,
-) -> OperationLatencyCDF:
-    """Simulate operation latencies for one configuration."""
+    streaming: bool = False,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    workers: int = 1,
+) -> OperationLatencyCDF | StreamingOperationLatency:
+    """Simulate operation latencies for one configuration.
+
+    By default the raw latency arrays are materialised (exact empirical CDF,
+    memory O(trials)).  With ``streaming=True`` (or ``workers > 1``) trials
+    stream through :class:`~repro.montecarlo.engine.SweepEngine` in
+    ``chunk_size`` pieces — bounded memory for arbitrarily large trial
+    counts, optionally sharded across ``workers`` processes — and the result
+    is a :class:`StreamingOperationLatency` answering the same queries from
+    histogram sketches.
+    """
     if trials < 1:
         raise ConfigurationError(f"trial count must be >= 1, got {trials}")
+    if streaming or workers > 1:
+        engine = SweepEngine(
+            distributions, (config,), chunk_size=chunk_size, workers=workers
+        )
+        summary = engine.run(trials, rng).results[0]
+        return StreamingOperationLatency(
+            config=config,
+            label=label or f"{distributions.name} {config.label()}",
+            trials=summary.trials,
+            _summary=summary,
+        )
     model = WARSModel(distributions=distributions, config=config)
     result = model.sample(trials, rng)
     return OperationLatencyCDF(

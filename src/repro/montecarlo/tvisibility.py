@@ -71,8 +71,38 @@ def visibility_curve(
     trials: int = 100_000,
     rng: np.random.Generator | int | None = None,
     label: str | None = None,
+    streaming: bool = False,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    workers: int = 1,
 ) -> TVisibilityCurve:
-    """Estimate the probability-of-consistency curve for one configuration."""
+    """Estimate the probability-of-consistency curve for one configuration.
+
+    By default the whole trial batch is materialised at once (exact, memory
+    O(trials * N)).  With ``streaming=True`` (or ``workers > 1``) the trials
+    stream through :class:`~repro.montecarlo.engine.SweepEngine` in
+    ``chunk_size`` pieces instead — memory stays bounded for arbitrarily
+    large trial counts, optionally sharded across ``workers`` processes, and
+    the curve's probabilities at the requested times are still exact counts
+    (they are the engine's probe grid).
+    """
+    if streaming or workers > 1:
+        engine = SweepEngine(
+            distributions,
+            (config,),
+            times_ms=times_ms,
+            chunk_size=chunk_size,
+            workers=workers,
+        )
+        summary = engine.run(trials, rng).results[0]
+        return TVisibilityCurve(
+            config=config,
+            label=label or f"{distributions.name} {config.label()}",
+            times_ms=tuple(float(t) for t in times_ms),
+            probabilities=tuple(
+                summary.consistency_probability(float(t)) for t in times_ms
+            ),
+            trials=summary.trials,
+        )
     model = WARSModel(distributions=distributions, config=config)
     result = model.sample(trials, rng)
     curve = result.consistency_curve(times_ms)
@@ -93,6 +123,7 @@ def visibility_curves(
     rng: np.random.Generator | int | None = None,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     tolerance: float | None = None,
+    workers: int = 1,
 ) -> list[TVisibilityCurve]:
     """Curves for several configurations sharing one latency environment.
 
@@ -103,7 +134,8 @@ def visibility_curves(
     every curve's Wilson half-width is at least that tight at every probe
     time.  ``rng`` is forwarded to the engine verbatim: an integer seed (or
     ``None``) selects the chunk-size-invariant seeded mode, a generator is
-    consumed sequentially.
+    consumed sequentially.  ``workers`` shards seeded chunks across that many
+    processes without changing any result.
     """
     engine = SweepEngine(
         distributions,
@@ -111,6 +143,7 @@ def visibility_curves(
         times_ms=times_ms,
         chunk_size=chunk_size,
         tolerance=tolerance,
+        workers=workers,
     )
     sweep = engine.run(trials, rng)
     return [
@@ -136,6 +169,7 @@ def t_visibility_table(
     rng: np.random.Generator | int | None = None,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     tolerance: float | None = None,
+    workers: int = 1,
 ) -> list[dict[str, object]]:
     """Build Table 4 style rows: per (environment, config), tail latencies and t-visibility.
 
@@ -146,6 +180,8 @@ def t_visibility_table(
     forwarded to each environment's engine verbatim, so an integer seed keeps
     the results independent of ``chunk_size`` (environments then share the
     same underlying uniforms — common random numbers across rows).
+    ``workers`` shards each environment's seeded sweep across processes
+    without changing any number.
     """
     # The table's headline columns are tail quantiles, which the Wilson
     # tolerance does not constrain; keep early stopping from cutting the
@@ -162,6 +198,7 @@ def t_visibility_table(
             chunk_size=chunk_size,
             tolerance=tolerance,
             min_trials=tail_floor,
+            workers=workers,
         )
         sweep = engine.run(trials, rng)
         for summary in sweep:

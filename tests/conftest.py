@@ -17,6 +17,18 @@ def rng() -> np.random.Generator:
 
 
 @pytest.fixture
+def workers(request) -> int:
+    """Worker-process count for tests exercising the sharded sweep engine.
+
+    Defaults to 2 (enough to prove the process-pool path without slowing
+    tier-1); override with ``pytest --engine-workers N``.  Seed-mode engine
+    results are worker-count invariant, so tests using this fixture must pass
+    for any value.
+    """
+    return request.config.getoption("--engine-workers")
+
+
+@pytest.fixture
 def partial_config() -> ReplicaConfig:
     """The Cassandra-default partial quorum: N=3, R=W=1."""
     return ReplicaConfig(n=3, r=1, w=1)

@@ -169,6 +169,11 @@ class TestRegistrySmoke:
 
     @pytest.mark.parametrize("experiment_id", _registered_experiment_ids())
     def test_cli_smoke_run_produces_well_formed_rows(self, experiment_id, capsys, tmp_path):
+        # --workers rides along so this doubles as the registry-wide smoke
+        # test that every runner either accepts the knob or has it filtered
+        # by the registry (closed-form/cluster runners).  At smoke trial
+        # counts a sweep fits in one chunk, so no pool is spawned and the
+        # runs stay serial-fast.
         assert (
             main(
                 [
@@ -178,6 +183,8 @@ class TestRegistrySmoke:
                     str(self._SMOKE_TRIALS),
                     "--seed",
                     "1",
+                    "--workers",
+                    "2",
                     "--export",
                     str(tmp_path),
                 ]
@@ -202,6 +209,73 @@ class TestRegistrySmoke:
             assert len(row) > 0
             common_keys &= set(row.keys())
         assert common_keys
+
+    @pytest.mark.parametrize("experiment_id", _registered_experiment_ids())
+    def test_every_runner_accepts_or_filters_workers(self, experiment_id):
+        """Registry-level contract behind ``run all --workers``: each runner
+        either declares the ``workers`` kwarg or the registry filters it out,
+        so the call the CLI would make never raises ``TypeError``.  (The
+        end-to-end CLI pass with ``--workers`` is the smoke test above.)"""
+        import inspect
+
+        from repro.experiments.registry import _OPTIONAL_SWEEP_KWARGS, get_experiment
+
+        assert "workers" in _OPTIONAL_SWEEP_KWARGS
+        parameters = inspect.signature(get_experiment(experiment_id)).parameters
+        accepts = "workers" in parameters or any(
+            parameter.kind is inspect.Parameter.VAR_KEYWORD
+            for parameter in parameters.values()
+        )
+        # Either outcome is fine; the registry must only filter when the
+        # runner would reject the kwarg.
+        if not accepts:
+            assert experiment_id in {
+                "section3-kstaleness",
+                "section3-monotonic",
+                "section3-load",
+                "table1-2-3",
+                "table3-refit",
+                "validation",
+            }, f"{experiment_id} silently loses --workers; add the kwarg to its runner"
+
+    def test_cli_workers_match_serial_results(self, capsys, workers):
+        """A sweep large enough to engage the process pool produces the same
+        table the serial run prints."""
+        argv = [
+            "run",
+            "figure4",
+            "--trials",
+            "20000",
+            "--seed",
+            "3",
+            "--chunk-size",
+            "8192",
+        ]
+        assert main(argv) == 0
+        serial_output = capsys.readouterr().out
+        assert main(argv + ["--workers", str(workers)]) == 0
+        assert capsys.readouterr().out == serial_output
+
+    def test_cli_predict_accepts_workers(self, capsys):
+        assert (
+            main(
+                [
+                    "predict",
+                    "--fit",
+                    "LNKD-SSD",
+                    "--trials",
+                    "5000",
+                    "--workers",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        assert "P(consistent read immediately after commit)" in capsys.readouterr().out
+
+    def test_registry_drops_workers_for_closed_form_runners(self, capsys):
+        assert main(["run", "section3-kstaleness", "--workers", "4"]) == 0
+        assert "k-staleness" in capsys.readouterr().out
 
     def test_cli_forwards_sweep_knobs_to_supporting_runners(self, capsys):
         assert (

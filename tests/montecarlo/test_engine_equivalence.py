@@ -166,6 +166,56 @@ class TestChunkInvariance:
         ]
 
 
+class TestWorkerChunkDeterminismMatrix:
+    """workers x chunk_size matrix: one seed, one answer.
+
+    Seed-mode sampling blocks are keyed by block index, chunk boundaries are
+    block-aligned, and worker partials merge exactly — so every cell of the
+    {workers} x {chunk_size} matrix must produce identical ``SweepResult``
+    counts and quantiles.  The reference cell is the plain serial run.
+    """
+
+    _TRIALS = 5 * SAMPLE_BLOCK + 321
+    _SEED = 2024
+    _MATRIX_CONFIGS = (ReplicaConfig(3, 1, 1), ReplicaConfig(3, 2, 2))
+
+    @classmethod
+    def _run(cls, workers: int, chunk_size: int):
+        return SweepEngine(
+            lnkd_ssd(),
+            cls._MATRIX_CONFIGS,
+            times_ms=_TIMES,
+            chunk_size=chunk_size,
+            workers=workers,
+        ).run(cls._TRIALS, cls._SEED)
+
+    @classmethod
+    def _reference(cls):
+        if not hasattr(cls, "_cached_reference"):
+            cls._cached_reference = cls._run(workers=1, chunk_size=SAMPLE_BLOCK)
+        return cls._cached_reference
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    @pytest.mark.parametrize(
+        "chunk_size",
+        [SAMPLE_BLOCK, 3 * SAMPLE_BLOCK],
+        ids=["small-chunk", "large-chunk"],
+    )
+    def test_counts_and_quantiles_identical_across_matrix(self, workers, chunk_size):
+        reference = self._reference()
+        candidate = self._run(workers=workers, chunk_size=chunk_size)
+        assert candidate.trials_run == reference.trials_run == self._TRIALS
+        for ours, theirs in zip(candidate, reference):
+            assert ours.config == theirs.config
+            assert ours.trials == theirs.trials
+            assert ours.consistent_counts == theirs.consistent_counts
+            assert ours.nonpositive_thresholds == theirs.nonpositive_thresholds
+            for q in (0.5, 0.99, 0.999):
+                assert ours.t_visibility(q) == theirs.t_visibility(q)
+                assert ours.read_latency_percentile(q * 100.0) == theirs.read_latency_percentile(q * 100.0)
+                assert ours.write_latency_percentile(q * 100.0) == theirs.write_latency_percentile(q * 100.0)
+
+
 class TestStatisticalEquivalence:
     """Engine summaries match independent kernel runs within tolerance."""
 
