@@ -1,8 +1,10 @@
 """Setup shim.
 
-The project metadata lives in ``pyproject.toml`` (PEP 621).  This file exists
-so that ``pip install -e .`` works in offline environments whose setuptools
-lacks the ``wheel`` package required for PEP 660 editable installs.
+The project metadata lives in ``setup.cfg`` (declarative setuptools) rather
+than a PEP 621 ``pyproject.toml`` deliberately: with no ``pyproject.toml``
+present, ``pip install -e .`` takes the legacy ``setup.py develop`` path,
+which works in offline environments whose setuptools lacks the ``wheel``
+package required for PEP 517/660 editable builds.
 """
 
 from setuptools import setup

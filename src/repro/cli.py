@@ -6,6 +6,8 @@ Usage (installed as ``pbs-repro``)::
     pbs-repro run figure6               # run one experiment and print its table
     pbs-repro run table4 --trials 50000 --seed 7
     pbs-repro run all --trials 20000    # run every experiment
+    pbs-repro run table4 --workers 4 --probe-resolution-ms 1
+                                        # sharded sweep + adaptive probe grid
     pbs-repro predict --fit LNKD-DISK --n 3 --r 1 --w 1
                                         # one-off prediction for a configuration
 
@@ -71,6 +73,17 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     run_parser.add_argument(
+        "--probe-resolution-ms",
+        type=float,
+        default=None,
+        help=(
+            "enable adaptive probe-grid refinement: sweep a coarse probe grid "
+            "and bisect around each t-visibility crossing until it is bracketed "
+            "to this many milliseconds (experiments without a probe grid "
+            "ignore the flag)"
+        ),
+    )
+    run_parser.add_argument(
         "--precision", type=int, default=3, help="decimal places in printed tables"
     )
     run_parser.add_argument(
@@ -119,6 +132,17 @@ def build_parser() -> argparse.ArgumentParser:
             "(default: serial); results are identical for any worker count"
         ),
     )
+    predict_parser.add_argument(
+        "--probe-resolution-ms",
+        type=float,
+        default=None,
+        help=(
+            "enable adaptive probe-grid refinement: bracket the report's 99%% "
+            "and 99.9%% t-visibility crossings toward this many milliseconds "
+            "using exact probe counts instead of the histogram sketch (budget "
+            "permitting — a shortfall is reported)"
+        ),
+    )
     return parser
 
 
@@ -137,6 +161,7 @@ def _command_run(
     chunk_size: int | None = None,
     tolerance: float | None = None,
     workers: int | None = None,
+    probe_resolution_ms: float | None = None,
 ) -> int:
     if experiment == "all":
         experiment_ids = [experiment_id for experiment_id, _ in list_experiments()]
@@ -149,6 +174,8 @@ def _command_run(
         sweep_kwargs["tolerance"] = tolerance
     if workers is not None:
         sweep_kwargs["workers"] = workers
+    if probe_resolution_ms is not None:
+        sweep_kwargs["probe_resolution_ms"] = probe_resolution_ms
     for experiment_id in experiment_ids:
         result = run_experiment(experiment_id, trials=trials, rng=seed, **sweep_kwargs)
         print(result.to_text(precision=precision))
@@ -171,6 +198,7 @@ def _command_predict(
     chunk_size: int | None = None,
     tolerance: float | None = None,
     workers: int | None = None,
+    probe_resolution_ms: float | None = None,
 ) -> int:
     config = ReplicaConfig(n=n, r=r, w=w)
     kwargs = {"replica_count": n} if fit.upper() == "WAN" else {}
@@ -181,12 +209,32 @@ def _command_predict(
         chunk_size=chunk_size,
         tolerance=tolerance,
         workers=workers if workers is not None else 1,
+        probe_resolution_ms=probe_resolution_ms,
     )
     print(f"latency environment: {fit}")
     if report.trials < trials:
         print(f"converged early after {report.trials} of {trials} trials")
     for line in report.summary_lines():
         print(line)
+    if probe_resolution_ms is not None and report.t_visibility_brackets:
+        # The resolution is a goal, not a guarantee: a fixed trial budget can
+        # end the run mid-refinement.  Say what was actually achieved.
+        for target, bracket in sorted(report.t_visibility_brackets.items()):
+            label = f"{target * 100:g}%"
+            if bracket is None:
+                print(
+                    f"note: the {label} crossing lies beyond the probe grid; "
+                    "its t-visibility is a histogram estimate"
+                )
+                continue
+            width = bracket[1] - bracket[0]
+            if width > probe_resolution_ms:
+                print(
+                    f"note: the {label} crossing was bracketed to {width:.3g} ms, "
+                    f"short of the requested {probe_resolution_ms:g} ms "
+                    "(raise --trials, or lower --chunk-size so more "
+                    "refinement rounds fit in the budget)"
+                )
     return 0
 
 
@@ -207,6 +255,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                 args.chunk_size,
                 args.tolerance,
                 args.workers,
+                args.probe_resolution_ms,
             )
         if args.command == "predict":
             return _command_predict(
@@ -219,6 +268,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                 args.chunk_size,
                 args.tolerance,
                 args.workers,
+                args.probe_resolution_ms,
             )
         parser.error(f"unknown command {args.command!r}")  # pragma: no cover
         return 2  # pragma: no cover

@@ -56,6 +56,12 @@ class PBSReport:
     read_latency_ms: Mapping[float, float]
     #: Write (commit) latency percentiles (ms) keyed by percentile.
     write_latency_ms: Mapping[float, float]
+    #: Achieved t-visibility brackets keyed by target probability, set on
+    #: adaptive runs (``probe_resolution_ms``): the union-grid probe times
+    #: the crossing sits between, or ``None`` when the crossing lies beyond
+    #: the probe grid.  A fixed trial budget can end the run before the
+    #: requested resolution is met — compare the bracket width against it.
+    t_visibility_brackets: Mapping[float, tuple[float, float] | None] | None = None
 
     def summary_lines(self) -> list[str]:
         """Human-readable summary, one finding per line."""
@@ -123,7 +129,19 @@ class PBSPredictor:
     def simulate(
         self, trials: int = 100_000, rng: np.random.Generator | int | None = None
     ) -> WARSTrialResult:
-        """Run a batch of WARS trials and return the raw result."""
+        """Run a batch of WARS trials and return the raw result.
+
+        Args
+        ----
+        trials:
+            Number of Monte Carlo trials to draw.
+        rng:
+            Seed or generator for reproducibility.
+
+        Returns
+        -------
+        The per-trial arrays as a :class:`~repro.core.wars.WARSTrialResult`.
+        """
         return self.wars().sample(trials, rng)
 
     def t_visibility(
@@ -132,7 +150,29 @@ class PBSPredictor:
         trials: int = 100_000,
         rng: np.random.Generator | int | None = None,
     ) -> float:
-        """Time (ms) after commit needed to reach the target consistency probability."""
+        """Time (ms) after commit needed to reach the target consistency probability.
+
+        Args
+        ----
+        target_probability:
+            Consistency probability in (0, 1] to reach.
+        trials:
+            Number of Monte Carlo trials backing the estimate.
+        rng:
+            Seed or generator for reproducibility.
+
+        Returns
+        -------
+        The smallest ``t`` (ms) whose probability of consistent reads meets
+        the target (exact order statistics over the sampled trials).
+
+        Example
+        -------
+        >>> from repro import PBSPredictor, ReplicaConfig, production_fit
+        >>> predictor = PBSPredictor(production_fit("LNKD-SSD"), ReplicaConfig(3, 1, 1))
+        >>> predictor.t_visibility(0.9, trials=5_000, rng=0) >= 0.0
+        True
+        """
         return self.simulate(trials, rng).t_visibility(target_probability)
 
     def consistency_curve(
@@ -141,7 +181,21 @@ class PBSPredictor:
         trials: int = 100_000,
         rng: np.random.Generator | int | None = None,
     ) -> list[tuple[float, float]]:
-        """``(t, P(consistent))`` pairs over a grid of times since commit."""
+        """``(t, P(consistent))`` pairs over a grid of times since commit.
+
+        Args
+        ----
+        times_ms:
+            Times since commit (ms) to evaluate.
+        trials:
+            Number of Monte Carlo trials backing the curve.
+        rng:
+            Seed or generator for reproducibility.
+
+        Returns
+        -------
+        ``(t_ms, probability)`` pairs, one per requested time.
+        """
         return self.simulate(trials, rng).consistency_curve(times_ms)
 
     def kt_staleness(
@@ -177,23 +231,52 @@ class PBSPredictor:
         chunk_size: int | None = None,
         tolerance: float | None = None,
         workers: int = 1,
+        probe_resolution_ms: float | None = None,
     ) -> PBSReport:
         """Produce a :class:`PBSReport` summarising latency and staleness predictions.
 
         Trials run through the streaming sweep engine, so arbitrarily large
-        trial counts use bounded memory; ``tolerance`` optionally stops early
-        once the consistency estimates are that tight (Wilson half-width).
-        ``rng`` is forwarded to the engine verbatim, so integer seeds give
-        results independent of ``chunk_size`` — and of ``workers``, which
-        shards seeded chunks across processes without changing any number.
+        trial counts use bounded memory.
+
+        Args
+        ----
+        trials:
+            Monte Carlo trial budget (at least 100).
+        rng:
+            Forwarded to the engine verbatim, so integer seeds give results
+            independent of ``chunk_size`` — and of ``workers``.
+        ks:
+            The k values for the closed-form k-staleness rows.
+        chunk_size:
+            Engine chunk size (``None`` selects the engine default).
+        tolerance:
+            Optional Wilson half-width: stop early once the consistency
+            estimates are this tight.
+        workers:
+            Shard seeded chunks across processes without changing any number.
+        probe_resolution_ms:
+            Enable adaptive probe-grid refinement: the engine probes the
+            coarse :data:`~repro.montecarlo.engine.DEFAULT_ADAPTIVE_GRID_MS`
+            base grid and refines around the report's 99% and 99.9%
+            t-visibility crossings, so both figures come from exact
+            bracketing counts at this resolution instead of the histogram
+            sketch.
+
+        Returns
+        -------
+        A :class:`PBSReport`.
+
+        Example
+        -------
+        >>> from repro import PBSPredictor, ReplicaConfig, production_fit
+        >>> predictor = PBSPredictor(production_fit("LNKD-SSD"), ReplicaConfig(3, 1, 1))
+        >>> report = predictor.report(trials=5_000, rng=0)
+        >>> report.t_visibility_99 <= report.t_visibility_999
+        True
         """
         # Imported lazily: repro.core must stay importable without pulling in
         # the montecarlo package at module-import time.
-        from repro.montecarlo.engine import (
-            DEFAULT_CHUNK_SIZE,
-            SweepEngine,
-            min_trials_for_quantile,
-        )
+        from repro.montecarlo.engine import SweepEngine, min_trials_for_quantile
 
         if trials < 100:
             raise ConfigurationError(
@@ -202,16 +285,26 @@ class PBSPredictor:
         engine = SweepEngine(
             self.distributions,
             (self.config,),
-            chunk_size=chunk_size if chunk_size is not None else DEFAULT_CHUNK_SIZE,
+            chunk_size=chunk_size,
             tolerance=tolerance,
             # The report quotes 99.9% t-visibility and p99.9 latencies; keep
             # early stopping from starving that tail of samples.
             min_trials=min_trials_for_quantile(0.999),
             workers=workers,
+            # The report quotes both the 99% and 99.9% crossings; adaptive
+            # refinement (when probe_resolution_ms is set) localises each
+            # independently over the engine's default coarse base grid.
+            target_probability=(0.99, 0.999),
+            probe_resolution_ms=probe_resolution_ms,
         )
         sweep = engine.run(trials, rng)
         summary = sweep.results[0]
         staleness_model = self.k_staleness()
+        brackets = (
+            {target: summary.t_visibility_bracket(target) for target in (0.99, 0.999)}
+            if probe_resolution_ms is not None
+            else None
+        )
         return PBSReport(
             config=self.config,
             trials=sweep.trials_run,
@@ -225,4 +318,5 @@ class PBSPredictor:
             write_latency_ms={
                 p: summary.write_latency_percentile(p) for p in _REPORT_PERCENTILES
             },
+            t_visibility_brackets=brackets,
         )

@@ -109,6 +109,24 @@ class SLAOptimizer:
         The N values to consider (defaults to 1 through 5).
     trials:
         Monte Carlo trials per configuration.
+    rng:
+        Seed or generator, forwarded to every sweep verbatim (integer seeds
+        give common random numbers across evaluations).
+    chunk_size:
+        Engine chunk size (``None`` selects the engine default).
+    tolerance:
+        Optional Wilson half-width for early stopping per sweep.
+    workers:
+        Shard each sweep across this many worker processes; seed-mode
+        results are worker-count invariant, so sharding never changes which
+        configuration wins.
+    probe_resolution_ms:
+        Enable adaptive probe-grid refinement in every evaluation sweep: the
+        engine probes the coarse
+        :data:`~repro.montecarlo.engine.DEFAULT_ADAPTIVE_GRID_MS` base grid
+        and refines around each candidate's staleness-target crossing, so
+        ``t_visibility_ms`` is resolved to this many milliseconds from exact
+        bracketing counts — the quantity the SLA verdict hinges on.
     """
 
     def __init__(
@@ -120,6 +138,7 @@ class SLAOptimizer:
         chunk_size: int | None = None,
         tolerance: float | None = None,
         workers: int = 1,
+        probe_resolution_ms: float | None = None,
     ) -> None:
         if trials < 100:
             raise ConfigurationError(f"at least 100 trials are required, got {trials}")
@@ -137,6 +156,7 @@ class SLAOptimizer:
         # Forwarded to each sweep; seed-mode results are worker-count
         # invariant, so sharding never changes which configuration wins.
         self._workers = workers
+        self._probe_resolution_ms = probe_resolution_ms
 
     def _distributions_for(self, n: int) -> WARSDistributions:
         if callable(self._distributions):
@@ -195,6 +215,28 @@ class SLAOptimizer:
         converge before its whole group); with a shared generator they
         consume the stream at different points.  Either way the numbers
         differ only within Monte Carlo noise.
+
+        Args
+        ----
+        config:
+            The (N, R, W) configuration to measure.
+        target:
+            The SLA to judge it against.
+
+        Returns
+        -------
+        A :class:`ConfigurationEvaluation` with the measured latencies,
+        t-visibility, and the per-constraint violations (empty when the
+        configuration meets the target).
+
+        Example
+        -------
+        >>> from repro import ReplicaConfig, SLAOptimizer, SLATarget, production_fit
+        >>> optimizer = SLAOptimizer(production_fit("LNKD-SSD"), trials=2_000, rng=0)
+        >>> evaluation = optimizer.evaluate(
+        ...     ReplicaConfig(3, 1, 1), SLATarget(t_visibility_ms=1_000.0))
+        >>> evaluation.meets_target
+        True
         """
         summary = self._engine_for(config.n, (config,), target).run(
             self._trials, self._rng
@@ -204,18 +246,12 @@ class SLAOptimizer:
     def _engine_for(self, n: int, configs: Sequence[ReplicaConfig], target: SLATarget):
         # Imported lazily: repro.core must stay importable without pulling in
         # the montecarlo package at module-import time.
-        from repro.montecarlo.engine import (
-            DEFAULT_CHUNK_SIZE,
-            SweepEngine,
-            min_trials_for_quantile,
-        )
+        from repro.montecarlo.engine import SweepEngine, min_trials_for_quantile
 
         return SweepEngine(
             self._distributions_for(n),
             configs,
-            chunk_size=(
-                self._chunk_size if self._chunk_size is not None else DEFAULT_CHUNK_SIZE
-            ),
+            chunk_size=self._chunk_size,
             tolerance=self._tolerance,
             # The evaluation reports tail quantiles of the target; early
             # stopping must leave them ~100 tail samples of support.
@@ -224,6 +260,10 @@ class SLAOptimizer:
                 min_trials_for_quantile(target.latency_percentile / 100.0),
             ),
             workers=self._workers,
+            # Refine around the staleness target the SLA verdict hinges on
+            # (a no-op unless probe_resolution_ms enables the adaptive grid).
+            target_probability=target.consistency_probability,
+            probe_resolution_ms=self._probe_resolution_ms,
         )
 
     def _evaluation_from_summary(self, summary, target: SLATarget) -> ConfigurationEvaluation:
@@ -243,6 +283,17 @@ class SLAOptimizer:
         shared sample batch (:class:`~repro.montecarlo.engine.SweepEngine`),
         so each latency environment is sampled once per replication factor
         rather than once per (R, W) pair.
+
+        Args
+        ----
+        target:
+            The SLA every candidate is judged against (also supplies the
+            durability/availability floors that prune the candidate set).
+
+        Returns
+        -------
+        Every candidate's :class:`ConfigurationEvaluation`, sorted by
+        combined read+write tail latency (best trade-off first).
         """
         by_factor: dict[int, list[ReplicaConfig]] = {}
         for config in self._candidate_configs(target):
@@ -264,6 +315,16 @@ class SLAOptimizer:
         toward higher durability (larger ``W``), matching the paper's framing
         that replication for durability can be decoupled from replication for
         latency.
+
+        Args
+        ----
+        target:
+            The SLA to satisfy.
+
+        Returns
+        -------
+        The winning :class:`ConfigurationEvaluation`, or ``None`` when no
+        candidate meets every constraint.
         """
         feasible = [
             evaluation for evaluation in self.evaluate_all(target) if evaluation.meets_target

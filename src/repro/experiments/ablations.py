@@ -35,14 +35,35 @@ def _wars_predicted_t_visibility(
     target: float = 0.90,
     trials: int = 20_000,
     workers: int = 1,
+    probe_resolution_ms: float | None = None,
 ) -> float:
     """WARS sweep-engine prediction to place next to the measured cluster numbers.
 
     The ablations quantify departures from the paper's conservative model, so
     each table carries the model's own t-visibility prediction as the
     reference column.  A fixed seed keeps the prediction independent of the
-    cluster workload's random stream.
+    cluster workload's random stream.  By default the prediction retains raw
+    samples (exact order statistics); with ``probe_resolution_ms`` it streams
+    through the adaptive probe grid instead — bounded memory, crossing
+    bracketed to the requested resolution, and shardable across ``workers``.
     """
+    if probe_resolution_ms is not None:
+        from repro.montecarlo.engine import SAMPLE_BLOCK
+
+        # Refinement advances one subdivision round per few chunk
+        # boundaries, so the adaptive reference needs block-sized chunks and
+        # enough trials to complete its rounds — the ablations' small
+        # ``trials`` knob sizes the cluster workload, not this prediction.
+        engine = SweepEngine(
+            distributions,
+            (config,),
+            chunk_size=SAMPLE_BLOCK,
+            workers=workers,
+            target_probability=target,
+            probe_resolution_ms=probe_resolution_ms,
+        )
+        summary = engine.run(max(trials, 16 * SAMPLE_BLOCK), rng=0).results[0]
+        return summary.t_visibility(target)
     engine = SweepEngine(distributions, (config,), keep_samples=True, workers=workers)
     return engine.run(trials, rng=0).results[0].t_visibility(target)
 
@@ -102,12 +123,15 @@ def run_read_repair_ablation(
     trials: int = 400,
     rng: np.random.Generator | int | None = 0,
     workers: int = 1,
+    probe_resolution_ms: float | None = None,
 ) -> ExperimentResult:
     """Compare observed staleness with read repair disabled (paper's model) vs enabled."""
     generator = as_rng(rng)
     config = ReplicaConfig(3, 1, 1)
     distributions = _slow_write_distributions()
-    predicted = _wars_predicted_t_visibility(config, distributions, workers=workers)
+    predicted = _wars_predicted_t_visibility(
+        config, distributions, workers=workers, probe_resolution_ms=probe_resolution_ms
+    )
     rows = []
     for label, read_repair in (("disabled (paper model)", False), ("enabled", True)):
         summary = _run_cluster_workload(
@@ -136,12 +160,15 @@ def run_fanout_ablation(
     trials: int = 400,
     rng: np.random.Generator | int | None = 0,
     workers: int = 1,
+    probe_resolution_ms: float | None = None,
 ) -> ExperimentResult:
     """Staleness is unchanged by fan-out choice; per-replica read load is not."""
     generator = as_rng(rng)
     config = ReplicaConfig(3, 1, 1)
     distributions = _slow_write_distributions()
-    predicted = _wars_predicted_t_visibility(config, distributions, workers=workers)
+    predicted = _wars_predicted_t_visibility(
+        config, distributions, workers=workers, probe_resolution_ms=probe_resolution_ms
+    )
     rows = []
     for label, fanout_all in (("all N replicas (Dynamo)", True), ("only R replicas (Voldemort)", False)):
         summary = _run_cluster_workload(
@@ -167,6 +194,7 @@ def run_failure_ablation(
     trials: int = 400,
     rng: np.random.Generator | int | None = 0,
     workers: int = 1,
+    probe_resolution_ms: float | None = None,
 ) -> ExperimentResult:
     """A crashed replica effectively shrinks N, changing both staleness and availability."""
     generator = as_rng(rng)
@@ -174,9 +202,14 @@ def run_failure_ablation(
     distributions = _slow_write_distributions()
     # The model's steady-state reference; a crashed replica shrinks the
     # effective N, which the two-replica prediction below captures.
-    predicted_steady = _wars_predicted_t_visibility(config, distributions, workers=workers)
+    predicted_steady = _wars_predicted_t_visibility(
+        config, distributions, workers=workers, probe_resolution_ms=probe_resolution_ms
+    )
     predicted_degraded = _wars_predicted_t_visibility(
-        ReplicaConfig(2, 1, 1), distributions, workers=workers
+        ReplicaConfig(2, 1, 1),
+        distributions,
+        workers=workers,
+        probe_resolution_ms=probe_resolution_ms,
     )
     rows = []
     for label, crash in (("steady state", False), ("one replica crashed", True)):

@@ -19,11 +19,7 @@ from repro.core.quorum import ReplicaConfig
 from repro.experiments.registry import ExperimentResult, register
 from repro.latency.distributions import ExponentialLatency, NormalLatency, UniformLatency
 from repro.latency.production import WARSDistributions
-from repro.montecarlo.engine import (
-    DEFAULT_CHUNK_SIZE,
-    SweepEngine,
-    min_trials_for_quantile,
-)
+from repro.montecarlo.engine import SweepEngine, min_trials_for_quantile
 
 __all__ = ["run_figure4", "run_write_variance_sweep", "FIGURE4_RATIOS"]
 
@@ -44,14 +40,17 @@ _TIMES_MS: tuple[float, ...] = (0.0, 0.5, 1.0, 2.0, 3.0, 5.0, 10.0, 20.0, 40.0, 
 def run_figure4(
     trials: int = 100_000,
     rng: np.random.Generator | int | None = 0,
-    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    chunk_size: int | None = None,
     tolerance: float | None = None,
     workers: int = 1,
+    probe_resolution_ms: float | None = None,
 ) -> ExperimentResult:
     """Probability of consistency vs t for each W:ARS rate ratio in Figure 4.
 
     ``rng`` is forwarded to the sweep engine verbatim, so integer seeds give
-    chunk-size-invariant results.
+    chunk-size-invariant results.  ``probe_resolution_ms`` enables adaptive
+    probe-grid refinement around each ratio's 99.9% crossing, sharpening the
+    ``t_visibility_99.9_ms`` column without densifying the figure's grid.
     """
     config = ReplicaConfig(n=3, r=1, w=1)
     ars = ExponentialLatency(rate=1.0)
@@ -68,6 +67,8 @@ def run_figure4(
             tolerance=tolerance,
             min_trials=min_trials_for_quantile(0.999),
             workers=workers,
+            target_probability=0.999,
+            probe_resolution_ms=probe_resolution_ms,
         )
         summary = engine.run(trials, rng).results[0]
         row: dict[str, object] = {"w_to_ars_ratio": label, "w_mean_ms": 1.0 / write_rate}
@@ -95,9 +96,10 @@ def run_figure4(
 def run_write_variance_sweep(
     trials: int = 100_000,
     rng: np.random.Generator | int | None = 0,
-    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    chunk_size: int | None = None,
     tolerance: float | None = None,
     workers: int = 1,
+    probe_resolution_ms: float | None = None,
 ) -> ExperimentResult:
     """Hold the mean of W fixed and vary its variance using uniform and normal shapes."""
     config = ReplicaConfig(n=3, r=1, w=1)
@@ -117,11 +119,15 @@ def run_write_variance_sweep(
         engine = SweepEngine(
             distributions,
             (config,),
-            times_ms=(0.0, 5.0),
+            # The sweep quotes a 99.9% crossing that can sit well past 5 ms;
+            # give the adaptive grid headroom to bracket it.
+            times_ms=(0.0, 5.0, 50.0) if probe_resolution_ms is not None else (0.0, 5.0),
             chunk_size=chunk_size,
             tolerance=tolerance,
             min_trials=min_trials_for_quantile(0.999),
             workers=workers,
+            target_probability=0.999,
+            probe_resolution_ms=probe_resolution_ms,
         )
         summary = engine.run(trials, rng).results[0]
         rows.append(

@@ -13,7 +13,7 @@ import numpy as np
 from repro.core.quorum import ReplicaConfig
 from repro.experiments.registry import ExperimentResult, register
 from repro.latency.production import lnkd_disk, lnkd_ssd, wan, ymmr
-from repro.montecarlo.engine import DEFAULT_CHUNK_SIZE, SweepEngine, min_trials_for_quantile
+from repro.montecarlo.engine import SweepEngine, min_trials_for_quantile
 
 __all__ = ["run_figure5"]
 
@@ -24,16 +24,20 @@ _PERCENTILES = (10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 99.9)
 def run_figure5(
     trials: int = 100_000,
     rng: np.random.Generator | int | None = 0,
-    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    chunk_size: int | None = None,
     tolerance: float | None = None,
     workers: int = 1,
+    probe_resolution_ms: float | None = None,
 ) -> ExperimentResult:
     """Read/write latency percentiles per production environment and quorum size.
 
-    ``workers`` is accepted for CLI uniformity but has no effect here: the
-    engine runs serially whenever samples are retained (``keep_samples``),
-    which this experiment needs for exact percentiles.
+    ``workers`` and ``probe_resolution_ms`` are accepted for CLI uniformity
+    (``pbs-repro run all``) but have no effect here: the engine runs serially
+    whenever samples are retained (``keep_samples``), which this experiment
+    needs for exact percentiles, and a pure latency-CDF experiment has no
+    t-visibility crossing for an adaptive grid to refine.
     """
+    del probe_resolution_ms  # no probe grid in a latency-only sweep
     environments = {
         "LNKD-SSD": lnkd_ssd(),
         "LNKD-DISK": lnkd_disk(),

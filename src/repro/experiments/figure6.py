@@ -13,11 +13,7 @@ import numpy as np
 from repro.core.quorum import ReplicaConfig
 from repro.experiments.registry import ExperimentResult, register
 from repro.latency.production import lnkd_disk, lnkd_ssd, wan, ymmr
-from repro.montecarlo.engine import (
-    DEFAULT_CHUNK_SIZE,
-    SweepEngine,
-    min_trials_for_quantile,
-)
+from repro.montecarlo.engine import SweepEngine, min_trials_for_quantile
 
 __all__ = ["run_figure6", "FIGURE6_CONFIGS"]
 
@@ -35,11 +31,16 @@ _TIMES_MS: tuple[float, ...] = (0.0, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0
 def run_figure6(
     trials: int = 100_000,
     rng: np.random.Generator | int | None = 0,
-    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    chunk_size: int | None = None,
     tolerance: float | None = None,
     workers: int = 1,
+    probe_resolution_ms: float | None = None,
 ) -> ExperimentResult:
-    """Consistency-vs-t series for each production environment and partial quorum."""
+    """Consistency-vs-t series for each production environment and partial quorum.
+
+    ``probe_resolution_ms`` enables adaptive refinement of each series'
+    99.9% t-visibility crossing on top of the figure's fixed grid.
+    """
     environments = {
         "LNKD-SSD": lnkd_ssd(),
         "LNKD-DISK": lnkd_disk(),
@@ -56,6 +57,8 @@ def run_figure6(
             tolerance=tolerance,
             min_trials=min_trials_for_quantile(0.999),
             workers=workers,
+            target_probability=0.999,
+            probe_resolution_ms=probe_resolution_ms,
         )
         for summary in engine.run(trials, rng):
             row: dict[str, object] = {

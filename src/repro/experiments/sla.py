@@ -23,12 +23,15 @@ def run_sla_search(
     chunk_size: int | None = None,
     tolerance: float | None = None,
     workers: int = 1,
+    probe_resolution_ms: float | None = None,
 ) -> ExperimentResult:
     """Search (N, R, W) under two representative SLAs for LNKD-DISK and YMMR.
 
     Each scenario's candidate set is evaluated against shared sample batches
     (one per replication factor) via the sweep engine; ``workers`` shards
     those sweeps across processes without changing which configuration wins.
+    ``probe_resolution_ms`` refines each candidate's t-visibility crossing —
+    the number every feasibility verdict hinges on — to that resolution.
     """
     scenarios = [
         (
@@ -73,6 +76,7 @@ def run_sla_search(
             chunk_size=chunk_size,
             tolerance=tolerance,
             workers=workers,
+            probe_resolution_ms=probe_resolution_ms,
         )
         evaluations = optimizer.evaluate_all(target)
         best = optimizer.best(target)

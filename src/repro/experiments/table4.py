@@ -19,7 +19,6 @@ import numpy as np
 from repro.core.quorum import ReplicaConfig
 from repro.experiments.registry import ExperimentResult, register
 from repro.latency.production import lnkd_disk, lnkd_ssd, wan, ymmr
-from repro.montecarlo.engine import DEFAULT_CHUNK_SIZE
 from repro.montecarlo.tvisibility import t_visibility_table
 
 __all__ = ["run_table4", "TABLE4_CONFIGS"]
@@ -39,11 +38,17 @@ TABLE4_CONFIGS: tuple[ReplicaConfig, ...] = (
 def run_table4(
     trials: int = 100_000,
     rng: np.random.Generator | int | None = 0,
-    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    chunk_size: int | None = None,
     tolerance: float | None = None,
     workers: int = 1,
+    probe_resolution_ms: float | None = None,
 ) -> ExperimentResult:
-    """Reproduce the Table 4 grid for all four production environments."""
+    """Reproduce the Table 4 grid for all four production environments.
+
+    ``probe_resolution_ms`` enables adaptive probe-grid refinement: the
+    headline ``t_visibility_99.9_ms`` column then comes from exact bracketing
+    counts at that resolution instead of the threshold-histogram sketch.
+    """
     environments = {
         "LNKD-SSD": lnkd_ssd(),
         "LNKD-DISK": lnkd_disk(),
@@ -60,6 +65,7 @@ def run_table4(
         chunk_size=chunk_size,
         tolerance=tolerance,
         workers=workers,
+        probe_resolution_ms=probe_resolution_ms,
     )
     rows = []
     for raw in raw_rows:

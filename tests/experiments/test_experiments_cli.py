@@ -277,6 +277,81 @@ class TestRegistrySmoke:
         assert main(["run", "section3-kstaleness", "--workers", "4"]) == 0
         assert "k-staleness" in capsys.readouterr().out
 
+    @pytest.mark.parametrize("experiment_id", _registered_experiment_ids())
+    def test_every_runner_accepts_or_filters_probe_resolution(self, experiment_id):
+        """Registry-level contract behind ``run all --probe-resolution-ms``:
+        every Monte Carlo sweep runner declares the kwarg; closed-form and
+        cluster runners have it filtered by the registry."""
+        import inspect
+
+        from repro.experiments.registry import _OPTIONAL_SWEEP_KWARGS, get_experiment
+
+        assert "probe_resolution_ms" in _OPTIONAL_SWEEP_KWARGS
+        parameters = inspect.signature(get_experiment(experiment_id)).parameters
+        accepts = "probe_resolution_ms" in parameters or any(
+            parameter.kind is inspect.Parameter.VAR_KEYWORD
+            for parameter in parameters.values()
+        )
+        if not accepts:
+            assert experiment_id in {
+                "section3-kstaleness",
+                "section3-monotonic",
+                "section3-load",
+                "table1-2-3",
+                "table3-refit",
+                "validation",
+            }, (
+                f"{experiment_id} silently loses --probe-resolution-ms; "
+                "add the kwarg to its runner"
+            )
+
+    def test_cli_probe_resolution_refines_t_visibility(self, capsys):
+        """table4 accepts the flag end-to-end, and the adaptive grid actually
+        changes (sharpens) the t-visibility column relative to the sketch.
+
+        The trial count must span several chunks: refinement proposes probes
+        at chunk boundaries and activates them REFINE_ACTIVATION_LAG chunks
+        later, so a sweep that fits in a couple of chunks never grows probes.
+        """
+        argv = ["run", "table4", "--trials", "60000", "--chunk-size", "8192"]
+        assert main(argv) == 0
+        sketch_output = capsys.readouterr().out
+        assert main(argv + ["--probe-resolution-ms", "1"]) == 0
+        adaptive_output = capsys.readouterr().out
+        assert "t_visibility_99.9_ms" in adaptive_output
+        # Same trials, same seeds: latency columns are untouched, but the
+        # adaptive run inverts exact probe brackets instead of the histogram.
+        assert adaptive_output != sketch_output
+
+    def test_cli_predict_probe_resolution_refines_the_report(self, capsys):
+        """predict accepts the flag end-to-end with a budget large enough for
+        refinement to activate (several chunks past the activation lag), and
+        the refined report differs from the sketch-based one."""
+        argv = [
+            "predict",
+            "--fit",
+            "LNKD-DISK",
+            "--trials",
+            "60000",
+            "--chunk-size",
+            "8192",
+        ]
+        assert main(argv) == 0
+        sketch_output = capsys.readouterr().out
+        assert main(argv + ["--probe-resolution-ms", "0.5"]) == 0
+        adaptive_output = capsys.readouterr().out
+        assert "t-visibility for 99.9%" in adaptive_output
+        # Same seed and trials: only the t-visibility inversion changes
+        # (union-grid brackets instead of the threshold histogram).
+        assert adaptive_output != sketch_output
+        # This budget cannot reach 0.5 ms; the CLI must say what it achieved
+        # rather than implying the requested resolution was met.
+        assert "note: the 99.9% crossing was bracketed to" in adaptive_output
+
+    def test_cli_probe_resolution_ignored_by_closed_form_runners(self, capsys):
+        assert main(["run", "section3-kstaleness", "--probe-resolution-ms", "1"]) == 0
+        assert "k-staleness" in capsys.readouterr().out
+
     def test_cli_forwards_sweep_knobs_to_supporting_runners(self, capsys):
         assert (
             main(

@@ -1,0 +1,31 @@
+"""The documentation's Python examples must execute.
+
+Each fenced ```python block in README.md and docs/architecture.md runs as
+its own test case, via the same extractor the CI docs job uses
+(``tools/check_docs.py``).  Examples are written with small trial counts so
+this stays tier-1 fast.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tools"))
+
+from check_docs import DOC_FILES, iter_code_blocks, run_block  # noqa: E402
+
+_BLOCKS = list(iter_code_blocks())
+
+
+def test_documentation_files_exist_and_contain_examples():
+    for relative in DOC_FILES:
+        assert (Path(__file__).resolve().parent.parent / relative).is_file()
+    assert _BLOCKS, "documentation must carry executable python examples"
+
+
+@pytest.mark.parametrize("block", _BLOCKS, ids=[block.label for block in _BLOCKS])
+def test_documentation_block_executes(block):
+    run_block(block)

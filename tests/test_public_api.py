@@ -67,3 +67,38 @@ class TestDocstringCoverage:
             if not (module.__doc__ and module.__doc__.strip()):
                 missing.append(module_info.name)
         assert not missing, f"modules without docstrings: {missing}"
+
+    #: Modules whose documented (``__all__``) surface must be fully docstringed:
+    #: the Monte Carlo sweep machinery and the two operator-facing front-ends.
+    _DOCUMENTED_SURFACES = (
+        "repro.montecarlo",
+        "repro.core.predictor",
+        "repro.core.sla",
+    )
+
+    @pytest.mark.parametrize("module_name", _DOCUMENTED_SURFACES)
+    def test_all_members_have_docstrings(self, module_name):
+        """Every ``__all__`` member — and every public method it exposes —
+        carries a non-empty docstring."""
+        import inspect
+
+        module = importlib.import_module(module_name)
+        missing: list[str] = []
+        for name in module.__all__:
+            member = getattr(module, name)
+            if not inspect.isclass(member) and not callable(member):
+                continue  # constants document themselves at the module level
+            if not (getattr(member, "__doc__", None) or "").strip():
+                missing.append(f"{module_name}.{name}")
+            if inspect.isclass(member):
+                for attribute, value in vars(member).items():
+                    if attribute.startswith("_"):
+                        continue
+                    unwrapped = value
+                    if isinstance(value, (staticmethod, classmethod)):
+                        unwrapped = value.__func__
+                    if not (inspect.isfunction(unwrapped) or isinstance(value, property)):
+                        continue
+                    if not (getattr(unwrapped, "__doc__", None) or "").strip():
+                        missing.append(f"{module_name}.{name}.{attribute}")
+        assert not missing, f"public API members without docstrings: {missing}"
