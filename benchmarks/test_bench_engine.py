@@ -6,6 +6,11 @@ O(configs x trials).  This benchmark times an 8-configuration, 100k-trial
 sweep both ways and asserts the engine is at least 3x faster, while its
 per-configuration results stay within the equivalence-test tolerances of
 independent kernel runs.
+
+The measurement bodies live in module-level ``measure_*`` functions (returning
+plain dicts) so that ``tools/bench_to_json.py`` can run the same scenarios and
+emit ``BENCH_sweep.json`` for cross-PR perf tracking; the tests assert the
+performance claims on those measurements.
 """
 
 from __future__ import annotations
@@ -18,6 +23,7 @@ import pytest
 
 from repro.core.quorum import ReplicaConfig
 from repro.core.wars import WARSModel
+from repro.kernels.numba_backend import numba_available
 from repro.latency.distributions import ExponentialLatency
 from repro.latency.production import WARSDistributions, ymmr
 from repro.montecarlo.convergence import wilson_interval
@@ -46,9 +52,8 @@ def _time_best_of(repeats: int, callable_) -> float:
     return best
 
 
-@pytest.mark.benchmark(group="engine")
-def test_engine_speedup_over_per_config_loop():
-    """The shared-sample engine beats the per-config kernel loop by >= 3x."""
+def measure_engine_vs_per_config_loop() -> dict:
+    """Time the 8-config sweep as a shared-sample engine run vs a kernel loop."""
     distributions = ymmr()
 
     def per_config_loop():
@@ -68,7 +73,56 @@ def test_engine_speedup_over_per_config_loop():
 
     loop_seconds = _time_best_of(2, per_config_loop)
     engine_seconds = _time_best_of(2, engine_sweep)
-    speedup = loop_seconds / engine_seconds
+    return {
+        "configs": len(CONFIGS),
+        "trials": TRIALS,
+        "loop_seconds": loop_seconds,
+        "engine_seconds": engine_seconds,
+        "speedup": loop_seconds / engine_seconds,
+    }
+
+
+def measure_kernel_backend_speedup() -> dict:
+    """Time the 8-config sweep under the numpy vs numba reduction backends.
+
+    Requires numba; callers guard with
+    :func:`repro.kernels.numba_backend.numba_available`.  The JIT is warmed
+    (compiled) before timing so the measurement is steady-state throughput,
+    not compilation.
+    """
+    distributions = ymmr()
+
+    def sweep(backend: str):
+        return SweepEngine(
+            distributions, CONFIGS, times_ms=TIMES_MS, kernel_backend=backend
+        ).run(TRIALS, 1)
+
+    reference = sweep("numpy")
+    fused = sweep("numba")  # warm: compiles the JIT kernel
+    # The backends reduce identical sampled matrices; on continuous
+    # production fits (no ties) the per-config counts must agree exactly.
+    mismatches = sum(
+        ours.consistent_counts != theirs.consistent_counts
+        for ours, theirs in zip(fused, reference)
+    )
+    numpy_seconds = _time_best_of(2, lambda: sweep("numpy"))
+    numba_seconds = _time_best_of(2, lambda: sweep("numba"))
+    return {
+        "configs": len(CONFIGS),
+        "trials": TRIALS,
+        "numpy_seconds": numpy_seconds,
+        "numba_seconds": numba_seconds,
+        "speedup": numpy_seconds / numba_seconds,
+        "count_mismatches": mismatches,
+    }
+
+
+@pytest.mark.benchmark(group="engine")
+def test_engine_speedup_over_per_config_loop():
+    """The shared-sample engine beats the per-config kernel loop by >= 3x."""
+    result = measure_engine_vs_per_config_loop()
+    loop_seconds, engine_seconds = result["loop_seconds"], result["engine_seconds"]
+    speedup = result["speedup"]
     print(
         f"\nper-config loop: {loop_seconds:.3f}s  engine: {engine_seconds:.3f}s  "
         f"speedup: {speedup:.2f}x"
@@ -81,6 +135,75 @@ def test_engine_speedup_over_per_config_loop():
 
 @pytest.mark.benchmark(group="engine")
 @pytest.mark.skipif(
+    not numba_available(),
+    reason="numba is not installed; the backend falls back to numpy "
+    "(fallback behaviour is covered by tier-1 tests)",
+)
+def test_numba_kernel_speedup_on_eight_config_sweep():
+    """The fused prange JIT kernel beats the NumPy reduction by >= 2x on the
+    8-config, 100k-trial sweep — the acceptance bar for the backend — while
+    producing identical consistency counts from the shared sampled matrices."""
+    result = measure_kernel_backend_speedup()
+    print(
+        f"\nnumpy kernel: {result['numpy_seconds']:.3f}s  "
+        f"numba kernel: {result['numba_seconds']:.3f}s  "
+        f"speedup: {result['speedup']:.2f}x"
+    )
+    assert result["count_mismatches"] == 0
+    assert result["speedup"] >= 2.0, (
+        f"expected the fused numba kernel to be >= 2x faster than the NumPy "
+        f"reduction on an {len(CONFIGS)}-config {TRIALS}-trial sweep, got "
+        f"{result['speedup']:.2f}x ({result['numpy_seconds']:.3f}s vs "
+        f"{result['numba_seconds']:.3f}s)"
+    )
+
+
+def measure_sharded_speedup(workers: int = 4) -> dict:
+    """Time the 8-config sweep serial vs sharded across ``workers`` processes.
+
+    Block-sized chunks give the pool 13 tasks to balance; the coordinator's
+    overhead is one inline chunk (layout freezing) plus per-chunk accumulator
+    pickling.  Also counts result mismatches (the merge contract requires
+    zero).
+    """
+    distributions = ymmr()
+
+    def sweep(worker_count: int):
+        return SweepEngine(
+            distributions,
+            CONFIGS,
+            times_ms=TIMES_MS,
+            chunk_size=SAMPLE_BLOCK,
+            workers=worker_count,
+        ).run(TRIALS, 1)
+
+    # Warm both paths (imports, allocator, fork machinery).
+    serial_result = sweep(1)
+    sharded_result = sweep(workers)
+    mismatches = sum(
+        ours.consistent_counts != theirs.consistent_counts
+        or any(
+            ours.read_latency_percentile(p) != theirs.read_latency_percentile(p)
+            or ours.write_latency_percentile(p) != theirs.write_latency_percentile(p)
+            for p in (50.0, 99.0, 99.9)
+        )
+        for ours, theirs in zip(serial_result, sharded_result)
+    )
+    serial_seconds = _time_best_of(2, lambda: sweep(1))
+    sharded_seconds = _time_best_of(2, lambda: sweep(workers))
+    return {
+        "configs": len(CONFIGS),
+        "trials": TRIALS,
+        "workers": workers,
+        "serial_seconds": serial_seconds,
+        "sharded_seconds": sharded_seconds,
+        "speedup": serial_seconds / sharded_seconds,
+        "result_mismatches": mismatches,
+    }
+
+
+@pytest.mark.benchmark(group="engine")
+@pytest.mark.skipif(
     (os.cpu_count() or 1) < 4,
     reason="parallel speedup needs >= 4 CPU cores; equivalence is covered by "
     "tier-1 tests on any machine",
@@ -88,34 +211,11 @@ def test_engine_speedup_over_per_config_loop():
 def test_sharded_engine_speedup_at_four_workers():
     """4 worker processes beat the serial engine by >= 1.8x on a Table-4-style
     sweep (8 configs, 100k trials), with bit-for-bit identical results.
-
-    Block-sized chunks give the pool 13 tasks to balance across 4 workers;
-    the coordinator's overhead is one inline chunk (layout freezing) plus
-    per-chunk accumulator pickling.
     """
-    distributions = ymmr()
-
-    def sweep(workers: int):
-        return SweepEngine(
-            distributions,
-            CONFIGS,
-            times_ms=TIMES_MS,
-            chunk_size=SAMPLE_BLOCK,
-            workers=workers,
-        ).run(TRIALS, 1)
-
-    # Warm both paths (imports, allocator, fork machinery).
-    serial_result = sweep(1)
-    sharded_result = sweep(4)
-    for ours, theirs in zip(serial_result, sharded_result):
-        assert ours.consistent_counts == theirs.consistent_counts
-        for percentile in (50.0, 99.0, 99.9):
-            assert ours.read_latency_percentile(percentile) == theirs.read_latency_percentile(percentile)
-            assert ours.write_latency_percentile(percentile) == theirs.write_latency_percentile(percentile)
-
-    serial_seconds = _time_best_of(2, lambda: sweep(1))
-    sharded_seconds = _time_best_of(2, lambda: sweep(4))
-    speedup = serial_seconds / sharded_seconds
+    result = measure_sharded_speedup(workers=4)
+    assert result["result_mismatches"] == 0
+    serial_seconds, sharded_seconds = result["serial_seconds"], result["sharded_seconds"]
+    speedup = result["speedup"]
     print(
         f"\nserial: {serial_seconds:.3f}s  4 workers: {sharded_seconds:.3f}s  "
         f"speedup: {speedup:.2f}x"

@@ -26,9 +26,13 @@ from repro.core.predictor import PBSPredictor
 from repro.core.quorum import ReplicaConfig
 from repro.exceptions import PBSError
 from repro.experiments.registry import list_experiments, run_experiment
+from repro.kernels import registered_backends
 from repro.latency.production import PRODUCTION_FIT_NAMES, production_fit
 
 __all__ = ["main", "build_parser"]
+
+#: Names accepted by --kernel-backend: every registered backend plus "auto".
+_KERNEL_BACKEND_CHOICES: tuple[str, ...] = (*registered_backends(), "auto")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -81,6 +85,17 @@ def build_parser() -> argparse.ArgumentParser:
             "and bisect around each t-visibility crossing until it is bracketed "
             "to this many milliseconds (experiments without a probe grid "
             "ignore the flag)"
+        ),
+    )
+    run_parser.add_argument(
+        "--kernel-backend",
+        default=None,
+        choices=_KERNEL_BACKEND_CHOICES,
+        help=(
+            "Monte Carlo sampling-reduction backend: 'numpy' (bit-for-bit "
+            "reference, the default), 'numba' (fused prange-parallel JIT "
+            "kernel; falls back to numpy with a warning when numba is not "
+            "installed), or 'auto' (fastest available)"
         ),
     )
     run_parser.add_argument(
@@ -143,6 +158,16 @@ def build_parser() -> argparse.ArgumentParser:
             "permitting — a shortfall is reported)"
         ),
     )
+    predict_parser.add_argument(
+        "--kernel-backend",
+        default=None,
+        choices=_KERNEL_BACKEND_CHOICES,
+        help=(
+            "Monte Carlo sampling-reduction backend: 'numpy' (reference, "
+            "default), 'numba' (fused JIT kernel with graceful fallback), or "
+            "'auto' (fastest available)"
+        ),
+    )
     return parser
 
 
@@ -162,6 +187,7 @@ def _command_run(
     tolerance: float | None = None,
     workers: int | None = None,
     probe_resolution_ms: float | None = None,
+    kernel_backend: str | None = None,
 ) -> int:
     if experiment == "all":
         experiment_ids = [experiment_id for experiment_id, _ in list_experiments()]
@@ -176,6 +202,8 @@ def _command_run(
         sweep_kwargs["workers"] = workers
     if probe_resolution_ms is not None:
         sweep_kwargs["probe_resolution_ms"] = probe_resolution_ms
+    if kernel_backend is not None:
+        sweep_kwargs["kernel_backend"] = kernel_backend
     for experiment_id in experiment_ids:
         result = run_experiment(experiment_id, trials=trials, rng=seed, **sweep_kwargs)
         print(result.to_text(precision=precision))
@@ -199,6 +227,7 @@ def _command_predict(
     tolerance: float | None = None,
     workers: int | None = None,
     probe_resolution_ms: float | None = None,
+    kernel_backend: str | None = None,
 ) -> int:
     config = ReplicaConfig(n=n, r=r, w=w)
     kwargs = {"replica_count": n} if fit.upper() == "WAN" else {}
@@ -210,6 +239,7 @@ def _command_predict(
         tolerance=tolerance,
         workers=workers if workers is not None else 1,
         probe_resolution_ms=probe_resolution_ms,
+        kernel_backend=kernel_backend,
     )
     print(f"latency environment: {fit}")
     if report.trials < trials:
@@ -256,6 +286,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                 args.tolerance,
                 args.workers,
                 args.probe_resolution_ms,
+                args.kernel_backend,
             )
         if args.command == "predict":
             return _command_predict(
@@ -269,6 +300,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                 args.tolerance,
                 args.workers,
                 args.probe_resolution_ms,
+                args.kernel_backend,
             )
         parser.error(f"unknown command {args.command!r}")  # pragma: no cover
         return 2  # pragma: no cover

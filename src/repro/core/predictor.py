@@ -232,6 +232,7 @@ class PBSPredictor:
         tolerance: float | None = None,
         workers: int = 1,
         probe_resolution_ms: float | None = None,
+        kernel_backend: str | None = None,
     ) -> PBSReport:
         """Produce a :class:`PBSReport` summarising latency and staleness predictions.
 
@@ -261,6 +262,10 @@ class PBSPredictor:
             t-visibility crossings, so both figures come from exact
             bracketing counts at this resolution instead of the histogram
             sketch.
+        kernel_backend:
+            Sampling-reduction backend from :mod:`repro.kernels` (``None``
+            is the bit-for-bit NumPy reference; ``"numba"`` the fused JIT
+            kernel, falling back to ``numpy`` when numba is missing).
 
         Returns
         -------
@@ -296,6 +301,7 @@ class PBSPredictor:
             # independently over the engine's default coarse base grid.
             target_probability=(0.99, 0.999),
             probe_resolution_ms=probe_resolution_ms,
+            kernel_backend=kernel_backend,
         )
         sweep = engine.run(trials, rng)
         summary = sweep.results[0]

@@ -127,6 +127,10 @@ class SLAOptimizer:
         and refines around each candidate's staleness-target crossing, so
         ``t_visibility_ms`` is resolved to this many milliseconds from exact
         bracketing counts — the quantity the SLA verdict hinges on.
+    kernel_backend:
+        Sampling-reduction backend from :mod:`repro.kernels` used by every
+        evaluation sweep (``None`` is the bit-for-bit NumPy reference;
+        ``"numba"`` the fused JIT kernel).
     """
 
     def __init__(
@@ -139,6 +143,7 @@ class SLAOptimizer:
         tolerance: float | None = None,
         workers: int = 1,
         probe_resolution_ms: float | None = None,
+        kernel_backend: str | None = None,
     ) -> None:
         if trials < 100:
             raise ConfigurationError(f"at least 100 trials are required, got {trials}")
@@ -157,6 +162,9 @@ class SLAOptimizer:
         # invariant, so sharding never changes which configuration wins.
         self._workers = workers
         self._probe_resolution_ms = probe_resolution_ms
+        # Sampling-reduction backend name, forwarded to every sweep (None is
+        # the bit-for-bit NumPy reference).
+        self._kernel_backend = kernel_backend
 
     def _distributions_for(self, n: int) -> WARSDistributions:
         if callable(self._distributions):
@@ -264,6 +272,7 @@ class SLAOptimizer:
             # (a no-op unless probe_resolution_ms enables the adaptive grid).
             target_probability=target.consistency_probability,
             probe_resolution_ms=self._probe_resolution_ms,
+            kernel_backend=self._kernel_backend,
         )
 
     def _evaluation_from_summary(self, summary, target: SLATarget) -> ConfigurationEvaluation:

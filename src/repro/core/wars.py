@@ -31,12 +31,14 @@ thresholds) as well as read- and write-latency distributions.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Sequence
 
 import numpy as np
 
 from repro.core.quorum import ReplicaConfig
 from repro.exceptions import ConfigurationError, DistributionError
+from repro.kernels import KernelBackend, resolve_backend
 from repro.latency.base import LatencyDistribution, as_rng
 from repro.latency.composite import PerReplicaLatency
 from repro.latency.production import WARSDistributions
@@ -153,6 +155,7 @@ def sample_wars_batch(
     trials: int,
     n: int,
     rng: np.random.Generator,
+    kernel_backend: str | KernelBackend | None = None,
 ) -> WARSSampleBatch:
     """Draw the four WARS delay matrices once and pre-reduce the order statistics.
 
@@ -160,11 +163,18 @@ def sample_wars_batch(
     :meth:`WARSModel.sample` exactly, so a batch drawn from a generator in a
     given state yields the same trials the single-configuration kernel would
     have produced from that state.
+
+    ``kernel_backend`` selects the reduction implementation from
+    :mod:`repro.kernels` (``None`` is the bit-for-bit NumPy reference).
+    Sampling itself is shared by every backend, so all backends consume
+    identical random streams; only the sort/argsort/prefix-min reduction is
+    pluggable.
     """
     if trials < 1:
         raise ConfigurationError(f"trial count must be >= 1, got {trials}")
     if n < 1:
         raise ConfigurationError(f"replication factor must be >= 1, got {n}")
+    backend = resolve_backend(kernel_backend)
 
     write_delays, ack_delays = _sample_pair_matrices(
         distributions.w, distributions.a, trials, n, rng
@@ -173,23 +183,9 @@ def sample_wars_batch(
         distributions.r, distributions.s, trials, n, rng
     )
 
-    # Sorting the write round trips once exposes the commit latency for every
-    # write quorum size w as column w-1.
-    write_round_trips = write_delays + ack_delays
-    commit_latency_by_w = np.sort(write_round_trips, axis=1)
-
-    # The responder order (ascending R + S) is shared by every read quorum
-    # size; the r-th smallest round trip is column r-1 of the sorted matrix.
-    read_round_trips = read_delays + response_delays
-    responder_order = np.argsort(read_round_trips, axis=1, kind="stable")
-    row_index = np.arange(trials)[:, None]
-    read_latency_by_r = read_round_trips[row_index, responder_order]
-
-    # Replica i (among the first r responders) returns fresh data iff
-    # commit_latency + t + R[i] >= W[i]; a prefix minimum over (W - R) in
-    # responder order yields min over the first r responders as column r-1.
-    margins = (write_delays - read_delays)[row_index, responder_order]
-    freshness_margin_by_r = np.minimum.accumulate(margins, axis=1)
+    commit_latency_by_w, read_latency_by_r, freshness_margin_by_r = (
+        backend.reduce_batch(write_delays, ack_delays, read_delays, response_delays)
+    )
 
     return WARSSampleBatch(
         n=n,
@@ -221,20 +217,36 @@ class WARSTrialResult:
         """Number of simulated operations in this batch."""
         return int(self.commit_latencies_ms.size)
 
+    @cached_property
+    def _sorted_thresholds_ms(self) -> np.ndarray:
+        """The staleness thresholds sorted ascending, computed once.
+
+        Every consistency query is an order-statistic lookup over the
+        thresholds; caching the sorted array turns repeated curve /
+        t-visibility / point queries from O(trials log trials) each into one
+        sort amortised over the result's lifetime.  (``cached_property``
+        writes straight into ``__dict__``, which a frozen dataclass permits.)
+        """
+        return np.sort(self.staleness_thresholds_ms)
+
+    def consistency_counts(self, times_ms: Sequence[float]) -> np.ndarray:
+        """Exact count of trials consistent at each requested time since commit."""
+        times = np.asarray(list(times_ms), dtype=float)
+        if np.any(times < 0):
+            raise ConfigurationError("times since commit must be non-negative")
+        return np.searchsorted(self._sorted_thresholds_ms, times, side="right")
+
     def consistency_probability(self, t_ms: float) -> float:
         """Fraction of trials whose read, started ``t_ms`` after commit, is consistent."""
         if t_ms < 0:
             raise ConfigurationError(f"time since commit must be non-negative, got {t_ms}")
-        return float(np.mean(self.staleness_thresholds_ms <= t_ms))
+        count = np.searchsorted(self._sorted_thresholds_ms, t_ms, side="right")
+        return float(count / self.trials)
 
     def consistency_curve(self, times_ms: Sequence[float]) -> list[tuple[float, float]]:
         """Return ``(t, P(consistent at t))`` for each requested time since commit."""
-        thresholds = np.sort(self.staleness_thresholds_ms)
         times = np.asarray(list(times_ms), dtype=float)
-        if np.any(times < 0):
-            raise ConfigurationError("times since commit must be non-negative")
-        counts = np.searchsorted(thresholds, times, side="right")
-        probabilities = counts / thresholds.size
+        probabilities = self.consistency_counts(times) / self.trials
         return [(float(t), float(p)) for t, p in zip(times, probabilities)]
 
     def t_visibility(self, target_probability: float) -> float:
@@ -248,7 +260,7 @@ class WARSTrialResult:
             raise ConfigurationError(
                 f"target probability must be in (0, 1], got {target_probability}"
             )
-        thresholds = np.sort(self.staleness_thresholds_ms)
+        thresholds = self._sorted_thresholds_ms
         index = int(np.ceil(target_probability * thresholds.size)) - 1
         index = min(max(index, 0), thresholds.size - 1)
         return float(max(thresholds[index], 0.0))
@@ -282,7 +294,10 @@ class WARSModel:
     config: ReplicaConfig
 
     def sample(
-        self, trials: int, rng: np.random.Generator | int | None = None
+        self,
+        trials: int,
+        rng: np.random.Generator | int | None = None,
+        kernel_backend: str | KernelBackend | None = None,
     ) -> WARSTrialResult:
         """Run ``trials`` simulated write/read pairs and return the batched result.
 
@@ -290,10 +305,18 @@ class WARSModel:
         delay matrices (:func:`sample_wars_batch`) reduced for this model's
         configuration.  Multi-configuration sweeps should share the batch via
         :class:`repro.montecarlo.engine.SweepEngine` instead of calling this
-        once per configuration.
+        once per configuration.  ``kernel_backend`` selects the reduction
+        implementation from :mod:`repro.kernels` (default: the NumPy
+        reference).
         """
         generator = as_rng(rng)
-        batch = sample_wars_batch(self.distributions, trials, self.config.n, generator)
+        batch = sample_wars_batch(
+            self.distributions,
+            trials,
+            self.config.n,
+            generator,
+            kernel_backend=kernel_backend,
+        )
         return batch.reduce(self.config)
 
     def consistency_probability(

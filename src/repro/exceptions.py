@@ -34,3 +34,7 @@ class AnalysisError(PBSError):
 
 class ExperimentError(PBSError):
     """An experiment was requested that does not exist or failed to run."""
+
+
+class KernelError(PBSError):
+    """An unknown or unusable Monte Carlo kernel backend was requested."""

@@ -36,6 +36,7 @@ def _wars_predicted_t_visibility(
     trials: int = 20_000,
     workers: int = 1,
     probe_resolution_ms: float | None = None,
+    kernel_backend: str | None = None,
 ) -> float:
     """WARS sweep-engine prediction to place next to the measured cluster numbers.
 
@@ -61,10 +62,17 @@ def _wars_predicted_t_visibility(
             workers=workers,
             target_probability=target,
             probe_resolution_ms=probe_resolution_ms,
+            kernel_backend=kernel_backend,
         )
         summary = engine.run(max(trials, 16 * SAMPLE_BLOCK), rng=0).results[0]
         return summary.t_visibility(target)
-    engine = SweepEngine(distributions, (config,), keep_samples=True, workers=workers)
+    engine = SweepEngine(
+        distributions,
+        (config,),
+        keep_samples=True,
+        workers=workers,
+        kernel_backend=kernel_backend,
+    )
     return engine.run(trials, rng=0).results[0].t_visibility(target)
 
 
@@ -124,13 +132,18 @@ def run_read_repair_ablation(
     rng: np.random.Generator | int | None = 0,
     workers: int = 1,
     probe_resolution_ms: float | None = None,
+    kernel_backend: str | None = None,
 ) -> ExperimentResult:
     """Compare observed staleness with read repair disabled (paper's model) vs enabled."""
     generator = as_rng(rng)
     config = ReplicaConfig(3, 1, 1)
     distributions = _slow_write_distributions()
     predicted = _wars_predicted_t_visibility(
-        config, distributions, workers=workers, probe_resolution_ms=probe_resolution_ms
+        config,
+        distributions,
+        workers=workers,
+        probe_resolution_ms=probe_resolution_ms,
+        kernel_backend=kernel_backend,
     )
     rows = []
     for label, read_repair in (("disabled (paper model)", False), ("enabled", True)):
@@ -161,13 +174,18 @@ def run_fanout_ablation(
     rng: np.random.Generator | int | None = 0,
     workers: int = 1,
     probe_resolution_ms: float | None = None,
+    kernel_backend: str | None = None,
 ) -> ExperimentResult:
     """Staleness is unchanged by fan-out choice; per-replica read load is not."""
     generator = as_rng(rng)
     config = ReplicaConfig(3, 1, 1)
     distributions = _slow_write_distributions()
     predicted = _wars_predicted_t_visibility(
-        config, distributions, workers=workers, probe_resolution_ms=probe_resolution_ms
+        config,
+        distributions,
+        workers=workers,
+        probe_resolution_ms=probe_resolution_ms,
+        kernel_backend=kernel_backend,
     )
     rows = []
     for label, fanout_all in (("all N replicas (Dynamo)", True), ("only R replicas (Voldemort)", False)):
@@ -195,6 +213,7 @@ def run_failure_ablation(
     rng: np.random.Generator | int | None = 0,
     workers: int = 1,
     probe_resolution_ms: float | None = None,
+    kernel_backend: str | None = None,
 ) -> ExperimentResult:
     """A crashed replica effectively shrinks N, changing both staleness and availability."""
     generator = as_rng(rng)
@@ -203,13 +222,18 @@ def run_failure_ablation(
     # The model's steady-state reference; a crashed replica shrinks the
     # effective N, which the two-replica prediction below captures.
     predicted_steady = _wars_predicted_t_visibility(
-        config, distributions, workers=workers, probe_resolution_ms=probe_resolution_ms
+        config,
+        distributions,
+        workers=workers,
+        probe_resolution_ms=probe_resolution_ms,
+        kernel_backend=kernel_backend,
     )
     predicted_degraded = _wars_predicted_t_visibility(
         ReplicaConfig(2, 1, 1),
         distributions,
         workers=workers,
         probe_resolution_ms=probe_resolution_ms,
+        kernel_backend=kernel_backend,
     )
     rows = []
     for label, crash in (("steady state", False), ("one replica crashed", True)):

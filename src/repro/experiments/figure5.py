@@ -28,6 +28,7 @@ def run_figure5(
     tolerance: float | None = None,
     workers: int = 1,
     probe_resolution_ms: float | None = None,
+    kernel_backend: str | None = None,
 ) -> ExperimentResult:
     """Read/write latency percentiles per production environment and quorum size.
 
@@ -35,7 +36,8 @@ def run_figure5(
     (``pbs-repro run all``) but have no effect here: the engine runs serially
     whenever samples are retained (``keep_samples``), which this experiment
     needs for exact percentiles, and a pure latency-CDF experiment has no
-    t-visibility crossing for an adaptive grid to refine.
+    t-visibility crossing for an adaptive grid to refine.  ``kernel_backend``
+    selects the sampling-reduction backend (:mod:`repro.kernels`).
     """
     del probe_resolution_ms  # no probe grid in a latency-only sweep
     environments = {
@@ -59,6 +61,7 @@ def run_figure5(
             min_trials=min_trials_for_quantile(max(_PERCENTILES) / 100.0),
             keep_samples=True,
             workers=workers,
+            kernel_backend=kernel_backend,
         )
         sweep = engine.run(trials, rng)
         for summary in sweep:

@@ -1,0 +1,147 @@
+"""Fused numba JIT reduction backend for the WARS sampling kernel.
+
+The reference backend makes three full passes over the ``(trials, n)``
+matrices — a row-wise sort, a row-wise stable argsort plus two fancy-indexed
+gathers, and a prefix-minimum scan — each materialising intermediates the
+size of the batch.  This backend fuses all of it into one ``prange``-parallel
+loop over trials: each trial's row (a handful of floats; ``n`` is a
+replication factor, almost always <= 10) is reduced entirely in registers /
+L1, and the only arrays ever written are the three outputs.
+
+Equivalence contract
+--------------------
+The fused kernel consumes the *same* sampled delay matrices as the reference
+(distribution sampling is shared NumPy code in
+:func:`repro.core.wars.sample_wars_batch`), so the two backends differ only
+in floating-point-identical reductions of identical inputs — except for
+tie-breaking between equal round trips, where the insertion sort used here
+and NumPy's stable argsort agree on order for exact ties but the surrounding
+sorts may differ in unstable positions.  Continuous latency distributions
+make ties measure-zero, so the repository validates this backend
+*statistically* against the reference (the ROADMAP's stated contract for
+non-seeded backends); see ``tests/montecarlo/test_kernels.py``.
+
+The module imports cleanly without numba installed:
+:func:`make_numba_backend` returns ``None`` and the registry treats the
+backend as unavailable (``kernel_backend="numba"`` then falls back to the
+reference with a warning).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["numba_available", "make_numba_backend", "NumbaKernelBackend"]
+
+
+def numba_available() -> bool:
+    """True when the numba runtime can be imported."""
+    try:
+        import numba  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def _compile_fused_reduce():
+    """Build the JIT kernel (deferred so import never requires numba)."""
+    from numba import njit, prange
+
+    @njit(parallel=True, cache=True, fastmath=False)
+    def fused_reduce(write_delays, ack_delays, read_delays, response_delays):
+        trials, n = write_delays.shape
+        commit_latency_by_w = np.empty((trials, n), dtype=np.float64)
+        read_latency_by_r = np.empty((trials, n), dtype=np.float64)
+        freshness_margin_by_r = np.empty((trials, n), dtype=np.float64)
+        for i in prange(trials):
+            # Stable insertion argsort of the read round trips: n is a
+            # replication factor (single digits), where insertion sort beats
+            # any general-purpose sort and — crucially for the freshness
+            # margins — preserves the original index order of exact ties,
+            # matching the reference backend's kind="stable" argsort.
+            order = np.empty(n, dtype=np.int64)
+            read_rt = np.empty(n, dtype=np.float64)
+            for j in range(n):
+                read_rt[j] = read_delays[i, j] + response_delays[i, j]
+                order[j] = j
+            for j in range(1, n):
+                key = read_rt[j]
+                key_index = order[j]
+                k = j - 1
+                while k >= 0 and read_rt[k] > key:
+                    read_rt[k + 1] = read_rt[k]
+                    order[k + 1] = order[k]
+                    k -= 1
+                read_rt[k + 1] = key
+                order[k + 1] = key_index
+            # read_rt is now sorted ascending = read latency by quorum size;
+            # fuse the (W - R) gather and prefix minimum into the same pass.
+            running = np.inf
+            for r in range(n):
+                j = order[r]
+                read_latency_by_r[i, r] = read_rt[r]
+                delta = write_delays[i, j] - read_delays[i, j]
+                if delta < running:
+                    running = delta
+                freshness_margin_by_r[i, r] = running
+            # Insertion sort of the write round trips (values only).
+            write_rt = np.empty(n, dtype=np.float64)
+            for j in range(n):
+                write_rt[j] = write_delays[i, j] + ack_delays[i, j]
+            for j in range(1, n):
+                key = write_rt[j]
+                k = j - 1
+                while k >= 0 and write_rt[k] > key:
+                    write_rt[k + 1] = write_rt[k]
+                    k -= 1
+                write_rt[k + 1] = key
+            for j in range(n):
+                commit_latency_by_w[i, j] = write_rt[j]
+        return commit_latency_by_w, read_latency_by_r, freshness_margin_by_r
+
+    return fused_reduce
+
+
+class NumbaKernelBackend:
+    """One ``prange``-parallel pass fusing sort + argsort + prefix-min.
+
+    Compilation is deferred to the first :meth:`reduce_batch` call and cached
+    by numba (``cache=True``), so constructing the backend is cheap and a
+    process only pays the JIT cost once.
+    """
+
+    name = "numba"
+
+    def __init__(self) -> None:
+        self._fused = None
+
+    def reduce_batch(
+        self,
+        write_delays: np.ndarray,
+        ack_delays: np.ndarray,
+        read_delays: np.ndarray,
+        response_delays: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        if self._fused is None:
+            self._fused = _compile_fused_reduce()
+        # Record that a parallel JIT kernel ran: numba's threading layers are
+        # not fork-safe, and the engine consults this before forking workers.
+        from repro.kernels import note_jit_ran
+
+        note_jit_ran()
+        # The sampling front half can hand over non-contiguous views (the
+        # per-replica permutation path); the JIT kernel wants plain C-order
+        # float64.
+        return self._fused(
+            np.ascontiguousarray(write_delays, dtype=np.float64),
+            np.ascontiguousarray(ack_delays, dtype=np.float64),
+            np.ascontiguousarray(read_delays, dtype=np.float64),
+            np.ascontiguousarray(response_delays, dtype=np.float64),
+        )
+
+
+def make_numba_backend() -> "NumbaKernelBackend | None":
+    """Registry factory: an instance when numba is importable, else ``None``."""
+    if not numba_available():
+        return None
+    return NumbaKernelBackend()

@@ -9,6 +9,7 @@ environment and set of quorum sizes.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Mapping, Sequence
 
 import numpy as np
@@ -37,16 +38,28 @@ class OperationLatencyCDF:
     read_latencies_ms: np.ndarray
     write_latencies_ms: np.ndarray
 
+    @cached_property
+    def _sorted_read_latencies_ms(self) -> np.ndarray:
+        """Read latencies sorted once; every CDF query is a searchsorted over
+        this array, so repeated grids cost O(grid log trials), not a fresh
+        O(trials log trials) sort per call."""
+        return np.sort(self.read_latencies_ms)
+
+    @cached_property
+    def _sorted_write_latencies_ms(self) -> np.ndarray:
+        """Write latencies sorted once (see ``_sorted_read_latencies_ms``)."""
+        return np.sort(self.write_latencies_ms)
+
     def read_cdf(self, grid_ms: Sequence[float]) -> list[tuple[float, float]]:
         """``(latency, P(read latency <= latency))`` over a latency grid."""
-        sorted_latencies = np.sort(self.read_latencies_ms)
+        sorted_latencies = self._sorted_read_latencies_ms
         grid = np.asarray(list(grid_ms), dtype=float)
         fractions = np.searchsorted(sorted_latencies, grid, side="right") / sorted_latencies.size
         return [(float(x), float(f)) for x, f in zip(grid, fractions)]
 
     def write_cdf(self, grid_ms: Sequence[float]) -> list[tuple[float, float]]:
         """``(latency, P(write latency <= latency))`` over a latency grid."""
-        sorted_latencies = np.sort(self.write_latencies_ms)
+        sorted_latencies = self._sorted_write_latencies_ms
         grid = np.asarray(list(grid_ms), dtype=float)
         fractions = np.searchsorted(sorted_latencies, grid, side="right") / sorted_latencies.size
         return [(float(x), float(f)) for x, f in zip(grid, fractions)]
@@ -104,6 +117,7 @@ def operation_latency_cdf(
     streaming: bool = False,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     workers: int = 1,
+    kernel_backend: str | None = None,
 ) -> OperationLatencyCDF | StreamingOperationLatency:
     """Simulate operation latencies for one configuration.
 
@@ -113,13 +127,18 @@ def operation_latency_cdf(
     ``chunk_size`` pieces — bounded memory for arbitrarily large trial
     counts, optionally sharded across ``workers`` processes — and the result
     is a :class:`StreamingOperationLatency` answering the same queries from
-    histogram sketches.
+    histogram sketches.  ``kernel_backend`` selects the sampling-reduction
+    backend from :mod:`repro.kernels` on either path.
     """
     if trials < 1:
         raise ConfigurationError(f"trial count must be >= 1, got {trials}")
     if streaming or workers > 1:
         engine = SweepEngine(
-            distributions, (config,), chunk_size=chunk_size, workers=workers
+            distributions,
+            (config,),
+            chunk_size=chunk_size,
+            workers=workers,
+            kernel_backend=kernel_backend,
         )
         summary = engine.run(trials, rng).results[0]
         return StreamingOperationLatency(
@@ -129,7 +148,7 @@ def operation_latency_cdf(
             _summary=summary,
         )
     model = WARSModel(distributions=distributions, config=config)
-    result = model.sample(trials, rng)
+    result = model.sample(trials, rng, kernel_backend=kernel_backend)
     return OperationLatencyCDF(
         config=config,
         label=label or f"{distributions.name} {config.label()}",

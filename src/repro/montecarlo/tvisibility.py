@@ -51,6 +51,11 @@ class TVisibilityCurve:
         only observe the trials after their activation, so their estimates
         rest on fewer trials than the base probes'.  ``None`` (non-adaptive
         curves) means every probe saw all ``trials``.
+    probe_successes:
+        Exact per-probe consistent-trial counts, when the producer carried
+        them through (all the shipped front-ends do).  ``None`` on curves
+        built from probabilities alone; :meth:`confidence_at` then falls
+        back to reconstructing counts by rounding.
     """
 
     config: ReplicaConfig
@@ -59,6 +64,7 @@ class TVisibilityCurve:
     probabilities: tuple[float, ...]
     trials: int
     probe_trials: tuple[int, ...] | None = None
+    probe_successes: tuple[int, ...] | None = None
 
     def probability_at(self, t_ms: float) -> float:
         """Interpolated probability of consistency at an arbitrary ``t``.
@@ -75,7 +81,15 @@ class TVisibilityCurve:
         return float(np.interp(t_ms, self.times_ms, self.probabilities))
 
     def t_for_probability(self, target: float) -> float:
-        """Smallest grid time whose probability reaches the target.
+        """Smallest ``t`` whose (interpolated) probability reaches the target.
+
+        The inverse of :meth:`probability_at`: when the crossing falls
+        between two probes, the time is linearly interpolated within the
+        bracketing span — so ``probability_at(t_for_probability(p))``
+        recovers ``p`` (up to the curve's own interpolation) instead of
+        overshooting by up to a whole probe span on coarse grids.  Targets
+        met exactly at a probe, or already met at the first probe, return
+        that grid time unchanged.
 
         Args
         ----
@@ -84,16 +98,27 @@ class TVisibilityCurve:
 
         Returns
         -------
-        The first grid time at or above the target, or ``inf`` when the
-        curve never reaches it.  On an adaptive curve the answer is resolved
-        to the sweep's ``probe_resolution_ms`` near the crossing.
+        The crossing time in ms, or ``inf`` when the curve never reaches
+        the target.  On an adaptive curve the bracketing span is at most
+        the sweep's ``probe_resolution_ms`` near the crossing.
         """
         if not 0.0 < target <= 1.0:
             raise ConfigurationError(f"target probability must be in (0, 1], got {target}")
-        for t_ms, probability in zip(self.times_ms, self.probabilities):
-            if probability >= target:
-                return t_ms
-        return float("inf")
+        probabilities = np.asarray(self.probabilities, dtype=float)
+        reached = np.nonzero(probabilities >= target)[0]
+        if reached.size == 0:
+            return float("inf")
+        index = int(reached[0])
+        if index == 0 or probabilities[index] == target:
+            return float(self.times_ms[index])
+        # index is the *first* probe at/above the target and the exact-hit
+        # case returned above, so p_low < target < p_high strictly here.
+        p_low = float(probabilities[index - 1])
+        p_high = float(probabilities[index])
+        t_low = float(self.times_ms[index - 1])
+        t_high = float(self.times_ms[index])
+        fraction = (target - p_low) / (p_high - p_low)
+        return t_low + fraction * (t_high - t_low)
 
     def confidence_at(self, t_ms: float, confidence: float = 0.95) -> ProbabilityEstimate:
         """Wilson interval for the estimate at ``t_ms`` given its trial support.
@@ -107,20 +132,34 @@ class TVisibilityCurve:
 
         Returns
         -------
-        A :class:`~repro.montecarlo.convergence.ProbabilityEstimate`.  On an
-        adaptive curve the denominator is the observation count of the probe
-        at ``t_ms`` — or, between probes, the *smaller* of the two
-        bracketing probes' counts (the conservative choice): refined probes
-        only observed the trials after their activation, and pretending they
-        saw the full budget would overstate the interval's tightness.
+        A :class:`~repro.montecarlo.convergence.ProbabilityEstimate`.  At a
+        probe time the interval rests on the probe's *actual* observed
+        consistent count (``probe_successes``) and observation count — not a
+        count reconstructed by rounding the interpolated probability, which
+        can disagree with the truth on adaptive grids whose probes carry
+        different denominators.  Between probes the probability is
+        interpolated, the support is the *smaller* of the two bracketing
+        probes' counts (the conservative choice), and the count is
+        necessarily a rounded reconstruction.
         """
-        probability = self.probability_at(t_ms)
-        support = self.trials
-        if self.probe_trials is not None and self.times_ms:
-            index = int(np.searchsorted(self.times_ms, t_ms))
-            if index < len(self.times_ms) and self.times_ms[index] == t_ms:
-                support = self.probe_trials[index]
-            else:
+        times = np.asarray(self.times_ms, dtype=float)
+        index = int(np.searchsorted(times, t_ms))
+        on_probe = index < times.size and times[index] == t_ms
+        if on_probe:
+            support = (
+                self.probe_trials[index]
+                if self.probe_trials is not None
+                else self.trials
+            )
+            if self.probe_successes is not None:
+                return wilson_interval(
+                    self.probe_successes[index], support, confidence
+                )
+            probability = float(self.probabilities[index])
+        else:
+            probability = self.probability_at(t_ms)
+            support = self.trials
+            if self.probe_trials is not None:
                 neighbours = [
                     self.probe_trials[i]
                     for i in (index - 1, index)
@@ -138,32 +177,57 @@ class TVisibilityCurve:
         ]
 
 
-def _probe_supports(summary, curve_times: tuple[float, ...]) -> tuple[int, ...]:
-    """Observation counts per union-grid probe (base = all trials)."""
+def _probe_supports(
+    summary, curve_times: tuple[float, ...]
+) -> tuple[tuple[int, ...], tuple[int, ...]]:
+    """``(observation counts, consistent counts)`` per union-grid probe.
+
+    Base probes carry the full trial count and their exact streaming counts;
+    refined probes carry their own observation windows.  Both tuples come
+    straight from the accumulator's integers — no probability is ever
+    rounded back into a count.
+    """
     observed = {float(t): summary.trials for t in summary.times_ms}
     observed.update(zip(summary.refined_times_ms, summary.refined_trials))
-    return tuple(observed[t] for t in curve_times)
+    successes = dict(zip((float(t) for t in summary.times_ms), summary.consistent_counts))
+    successes.update(zip(summary.refined_times_ms, summary.refined_counts))
+    return (
+        tuple(observed[t] for t in curve_times),
+        tuple(int(successes[t]) for t in curve_times),
+    )
 
 
 def _curve_points(
     summary, times_ms: Sequence[float], adaptive: bool
-) -> tuple[tuple[float, ...], tuple[float, ...], tuple[int, ...] | None]:
-    """``(times, probabilities, probe_trials)`` for one summary's curve.
+) -> tuple[
+    tuple[float, ...],
+    tuple[float, ...],
+    tuple[int, ...] | None,
+    tuple[int, ...] | None,
+]:
+    """``(times, probabilities, probe_trials, probe_successes)`` for one curve.
 
-    Adaptive curves cover the full union grid with per-probe observation
-    counts; non-adaptive curves sample the requested times (every probe saw
-    all trials, signalled by ``probe_trials=None``).
+    Adaptive curves cover the full union grid with per-probe observation and
+    consistent counts; non-adaptive curves sample the requested times (every
+    probe saw all trials, signalled by ``probe_trials=None``) and still carry
+    the exact consistent counts where the requested time is a probe.
     """
     if adaptive:
         grid = summary.probe_grid()
         curve_times = tuple(t for t, _ in grid)
         probabilities = tuple(p for _, p in grid)
-        return curve_times, probabilities, _probe_supports(summary, curve_times)
+        supports, successes = _probe_supports(summary, curve_times)
+        return curve_times, probabilities, supports, successes
     curve_times = tuple(float(t) for t in times_ms)
     probabilities = tuple(
         summary.consistency_probability(float(t)) for t in times_ms
     )
-    return curve_times, probabilities, None
+    exact = dict(zip((float(t) for t in summary.times_ms), summary.consistent_counts))
+    successes = tuple(
+        int(exact.get(t, round(p * summary.trials)))
+        for t, p in zip(curve_times, probabilities)
+    )
+    return curve_times, probabilities, None, successes
 
 
 def visibility_curve(
@@ -178,6 +242,7 @@ def visibility_curve(
     workers: int = 1,
     target_probability: float = 0.999,
     probe_resolution_ms: float | None = None,
+    kernel_backend: str | None = None,
 ) -> TVisibilityCurve:
     """Estimate the probability-of-consistency curve for one configuration.
 
@@ -213,6 +278,10 @@ def visibility_curve(
         ``t_visibility(target_probability)`` crossing until it is bracketed
         to this resolution.  The returned curve's grid is then the union of
         ``times_ms`` and the refined probes.
+    kernel_backend:
+        Sampling-reduction backend from :mod:`repro.kernels` (``None`` is
+        the bit-for-bit NumPy reference; ``"numba"`` the fused JIT kernel;
+        ``"auto"`` the fastest available).
 
     Returns
     -------
@@ -237,9 +306,10 @@ def visibility_curve(
             workers=workers,
             target_probability=target_probability,
             probe_resolution_ms=probe_resolution_ms,
+            kernel_backend=kernel_backend,
         )
         summary = engine.run(trials, rng).results[0]
-        curve_times, curve_probabilities, probe_trials = _curve_points(
+        curve_times, curve_probabilities, probe_trials, probe_successes = _curve_points(
             summary, times_ms, adaptive
         )
         return TVisibilityCurve(
@@ -249,16 +319,19 @@ def visibility_curve(
             probabilities=curve_probabilities,
             trials=summary.trials,
             probe_trials=probe_trials,
+            probe_successes=probe_successes,
         )
     model = WARSModel(distributions=distributions, config=config)
-    result = model.sample(trials, rng)
+    result = model.sample(trials, rng, kernel_backend=kernel_backend)
     curve = result.consistency_curve(times_ms)
+    counts = result.consistency_counts([t for t, _ in curve])
     return TVisibilityCurve(
         config=config,
         label=label or f"{distributions.name} {config.label()}",
         times_ms=tuple(t for t, _ in curve),
         probabilities=tuple(p for _, p in curve),
         trials=trials,
+        probe_successes=tuple(int(c) for c in counts),
     )
 
 
@@ -273,6 +346,7 @@ def visibility_curves(
     workers: int = 1,
     target_probability: float = 0.999,
     probe_resolution_ms: float | None = None,
+    kernel_backend: str | None = None,
 ) -> list[TVisibilityCurve]:
     """Curves for several configurations sharing one latency environment.
 
@@ -308,6 +382,9 @@ def visibility_curves(
     probe_resolution_ms:
         Enable adaptive refinement; each returned curve's grid becomes the
         union of ``times_ms`` and that configuration's refined probes.
+    kernel_backend:
+        Sampling-reduction backend from :mod:`repro.kernels` (``None`` is
+        the bit-for-bit NumPy reference).
 
     Returns
     -------
@@ -333,11 +410,12 @@ def visibility_curves(
         workers=workers,
         target_probability=target_probability,
         probe_resolution_ms=probe_resolution_ms,
+        kernel_backend=kernel_backend,
     )
     sweep = engine.run(trials, rng)
     curves = []
     for summary in sweep:
-        curve_times, curve_probabilities, probe_trials = _curve_points(
+        curve_times, curve_probabilities, probe_trials, probe_successes = _curve_points(
             summary, times_ms, adaptive
         )
         curves.append(
@@ -348,6 +426,7 @@ def visibility_curves(
                 probabilities=curve_probabilities,
                 trials=sweep.trials_run,
                 probe_trials=probe_trials,
+                probe_successes=probe_successes,
             )
         )
     return curves
@@ -364,6 +443,7 @@ def t_visibility_table(
     tolerance: float | None = None,
     workers: int = 1,
     probe_resolution_ms: float | None = None,
+    kernel_backend: str | None = None,
 ) -> list[dict[str, object]]:
     """Build Table 4 style rows: per (environment, config), tail latencies and t-visibility.
 
@@ -403,6 +483,9 @@ def t_visibility_table(
         and refine around each configuration's crossing, so the
         ``t_visibility_ms`` column is resolved to this many milliseconds
         from exact bracketing counts instead of the histogram sketch.
+    kernel_backend:
+        Sampling-reduction backend from :mod:`repro.kernels` (``None`` is
+        the bit-for-bit NumPy reference).
 
     Returns
     -------
@@ -440,6 +523,7 @@ def t_visibility_table(
             # otherwise the target is informational and no probes are grown.
             target_probability=target_probability,
             probe_resolution_ms=probe_resolution_ms,
+            kernel_backend=kernel_backend,
         )
         sweep = engine.run(trials, rng)
         for summary in sweep:

@@ -1,0 +1,31 @@
+"""Shared fixtures for the Monte Carlo engine test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernels import registered_backends
+from repro.kernels.numba_backend import numba_available
+
+
+@pytest.fixture(
+    params=[
+        pytest.param(
+            name,
+            marks=pytest.mark.skipif(
+                name == "numba" and not numba_available(),
+                reason="numba is not installed; the backend falls back to numpy",
+            ),
+        )
+        for name in registered_backends()
+    ]
+)
+def kernel_backend(request) -> str:
+    """Every registered sampling-reduction backend, numba guarded.
+
+    Tests taking this fixture run once per backend, so the engine and its
+    front-ends are exercised under each reduction implementation; the numba
+    case skips (rather than silently falling back) on machines without the
+    JIT runtime — CI's numba leg runs it for real.
+    """
+    return request.param

@@ -463,3 +463,62 @@ class TestEngineValidationAndSketch:
         assert summary.read_latency_percentile(99.0) == pytest.approx(
             independent.read_latency_percentile(99.0), rel=0.02
         )
+
+
+class TestKernelBackendInvariance:
+    """Engine invariants hold under every registered reduction backend.
+
+    The ``kernel_backend`` fixture (tests/montecarlo/conftest.py) runs these
+    once per registered backend — numba cases skip on machines without the
+    JIT runtime and run for real on CI's numba leg.  Statistical equivalence
+    between backends lives in test_kernels.py; these check that the *engine
+    contracts* (chunk-size invariance, worker invariance) are preserved by
+    whichever backend does the reduction.
+    """
+
+    _BACKEND_CONFIGS = (ReplicaConfig(3, 1, 1), ReplicaConfig(3, 2, 2))
+
+    def test_counts_chunk_size_invariant_per_backend(self, kernel_backend):
+        distributions = lnkd_ssd()
+        trials = 2 * SAMPLE_BLOCK + 777
+        small = SweepEngine(
+            distributions,
+            self._BACKEND_CONFIGS,
+            times_ms=_TIMES,
+            chunk_size=SAMPLE_BLOCK,
+            kernel_backend=kernel_backend,
+        ).run(trials, 42)
+        large = SweepEngine(
+            distributions,
+            self._BACKEND_CONFIGS,
+            times_ms=_TIMES,
+            chunk_size=10 * SAMPLE_BLOCK,
+            kernel_backend=kernel_backend,
+        ).run(trials, 42)
+        assert small.kernel_backend == large.kernel_backend == kernel_backend
+        for one, other in zip(small, large):
+            assert one.consistent_counts == other.consistent_counts
+            assert one.nonpositive_thresholds == other.nonpositive_thresholds
+
+    def test_counts_worker_invariant_per_backend(self, kernel_backend, workers):
+        distributions = lnkd_ssd()
+        trials = 3 * SAMPLE_BLOCK + 5
+        serial = SweepEngine(
+            distributions,
+            self._BACKEND_CONFIGS,
+            times_ms=_TIMES,
+            chunk_size=SAMPLE_BLOCK,
+            kernel_backend=kernel_backend,
+        ).run(trials, 7)
+        sharded = SweepEngine(
+            distributions,
+            self._BACKEND_CONFIGS,
+            times_ms=_TIMES,
+            chunk_size=SAMPLE_BLOCK,
+            workers=workers,
+            kernel_backend=kernel_backend,
+        ).run(trials, 7)
+        for ours, theirs in zip(sharded, serial):
+            assert ours.consistent_counts == theirs.consistent_counts
+            for q in (0.5, 0.99, 0.999):
+                assert ours.t_visibility(q) == theirs.t_visibility(q)

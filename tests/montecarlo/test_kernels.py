@@ -1,0 +1,348 @@
+"""The pluggable sampling-reduction kernel backends (:mod:`repro.kernels`).
+
+Contract layers, mirroring ``test_engine_equivalence.py``:
+
+1. *Registry*: both builtin backends are always registered; resolution
+   validates names, auto-detects, and falls back gracefully when the numba
+   runtime is missing.
+2. *Exact*: the ``numpy`` backend — the default everywhere — is the
+   reference reduction verbatim, so results through every entry point are
+   bit-for-bit identical to passing no backend at all.
+3. *Statistical*: every available backend consumes identical sampled delay
+   matrices and must agree with the reference within Wilson-interval
+   tolerance on consistency estimates and within a few percent on latency
+   quantiles (the ROADMAP's stated contract for non-seeded backends).  For
+   the JIT backend the agreement is in fact exact up to sort tie-breaking,
+   which is measure-zero under continuous latency distributions — the
+   statistical gate is what the repository *promises*, the bitwise checks
+   below are what the current implementation happens to deliver.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.quorum import ReplicaConfig, iter_configs
+from repro.core.wars import WARSModel, sample_wars_batch
+from repro.exceptions import KernelError
+from repro.kernels import (
+    available_backends,
+    pin_worker_threads,
+    registered_backends,
+    resolve_backend,
+)
+from repro.kernels.numba_backend import numba_available
+from repro.kernels.numpy_backend import NumpyKernelBackend
+from repro.latency.production import lnkd_ssd, wan, ymmr
+from repro.montecarlo.convergence import wilson_interval
+from repro.montecarlo.engine import SweepEngine
+
+_CONFIGS = tuple(iter_configs(3))
+_TIMES = (0.0, 0.5, 2.0, 10.0, 50.0)
+
+
+class TestRegistry:
+    def test_builtin_backends_always_registered(self):
+        assert registered_backends() == ("numpy", "numba")
+
+    def test_numpy_backend_always_available(self):
+        assert "numpy" in available_backends()
+
+    def test_unknown_backend_name_raises_with_known_names(self):
+        with pytest.raises(KernelError, match="unknown kernel backend 'gpu'"):
+            resolve_backend("gpu")
+        with pytest.raises(KernelError, match="numpy"):
+            resolve_backend("")
+
+    def test_unknown_backend_raises_through_the_engine(self):
+        with pytest.raises(KernelError):
+            SweepEngine(lnkd_ssd(), (_CONFIGS[0],), kernel_backend="bogus")
+
+    def test_none_resolves_to_the_reference(self):
+        assert resolve_backend(None).name == "numpy"
+        assert resolve_backend("numpy").name == "numpy"
+
+    def test_instances_are_process_singletons(self):
+        assert resolve_backend("numpy") is resolve_backend("numpy")
+
+    def test_backend_instances_pass_through(self):
+        backend = NumpyKernelBackend()
+        assert resolve_backend(backend) is backend
+
+    def test_auto_selects_an_available_backend(self):
+        backend = resolve_backend("auto")
+        assert backend.name in available_backends()
+        if numba_available():
+            assert backend.name == "numba"
+        else:
+            assert backend.name == "numpy"
+
+    @pytest.mark.skipif(numba_available(), reason="fallback only fires without numba")
+    def test_missing_numba_falls_back_to_numpy_with_warning(self):
+        with pytest.warns(RuntimeWarning, match="falling back to the 'numpy'"):
+            backend = resolve_backend("numba")
+        assert backend.name == "numpy"
+        # The whole stack stays usable under the fallback.
+        with pytest.warns(RuntimeWarning):
+            sweep = SweepEngine(
+                lnkd_ssd(), (_CONFIGS[0],), kernel_backend="numba"
+            ).run(1_000, 0)
+        assert sweep.kernel_backend == "numpy"
+
+
+class TestThreadPinning:
+    @pytest.fixture(autouse=True)
+    def pinning_sandbox(self, monkeypatch):
+        """Contain pin_worker_threads' process-global side effects.
+
+        The function mutates env vars and caps live BLAS/numba thread pools;
+        without containment the rest of the suite (and CI's numba leg) would
+        run permanently pinned to 1-2 threads.  Writes go to a throwaway
+        environ copy, and stub ``threadpoolctl``/``numba`` modules shadow
+        any real ones for the function's internal imports, recording the
+        caps instead of applying them.
+        """
+        import os
+        import sys
+        import types
+
+        monkeypatch.setattr(os, "environ", dict(os.environ))
+        self.limits_applied: list[object] = []
+        threadpoolctl_stub = types.ModuleType("threadpoolctl")
+        threadpoolctl_stub.threadpool_limits = (
+            lambda limits: self.limits_applied.append(limits)
+        )
+        monkeypatch.setitem(sys.modules, "threadpoolctl", threadpoolctl_stub)
+        numba_stub = types.ModuleType("numba")
+        numba_stub.get_num_threads = lambda: 8
+        numba_stub.set_num_threads = lambda n: self.limits_applied.append(("numba", n))
+        monkeypatch.setitem(sys.modules, "numba", numba_stub)
+
+    def test_fair_share_and_floor(self):
+        assert pin_worker_threads(4, cpu_count=8) == 2
+        assert pin_worker_threads(8, cpu_count=4) == 1  # floor at one thread
+        assert pin_worker_threads(1, cpu_count=6) == 6
+
+    def test_environment_variables_are_set(self):
+        import os
+
+        threads = pin_worker_threads(2, cpu_count=4)
+        assert os.environ["OMP_NUM_THREADS"] == str(threads) == "2"
+        assert os.environ["OPENBLAS_NUM_THREADS"] == "2"
+
+    def test_runtime_pools_are_capped_through_their_apis(self):
+        pin_worker_threads(2, cpu_count=4)
+        assert 2 in self.limits_applied  # threadpoolctl cap
+        assert ("numba", 2) in self.limits_applied  # numba cap
+
+    def test_rejects_bad_worker_count(self):
+        with pytest.raises(KernelError):
+            pin_worker_threads(0)
+
+
+class TestNumpyBackendIsTheReference:
+    """The default path is the reference reduction, bit for bit."""
+
+    def test_explicit_numpy_equals_default_everywhere(self):
+        distributions = ymmr()
+        default = WARSModel(distributions, _CONFIGS[0]).sample(4_096, 7)
+        explicit = WARSModel(distributions, _CONFIGS[0]).sample(
+            4_096, 7, kernel_backend="numpy"
+        )
+        assert np.array_equal(
+            default.staleness_thresholds_ms, explicit.staleness_thresholds_ms
+        )
+        assert np.array_equal(default.read_latencies_ms, explicit.read_latencies_ms)
+        assert np.array_equal(default.commit_latencies_ms, explicit.commit_latencies_ms)
+
+    def test_engine_counts_identical_with_explicit_numpy(self):
+        distributions = ymmr()
+        default = SweepEngine(distributions, _CONFIGS, times_ms=_TIMES).run(20_000, 3)
+        explicit = SweepEngine(
+            distributions, _CONFIGS, times_ms=_TIMES, kernel_backend="numpy"
+        ).run(20_000, 3)
+        assert default.kernel_backend == explicit.kernel_backend == "numpy"
+        for ours, theirs in zip(default, explicit):
+            assert ours.consistent_counts == theirs.consistent_counts
+            assert ours.nonpositive_thresholds == theirs.nonpositive_thresholds
+            for q in (0.5, 0.99, 0.999):
+                assert ours.t_visibility(q) == theirs.t_visibility(q)
+
+    def test_reduce_matches_inline_reference(self):
+        """The backend reproduces a hand-computed reduction of known inputs."""
+        rng = np.random.default_rng(0)
+        trials, n = 64, 5
+        w, a, r, s = (rng.exponential(2.0, size=(trials, n)) for _ in range(4))
+        commit, read, margin = NumpyKernelBackend().reduce_batch(w, a, r, s)
+        assert np.array_equal(commit, np.sort(w + a, axis=1))
+        order = np.argsort(r + s, axis=1, kind="stable")
+        rows = np.arange(trials)[:, None]
+        assert np.array_equal(read, (r + s)[rows, order])
+        assert np.array_equal(
+            margin, np.minimum.accumulate((w - r)[rows, order], axis=1)
+        )
+
+
+class TestBackendStatisticalEquivalence:
+    """Every available backend agrees with the reference distributionally.
+
+    Mirrors ``test_engine_equivalence.TestStatisticalEquivalence``: same
+    seeds, same probe grid, Wilson-interval agreement on consistency and
+    percent-level agreement on quantiles.  The shared ``kernel_backend``
+    fixture (tests/montecarlo/conftest.py) supplies every registered
+    backend, so the harness runs for numpy everywhere and for numba on
+    machines that have it.
+    """
+
+    def test_consistency_curves_within_wilson_tolerance(self, kernel_backend):
+        distributions = ymmr()
+        trials = 60_000
+        sweep = SweepEngine(
+            distributions, _CONFIGS, times_ms=_TIMES, kernel_backend=kernel_backend
+        ).run(trials, 101)
+        for summary in sweep:
+            reference = WARSModel(distributions, summary.config).sample(trials, 202)
+            for t_ms in _TIMES:
+                estimate = summary.estimate_at(t_ms, confidence=0.999)
+                reference_p = reference.consistency_probability(t_ms)
+                reference_margin = wilson_interval(
+                    int(round(reference_p * trials)), trials, 0.999
+                ).margin
+                assert abs(estimate.probability - reference_p) <= (
+                    estimate.margin + reference_margin
+                )
+
+    def test_t_visibility_and_latency_quantiles_track_reference(self, kernel_backend):
+        distributions = ymmr()
+        trials = 60_000
+        config = ReplicaConfig(3, 1, 1)
+        summary = (
+            SweepEngine(distributions, (config,), kernel_backend=kernel_backend)
+            .run(trials, 31)
+            .results[0]
+        )
+        reference = WARSModel(distributions, config).sample(trials, 32)
+        assert summary.t_visibility(0.99) == pytest.approx(
+            reference.t_visibility(0.99), rel=0.05
+        )
+        for percentile in (50.0, 95.0, 99.0):
+            assert summary.read_latency_percentile(percentile) == pytest.approx(
+                reference.read_latency_percentile(percentile), rel=0.05
+            )
+
+    def test_batch_invariants_hold_per_backend(self, kernel_backend):
+        """Structural truths every correct reduction must satisfy, checked
+        directly on the batch: sorted rows, monotone prefix minima, and the
+        per-trial coupling between quorum sizes."""
+        for distributions in (ymmr(), wan()):
+            batch = sample_wars_batch(
+                distributions, 2_048, 3, np.random.default_rng(5), kernel_backend=kernel_backend
+            )
+            commit = batch.commit_latency_by_w_ms
+            read = batch.read_latency_by_r_ms
+            margin = batch.freshness_margin_by_r_ms
+            assert np.all(np.diff(commit, axis=1) >= 0.0)
+            assert np.all(np.diff(read, axis=1) >= 0.0)
+            assert np.all(np.diff(margin, axis=1) <= 0.0)  # prefix minima shrink
+            thresholds = [
+                batch.reduce(ReplicaConfig(3, r, 1)).staleness_thresholds_ms
+                for r in (1, 2, 3)
+            ]
+            assert np.all(thresholds[1] <= thresholds[0])
+            assert np.all(thresholds[2] <= thresholds[1])
+
+
+@pytest.mark.skipif(not numba_available(), reason="numba is not installed")
+class TestNumbaBackendExactProperties:
+    """Checks that only run where the JIT actually compiles."""
+
+    def test_fused_reduction_matches_reference_on_shared_draw(self):
+        """On a continuous environment (no round-trip ties) the fused kernel
+        and the reference reduce identical matrices to identical outputs."""
+        rng = np.random.default_rng(9)
+        trials, n = 1_024, 5
+        w, a, r, s = (rng.exponential(3.0, size=(trials, n)) for _ in range(4))
+        reference = NumpyKernelBackend().reduce_batch(w, a, r, s)
+        fused = resolve_backend("numba").reduce_batch(w, a, r, s)
+        for ours, theirs in zip(fused, reference):
+            assert np.allclose(ours, theirs, rtol=0.0, atol=0.0)
+
+    def test_engine_reports_the_jit_backend(self):
+        sweep = SweepEngine(
+            lnkd_ssd(), (_CONFIGS[0],), kernel_backend="numba"
+        ).run(10_000, 0)
+        assert sweep.kernel_backend == "numba"
+
+
+class TestShardingBackendInteraction:
+    """How kernel backends compose with the multiprocess coordinator."""
+
+    _SHARD_CONFIGS = (ReplicaConfig(3, 1, 1), ReplicaConfig(3, 2, 2))
+
+    def _serial_reference(self, trials: int, seed: int):
+        from repro.montecarlo.engine import SAMPLE_BLOCK
+
+        return SweepEngine(
+            lnkd_ssd(),
+            self._SHARD_CONFIGS,
+            times_ms=_TIMES,
+            chunk_size=SAMPLE_BLOCK,
+        ).run(trials, seed)
+
+    def test_ad_hoc_instance_backend_falls_back_to_serial(self, monkeypatch):
+        """An ad-hoc backend instance — even one shadowing a registered name
+        — cannot be re-resolved in a worker process (the registry would hand
+        back the builtin), so the engine must run such sweeps serially
+        rather than silently mix reductions across chunks."""
+        from repro.montecarlo.engine import SAMPLE_BLOCK
+
+        def forbid_sharding(self, *args, **kwargs):
+            raise AssertionError("ad-hoc instance backends must not shard")
+
+        monkeypatch.setattr(SweepEngine, "_run_sharded", forbid_sharding)
+
+        class ShadowingBackend(NumpyKernelBackend):
+            name = "numpy"  # registered name, but not the registry's instance
+
+        class UnregisteredBackend(NumpyKernelBackend):
+            name = "custom-not-registered"
+
+        trials = 3 * SAMPLE_BLOCK + 5
+        reference = self._serial_reference(trials, 7)
+        for backend in (ShadowingBackend(), UnregisteredBackend()):
+            sweep = SweepEngine(
+                lnkd_ssd(),
+                self._SHARD_CONFIGS,
+                times_ms=_TIMES,
+                chunk_size=SAMPLE_BLOCK,
+                workers=2,
+                kernel_backend=backend,
+            ).run(trials, 7)
+            for ours, theirs in zip(sweep, reference):
+                assert ours.consistent_counts == theirs.consistent_counts
+
+    def test_live_jit_layer_forces_a_spawn_pool(self, monkeypatch):
+        """Once a JIT kernel has run anywhere in the process, forking is
+        unsafe (numba threading layers are not fork-safe), so sharded runs
+        must use a spawn pool — and still merge to the serial run's exact
+        counts.  Setting the process-level flag forces that path on any
+        machine."""
+        import repro.kernels as kernels
+        from repro.montecarlo.engine import SAMPLE_BLOCK
+
+        monkeypatch.setattr(kernels, "_JIT_HAS_RUN", True)
+        assert kernels.jit_has_run()
+        trials = 3 * SAMPLE_BLOCK + 5
+        sweep = SweepEngine(
+            lnkd_ssd(),
+            self._SHARD_CONFIGS,
+            times_ms=_TIMES,
+            chunk_size=SAMPLE_BLOCK,
+            workers=2,
+        ).run(trials, 7)
+        reference = self._serial_reference(trials, 7)
+        for ours, theirs in zip(sweep, reference):
+            assert ours.consistent_counts == theirs.consistent_counts
+            for q in (0.5, 0.99, 0.999):
+                assert ours.t_visibility(q) == theirs.t_visibility(q)

@@ -1,0 +1,121 @@
+#!/usr/bin/env python
+"""Run the slow sweep-engine benchmarks and emit ``BENCH_sweep.json``.
+
+The slow suite (``pytest -m slow benchmarks/``) *asserts* the repository's
+performance claims but leaves no machine-readable trace; this emitter runs
+the same measurement bodies (the ``measure_*`` functions shared with
+``benchmarks/test_bench_engine.py``) and writes one JSON document so the
+perf trajectory — shared-sample speedup, multiprocess scaling, JIT kernel
+speedup — can be tracked across PRs and compared between machines.
+
+Usage::
+
+    python tools/bench_to_json.py                 # writes ./BENCH_sweep.json
+    python tools/bench_to_json.py --output out.json
+    python tools/bench_to_json.py --quick         # ~4x fewer trials, for CI
+
+Scenarios that cannot run on the current machine are recorded as
+``{"skipped": "<reason>"}`` rather than omitted, so a JSON diff across runs
+always shows *why* a number is missing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _ensure_importable() -> None:
+    for entry in (REPO_ROOT / "src", REPO_ROOT / "benchmarks"):
+        if str(entry) not in sys.path:
+            sys.path.insert(0, str(entry))
+
+
+def run_benchmarks(quick: bool = False) -> dict:
+    """Execute every runnable measurement and return the JSON document."""
+    _ensure_importable()
+    import numpy
+
+    import test_bench_engine as bench
+    from repro.kernels import available_backends
+    from repro.kernels.numba_backend import numba_available
+
+    if quick:
+        bench.TRIALS = max(bench.TRIALS // 4, 25_000)
+
+    cpu_count = os.cpu_count() or 1
+    document: dict = {
+        "schema": "pbs-repro/bench-sweep/v1",
+        "generated_unix_time": time.time(),
+        "environment": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "numpy": numpy.__version__,
+            "cpu_count": cpu_count,
+            "kernel_backends_available": list(available_backends()),
+            "trials": bench.TRIALS,
+            "configs": len(bench.CONFIGS),
+            "quick": quick,
+        },
+        "benchmarks": {},
+    }
+    benchmarks = document["benchmarks"]
+
+    print(f"engine vs per-config loop ({bench.TRIALS} trials) ...", flush=True)
+    benchmarks["engine_vs_per_config_loop"] = bench.measure_engine_vs_per_config_loop()
+
+    if cpu_count >= 4:
+        print("serial vs 4-worker sharding ...", flush=True)
+        benchmarks["sharded_4_workers"] = bench.measure_sharded_speedup(workers=4)
+    else:
+        benchmarks["sharded_4_workers"] = {
+            "skipped": f"needs >= 4 CPU cores, machine has {cpu_count}"
+        }
+
+    if numba_available():
+        print("numpy vs numba kernel backend ...", flush=True)
+        benchmarks["kernel_backend_numba"] = bench.measure_kernel_backend_speedup()
+    else:
+        benchmarks["kernel_backend_numba"] = {
+            "skipped": "numba is not installed; the backend falls back to numpy"
+        }
+
+    return document
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Run the sweep-engine benchmarks and write BENCH_sweep.json"
+    )
+    parser.add_argument(
+        "--output",
+        default=str(REPO_ROOT / "BENCH_sweep.json"),
+        help="destination path (default: BENCH_sweep.json at the repo root)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="run with ~4x fewer trials (noisier numbers, CI-friendly runtime)",
+    )
+    args = parser.parse_args(argv)
+    document = run_benchmarks(quick=args.quick)
+    output = Path(args.output)
+    output.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    for name, result in document["benchmarks"].items():
+        if "skipped" in result:
+            print(f"{name}: skipped ({result['skipped']})")
+        else:
+            print(f"{name}: speedup {result['speedup']:.2f}x")
+    print(f"wrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
