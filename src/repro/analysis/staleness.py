@@ -15,6 +15,7 @@ quantities the paper reports:
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -35,7 +36,7 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class StalenessObservation:
     """One read's staleness outcome relative to the latest prior commit."""
 
@@ -49,6 +50,91 @@ class StalenessObservation:
     version_lag: int
 
 
+class _Fenwick:
+    """A Fenwick (binary-indexed) tree counting inserted version ranks."""
+
+    __slots__ = ("size", "tree")
+
+    def __init__(self, size: int) -> None:
+        self.size = size
+        self.tree = [0] * (size + 1)
+
+    def add(self, index: int) -> None:
+        """Count one occurrence of rank ``index`` (0-based)."""
+        tree = self.tree
+        position = index + 1
+        size = self.size
+        while position <= size:
+            tree[position] += 1
+            position += position & -position
+
+    def count_le(self, index: int) -> int:
+        """Number of inserted ranks ``<= index`` (0-based; -1 returns 0)."""
+        tree = self.tree
+        position = index + 1
+        total = 0
+        while position > 0:
+            total += tree[position]
+            position -= position & -position
+        return total
+
+
+class _KeyStalenessState:
+    """Per-key incremental state for :func:`observe_staleness`.
+
+    Holds the key's committed writes sorted by commit time plus a Fenwick
+    tree over version ranks, so processing reads in start-time order needs
+    only O(log W) per read instead of re-scanning (and re-sorting) every
+    committed write — the difference between minutes and milliseconds at the
+    paper's 50,000-writes-per-cell scale.
+    """
+
+    __slots__ = (
+        "commit_times",
+        "versions",
+        "sorted_versions",
+        "ranks",
+        "fenwick",
+        "cursor",
+        "inserted",
+        "max_version",
+        "max_version_commit_ms",
+    )
+
+    def __init__(self, committed: list) -> None:
+        # ``committed`` arrives sorted by committed_ms (TraceLog order).
+        self.commit_times = [write.committed_ms for write in committed]
+        self.versions = [write.version for write in committed]
+        self.sorted_versions = sorted(self.versions)
+        rank_of = {version: rank for rank, version in enumerate(self.sorted_versions)}
+        self.ranks = [rank_of[version] for version in self.versions]
+        self.fenwick = _Fenwick(len(committed))
+        self.cursor = 0
+        self.inserted = 0
+        self.max_version = None
+        self.max_version_commit_ms = 0.0
+
+    def advance_to(self, time_ms: float) -> None:
+        """Insert every write committed at or before ``time_ms``."""
+        cursor = self.cursor
+        commit_times = self.commit_times
+        total = len(commit_times)
+        while cursor < total and commit_times[cursor] <= time_ms:
+            version = self.versions[cursor]
+            if self.max_version is None or version > self.max_version:
+                self.max_version = version
+                self.max_version_commit_ms = commit_times[cursor]
+            self.fenwick.add(self.ranks[cursor])
+            cursor += 1
+        self.inserted = cursor
+        self.cursor = cursor
+
+    def lag_of(self, returned) -> int:
+        """Committed versions newer than ``returned`` among inserted writes."""
+        rank = bisect.bisect_right(self.sorted_versions, returned)
+        return self.inserted - self.fenwick.count_le(rank - 1)
+
+
 def observe_staleness(trace_log: TraceLog, key: str | None = None) -> list[StalenessObservation]:
     """Extract per-read staleness observations from a trace log.
 
@@ -56,26 +142,44 @@ def observe_staleness(trace_log: TraceLog, key: str | None = None) -> list[Stale
     be stale against).  Reads may return versions newer than the latest commit
     at their start time (in-flight writes); the paper counts these as
     consistent, and so do we.
+
+    Runs in O((R + W) log W) per key — reads are processed in start-time
+    order while a per-key cursor inserts writes as their commit times pass —
+    making paper-scale trace logs (50,000 writes, ~400,000 reads per §5.2
+    cell) tractable; output is identical to the naive per-read scan.
     """
+    reads = trace_log.completed_reads(key)
+    if not reads:
+        return []
+    committed_by_key: dict[str, list] = {}
+    for write in trace_log.writes:
+        if write.committed and (key is None or write.key == key):
+            committed_by_key.setdefault(write.key, []).append(write)
+    for writes in committed_by_key.values():
+        writes.sort(key=lambda write: write.committed_ms)
+    states: dict[str, _KeyStalenessState] = {}
+
     observations: list[StalenessObservation] = []
-    for read in trace_log.completed_reads(key):
-        committed = [
-            write
-            for write in trace_log.committed_writes(read.key)
-            if write.committed_ms <= read.started_ms
-        ]
-        if not committed:
+    for read in reads:
+        state = states.get(read.key)
+        if state is None:
+            writes = committed_by_key.get(read.key)
+            if writes is None:
+                continue
+            state = states[read.key] = _KeyStalenessState(writes)
+        state.advance_to(read.started_ms)
+        if state.inserted == 0:
             continue
-        latest = max(committed, key=lambda write: write.version)
-        t_since_commit = read.started_ms - latest.committed_ms
+        latest_version = state.max_version
+        t_since_commit = read.started_ms - state.max_version_commit_ms
         returned = read.returned_version
-        consistent = returned is not None and returned >= latest.version
+        consistent = returned is not None and returned >= latest_version
         if consistent:
             lag = 0
         elif returned is None:
-            lag = len(committed)
+            lag = state.inserted
         else:
-            lag = sum(1 for write in committed if write.version > returned)
+            lag = state.lag_of(returned)
         observations.append(
             StalenessObservation(
                 operation_id=read.operation_id,

@@ -10,10 +10,27 @@ average t-visibility RMSE of 0.28% and latency N-RMSE of 0.48%.
 distributions drive both the cluster simulator (per-message delays) and the
 analytical predictor, the cluster runs the single-key overwrite workload, and
 the two consistency curves / latency percentile sets are compared.
+
+Sharded runs
+------------
+The paper's 50,000 writes per latency combination make a serial simulation
+the bottleneck of a full grid, so ``workers=`` farms *blocks* of writes to a
+process pool: the workload is split into independent blocks of
+:data:`VALIDATION_BLOCK_WRITES` writes, each block runs its own cluster with
+a seed spawned from one root :class:`numpy.random.SeedSequence`, and the
+per-block staleness observations and operation latencies are merged in block
+order.  The block structure depends only on ``writes`` (never on
+``workers``), so results are **bit-for-bit identical for any worker count**,
+mirroring the sweep-engine merge contract of
+:mod:`repro.montecarlo.engine`.  ``workers=None`` (the default) preserves
+the historical single-cluster path, where one generator drives the whole
+workload sequentially.
 """
 
 from __future__ import annotations
 
+import math
+import multiprocessing
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -27,16 +44,23 @@ from repro.analysis.staleness import (
 )
 from repro.analysis.statistics import rmse
 from repro.cluster.client import WorkloadRunner
+from repro.cluster.sampling import DEFAULT_DRAW_BATCH_SIZE
 from repro.cluster.store import DynamoCluster
 from repro.core.quorum import ReplicaConfig
 from repro.core.wars import WARSModel
 from repro.exceptions import AnalysisError
+from repro.kernels import jit_has_run, pin_worker_threads
 from repro.latency.base import as_rng
 from repro.latency.percentiles import normalized_rmse
 from repro.latency.production import WARSDistributions
 from repro.workloads.operations import validation_workload
 
-__all__ = ["ValidationResult", "run_validation"]
+__all__ = ["ValidationResult", "run_validation", "VALIDATION_BLOCK_WRITES"]
+
+#: Writes per independent simulation block in sharded validation runs.  Fixed
+#: (rather than derived from the worker count) so the block structure — and
+#: therefore every merged result — is identical for any ``workers`` value.
+VALIDATION_BLOCK_WRITES = 5_000
 
 
 @dataclass(frozen=True)
@@ -88,6 +112,129 @@ def _compare_curves(
     return centers, measured, predicted
 
 
+# ---------------------------------------------------------------------------
+# Sharded measurement: independent blocks of writes.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _ValidationBlockSpec:
+    """Picklable description of one independent simulation block."""
+
+    distributions: WARSDistributions
+    config: ReplicaConfig
+    writes: int
+    write_interval_ms: float
+    read_offsets_ms: tuple[float, ...]
+    seed: np.random.SeedSequence
+    draw_batch_size: int
+
+
+def _run_validation_block(
+    spec: _ValidationBlockSpec,
+) -> tuple[list[StalenessObservation], np.ndarray, np.ndarray]:
+    """Run one block's cluster workload and extract its measurements.
+
+    Module-level so both fork and spawn pools can pickle it (the engine's
+    spawn-after-JIT rule applies here too).
+    """
+    cluster = DynamoCluster(
+        config=spec.config,
+        distributions=spec.distributions,
+        rng=np.random.default_rng(spec.seed),
+        draw_batch_size=spec.draw_batch_size,
+    )
+    operations = validation_workload(
+        key="validation-key",
+        writes=spec.writes,
+        write_interval_ms=spec.write_interval_ms,
+        read_offsets_ms=spec.read_offsets_ms,
+    )
+    WorkloadRunner(cluster).run(operations)
+    observations = observe_staleness(cluster.trace_log, key="validation-key")
+    measured_reads, measured_writes = operation_latencies(cluster.trace_log)
+    return observations, measured_reads, measured_writes
+
+
+def _block_sizes(writes: int, block_writes: int) -> list[int]:
+    """Split ``writes`` into block sizes; a tail below 10 writes merges back."""
+    count = math.ceil(writes / block_writes)
+    sizes = [block_writes] * (count - 1)
+    tail = writes - block_writes * (count - 1)
+    if tail < 10 and sizes:
+        sizes[-1] += tail
+    else:
+        sizes.append(tail)
+    return sizes
+
+
+def _root_entropy(rng: np.random.Generator | int | None) -> int | None:
+    """Derive the root seed for block spawning from any accepted ``rng`` form.
+
+    An integer seed is used directly; a generator contributes one draw (so
+    repeated calls sharing a generator — e.g. grid cells — get distinct but
+    reproducible roots); ``None`` stays ``None`` (fresh OS entropy).
+    """
+    if rng is None:
+        return None
+    if isinstance(rng, np.random.Generator):
+        return int(rng.integers(0, 2**63))
+    return int(rng)
+
+
+def _measure_sharded(
+    distributions: WARSDistributions,
+    config: ReplicaConfig,
+    writes: int,
+    write_interval_ms: float,
+    read_offsets_ms: tuple[float, ...],
+    root: np.random.SeedSequence,
+    block_writes: int,
+    draw_batch_size: int,
+    workers: int,
+) -> tuple[list[StalenessObservation], np.ndarray, np.ndarray]:
+    """Run the measured side as independent blocks, serially or on a pool."""
+    sizes = _block_sizes(writes, block_writes)
+    seeds = root.spawn(len(sizes))
+    specs = [
+        _ValidationBlockSpec(
+            distributions=distributions,
+            config=config,
+            writes=size,
+            write_interval_ms=write_interval_ms,
+            read_offsets_ms=tuple(read_offsets_ms),
+            seed=seed,
+            draw_batch_size=draw_batch_size,
+        )
+        for size, seed in zip(sizes, seeds)
+    ]
+    if workers > 1 and len(specs) > 1:
+        # Same pool discipline as the sweep engine: pin per-worker thread
+        # pools, and use spawn once a JIT kernel has run in this process
+        # (numba threading layers are not fork-safe).
+        if not jit_has_run() and "fork" in multiprocessing.get_all_start_methods():
+            context = multiprocessing.get_context("fork")
+        else:
+            context = multiprocessing.get_context("spawn")
+        with context.Pool(
+            processes=min(workers, len(specs)),
+            initializer=pin_worker_threads,
+            initargs=(workers,),
+        ) as pool:
+            results = pool.map(_run_validation_block, specs, chunksize=1)
+    else:
+        results = [_run_validation_block(spec) for spec in specs]
+
+    observations: list[StalenessObservation] = []
+    read_blocks: list[np.ndarray] = []
+    write_blocks: list[np.ndarray] = []
+    for block_observations, block_reads, block_writes_lat in results:
+        observations.extend(block_observations)
+        read_blocks.append(block_reads)
+        write_blocks.append(block_writes_lat)
+    return observations, np.concatenate(read_blocks), np.concatenate(write_blocks)
+
+
 def run_validation(
     distributions: WARSDistributions,
     config: ReplicaConfig,
@@ -98,6 +245,9 @@ def run_validation(
     latency_percentiles: Sequence[float] = tuple(float(p) for p in range(1, 100)),
     bin_width_ms: float = 5.0,
     rng: np.random.Generator | int | None = 0,
+    workers: int | None = None,
+    block_writes: int | None = None,
+    draw_batch_size: int = DEFAULT_DRAW_BATCH_SIZE,
 ) -> ValidationResult:
     """Run the §5.2 validation experiment for one configuration.
 
@@ -105,28 +255,68 @@ def run_validation(
     given offsets after each write; the WARS predictor is evaluated with the
     same latency distributions; and the consistency curves plus latency
     percentiles are compared.
+
+    Args:
+        workers: ``None`` (default) runs the historical single-cluster serial
+            path.  Any integer >= 1 switches to the *blocked* path — writes
+            split into :data:`VALIDATION_BLOCK_WRITES`-write blocks with
+            SeedSequence-spawned seeds — and values > 1 additionally farm the
+            blocks to a process pool.  Blocked results are bit-for-bit
+            identical for any ``workers`` value.
+        block_writes: Override the block size (implies the blocked path).
+        draw_batch_size: Network draw-buffer size for the cluster(s);
+            ``1`` reproduces the legacy per-message sampling stream.
     """
     if writes < 10:
         raise AnalysisError(f"at least 10 writes are required for validation, got {writes}")
-    generator = as_rng(rng)
+    if workers is not None and workers < 1:
+        raise AnalysisError(f"workers must be >= 1, got {workers}")
+    if block_writes is not None and block_writes < 10:
+        raise AnalysisError(f"block_writes must be >= 10, got {block_writes}")
 
-    # --- Measured side: run the workload on the discrete-event cluster. ---
-    cluster = DynamoCluster(config=config, distributions=distributions, rng=generator)
-    operations = validation_workload(
-        key="validation-key",
-        writes=writes,
-        write_interval_ms=write_interval_ms,
-        read_offsets_ms=read_offsets_ms,
-    )
-    WorkloadRunner(cluster).run(operations)
-    observations = observe_staleness(cluster.trace_log, key="validation-key")
+    sharded = workers is not None or block_writes is not None
+    if sharded:
+        root = np.random.SeedSequence(_root_entropy(rng))
+        # Reserve a dedicated child for the predictor before the block seeds
+        # so measured and predicted streams are independent.
+        predictor_seed, blocks_root = root.spawn(2)
+        observations, measured_reads, measured_writes = _measure_sharded(
+            distributions=distributions,
+            config=config,
+            writes=writes,
+            write_interval_ms=write_interval_ms,
+            read_offsets_ms=tuple(read_offsets_ms),
+            root=blocks_root,
+            block_writes=block_writes or VALIDATION_BLOCK_WRITES,
+            draw_batch_size=draw_batch_size,
+            workers=workers or 1,
+        )
+        predictor_rng = np.random.default_rng(predictor_seed)
+    else:
+        generator = as_rng(rng)
+        cluster = DynamoCluster(
+            config=config,
+            distributions=distributions,
+            rng=generator,
+            draw_batch_size=draw_batch_size,
+        )
+        operations = validation_workload(
+            key="validation-key",
+            writes=writes,
+            write_interval_ms=write_interval_ms,
+            read_offsets_ms=read_offsets_ms,
+        )
+        WorkloadRunner(cluster).run(operations)
+        observations = observe_staleness(cluster.trace_log, key="validation-key")
+        measured_reads, measured_writes = operation_latencies(cluster.trace_log)
+        predictor_rng = generator
+
     if not observations:
         raise AnalysisError("the validation workload produced no staleness observations")
-    measured_reads, measured_writes = operation_latencies(cluster.trace_log)
 
     # --- Predicted side: WARS Monte Carlo with the same distributions. ---
     predictor = WARSModel(distributions=distributions, config=config)
-    predicted_result = predictor.sample(prediction_trials, generator)
+    predicted_result = predictor.sample(prediction_trials, predictor_rng)
 
     max_t = max(obs.t_since_commit_ms for obs in observations)
     bin_edges = np.arange(0.0, max_t + bin_width_ms, bin_width_ms)

@@ -72,8 +72,21 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help=(
-            "shard seeded Monte Carlo sweeps across this many worker processes "
-            "(default: serial); results are identical for any worker count"
+            "shard seeded Monte Carlo sweeps — and the validation "
+            "experiment's simulated write blocks — across this many worker "
+            "processes (default: serial); results are identical for any "
+            "worker count"
+        ),
+    )
+    run_parser.add_argument(
+        "--draw-batch-size",
+        type=int,
+        default=None,
+        help=(
+            "cluster-simulator network draw-buffer size (validation "
+            "experiment; default 4096): latencies are drawn from numpy in "
+            "batches this large instead of one call per message; 1 "
+            "reproduces the legacy per-message sampling stream"
         ),
     )
     run_parser.add_argument(
@@ -188,6 +201,7 @@ def _command_run(
     workers: int | None = None,
     probe_resolution_ms: float | None = None,
     kernel_backend: str | None = None,
+    draw_batch_size: int | None = None,
 ) -> int:
     if experiment == "all":
         experiment_ids = [experiment_id for experiment_id, _ in list_experiments()]
@@ -204,6 +218,8 @@ def _command_run(
         sweep_kwargs["probe_resolution_ms"] = probe_resolution_ms
     if kernel_backend is not None:
         sweep_kwargs["kernel_backend"] = kernel_backend
+    if draw_batch_size is not None:
+        sweep_kwargs["draw_batch_size"] = draw_batch_size
     for experiment_id in experiment_ids:
         result = run_experiment(experiment_id, trials=trials, rng=seed, **sweep_kwargs)
         print(result.to_text(precision=precision))
@@ -287,6 +303,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                 args.workers,
                 args.probe_resolution_ms,
                 args.kernel_backend,
+                args.draw_batch_size,
             )
         if args.command == "predict":
             return _command_predict(

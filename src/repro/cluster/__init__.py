@@ -18,6 +18,11 @@ from repro.cluster.merkle import MerkleTree
 from repro.cluster.network import Network
 from repro.cluster.node import ApplyResult, StorageNode
 from repro.cluster.ring import ConsistentHashRing
+from repro.cluster.sampling import (
+    DEFAULT_DRAW_BATCH_SIZE,
+    LatencyDrawBuffer,
+    UniformDrawBuffer,
+)
 from repro.cluster.simulator import Simulator
 from repro.cluster.staleness_detector import StalenessDetector, StalenessSignal
 from repro.cluster.store import DynamoCluster
@@ -49,6 +54,9 @@ __all__ = [
     "ApplyResult",
     "StorageNode",
     "ConsistentHashRing",
+    "DEFAULT_DRAW_BATCH_SIZE",
+    "LatencyDrawBuffer",
+    "UniformDrawBuffer",
     "Simulator",
     "StalenessDetector",
     "StalenessSignal",

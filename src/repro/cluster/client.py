@@ -90,6 +90,13 @@ class ClientSession:
         return handle
 
 
+#: Operations fed onto the event queue per feeder step (see
+#: :meth:`WorkloadRunner.run`).  Feeding lazily keeps the heap small — a few
+#: in-flight operations instead of the whole workload — which matters because
+#: every heap sift costs O(log heap-size) per event at paper-scale counts.
+FEED_CHUNK_OPERATIONS = 512
+
+
 @dataclass
 class WorkloadRunner:
     """Schedules a generated operation stream onto a cluster and runs it.
@@ -119,18 +126,43 @@ class WorkloadRunner:
         self.scheduled_operations += count
         return count
 
+    def _feed(self, operations: list[Operation], start: int) -> None:
+        """Schedule one chunk of ``operations[start:]`` and a continuation.
+
+        The continuation fires at the first start time beyond the chunk, so at
+        any moment the event queue holds at most one chunk of future
+        operations plus the in-flight messages.  Chunk boundaries never split
+        a group of equal-start-time operations, preserving their relative
+        order exactly as eager scheduling would.
+        """
+        end = start + FEED_CHUNK_OPERATIONS
+        total = len(operations)
+        if end < total:
+            while end < total and (
+                operations[end].start_ms == operations[end - 1].start_ms
+            ):
+                end += 1
+        self.schedule(operations[start:end])
+        if end < total:
+            self.cluster.simulator.schedule_at_action(
+                operations[end].start_ms, lambda: self._feed(operations, end)
+            )
+
     def run(self, operations: Iterable[Operation], settle_ms: float = 1_000.0) -> None:
         """Schedule the workload, run it to completion, then let late messages settle.
 
-        ``settle_ms`` keeps the simulation running past the last scheduled
-        operation so in-flight acknowledgements and late read responses (which
-        the staleness detector needs) are delivered.
+        Operations are fed onto the event queue lazily in chunks of
+        :data:`FEED_CHUNK_OPERATIONS` (sorted by start time, stable for ties)
+        rather than all up front, bounding the heap size.  ``settle_ms`` keeps
+        the simulation running past the last scheduled operation so in-flight
+        acknowledgements and late read responses (which the staleness detector
+        needs) are delivered.
         """
-        operations = list(operations)
-        self.schedule(operations)
+        operations = sorted(operations, key=lambda operation: operation.start_ms)
         if not operations:
             return
-        horizon = max(operation.start_ms for operation in operations) + settle_ms
+        self._feed(operations, 0)
+        horizon = operations[-1].start_ms + settle_ms
         self.cluster.run(until_ms=horizon)
         # Drain anything still outstanding (e.g. slow tail messages).
         self.cluster.run()

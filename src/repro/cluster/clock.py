@@ -12,17 +12,21 @@ __all__ = ["SimulationClock"]
 
 
 class SimulationClock:
-    """A monotonically non-decreasing simulated clock."""
+    """A monotonically non-decreasing simulated clock.
+
+    ``now_ms`` is a plain attribute rather than a property: cluster
+    components read the current time on every message, and at paper-scale
+    event counts the property-call overhead is measurable.  Mutation should
+    still go through :meth:`advance_to`, which enforces monotonicity.
+    """
+
+    __slots__ = ("now_ms",)
 
     def __init__(self, start_ms: float = 0.0) -> None:
         if start_ms < 0:
             raise SimulationError(f"clock cannot start at a negative time, got {start_ms}")
-        self._now_ms = float(start_ms)
-
-    @property
-    def now_ms(self) -> float:
-        """Current simulated time in milliseconds."""
-        return self._now_ms
+        #: Current simulated time in milliseconds.
+        self.now_ms = float(start_ms)
 
     def advance_to(self, time_ms: float) -> None:
         """Move the clock forward to ``time_ms``.
@@ -30,17 +34,17 @@ class SimulationClock:
         Raises :class:`SimulationError` on attempts to move backwards, which
         would indicate a mis-ordered event queue.
         """
-        if time_ms < self._now_ms:
+        if time_ms < self.now_ms:
             raise SimulationError(
-                f"clock cannot move backwards (now={self._now_ms}, requested={time_ms})"
+                f"clock cannot move backwards (now={self.now_ms}, requested={time_ms})"
             )
-        self._now_ms = float(time_ms)
+        self.now_ms = float(time_ms)
 
     def reset(self, start_ms: float = 0.0) -> None:
         """Reset the clock (used when reusing a simulator across experiments)."""
         if start_ms < 0:
             raise SimulationError(f"clock cannot be reset to a negative time, got {start_ms}")
-        self._now_ms = float(start_ms)
+        self.now_ms = float(start_ms)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"<SimulationClock now={self._now_ms:.3f}ms>"
+        return f"<SimulationClock now={self.now_ms:.3f}ms>"

@@ -36,7 +36,7 @@ from repro.exceptions import SimulationError
 __all__ = ["Coordinator", "WriteHandle", "ReadHandle"]
 
 
-@dataclass
+@dataclass(slots=True)
 class WriteHandle:
     """Client-visible handle for an in-flight write."""
 
@@ -55,7 +55,7 @@ class WriteHandle:
         return self.trace.committed
 
 
-@dataclass
+@dataclass(slots=True)
 class ReadHandle:
     """Client-visible handle for an in-flight read."""
 
@@ -89,15 +89,32 @@ class Coordinator:
         sloppy_quorum: bool = False,
         timeout_ms: float = 60_000.0,
         read_fanout_all: bool = True,
+        event_labels: bool = False,
     ) -> None:
         if timeout_ms <= 0:
             raise SimulationError(f"operation timeout must be positive, got {timeout_ms}")
         self.coordinator_id = coordinator_id
         self._simulator = simulator
+        self._clock = simulator.clock
+        # Message sends bypass Simulator.schedule: delays come from validated
+        # latency distributions (non-negative by construction), so the hot
+        # path pushes pre-bound calls straight onto the event queue.
+        self._push_call = simulator.queue.push_call
         self._membership = membership
         self._network = network
         self._config = config
+        self._r = config.r
+        self._w = config.w
         self._trace_log = trace_log
+        # Bound appends: traces are recorded once per operation on the hot
+        # path; TraceLog.record_read/record_write remain the public API.
+        self._record_write = trace_log.writes.append
+        self._record_read = trace_log.reads.append
+        # Single-entry placement memo (validation workloads hammer one key);
+        # guarded by the membership generation so ring changes invalidate it.
+        self._pref_key: str | None = None
+        self._pref_nodes: tuple[StorageNode, ...] = ()
+        self._pref_generation = -1
         self._read_repair = read_repair
         self._hinted_handoff = hinted_handoff
         # Dynamo's "sloppy quorum": when a home replica is down, the write is
@@ -108,6 +125,11 @@ class Coordinator:
         # Dynamo sends reads to all N replicas; Voldemort sends to only R
         # (§2.3).  Staleness is unaffected but load and late responses differ.
         self._read_fanout_all = read_fanout_all
+        # Event labels are debugging sugar: building the per-message f-strings
+        # costs an allocation on every hot-path event, so untraced runs skip
+        # them entirely (the trace *log* — the measurement instrument — is
+        # unaffected; only event-queue labels are gated).
+        self._event_labels = event_labels
         self._lamport = LamportClock()
         self._clock_vector = VectorClock()
         self.repairs_sent = 0
@@ -115,6 +137,17 @@ class Coordinator:
         self.hints_replayed = 0
         #: Hints held on behalf of crashed replicas: node id → list of payloads.
         self._pending_hints: dict[str, list[VersionedValue]] = {}
+
+    def _preference(self, key: str) -> tuple[StorageNode, ...]:
+        """The key's N-replica preference list, memoised per coordinator."""
+        membership = self._membership
+        if key == self._pref_key and self._pref_generation == membership.generation:
+            return self._pref_nodes
+        nodes = membership.preference_nodes(key, self._config.n)
+        self._pref_key = key
+        self._pref_nodes = nodes
+        self._pref_generation = membership.generation
+        return nodes
 
     # ------------------------------------------------------------------
     # Write path.
@@ -126,7 +159,7 @@ class Coordinator:
         on_complete: Optional[Callable[[WriteTrace], None]] = None,
     ) -> WriteHandle:
         """Issue a write: forward to all N replicas, commit after W acknowledgements."""
-        now = self._simulator.now_ms
+        now = self._clock.now_ms
         timestamp = self._lamport.tick()
         self._clock_vector = self._clock_vector.increment(self.coordinator_id)
         version = Version(timestamp=timestamp, writer=self.coordinator_id)
@@ -145,16 +178,37 @@ class Coordinator:
             started_ms=now,
         )
         handle = WriteHandle(trace=trace, payload=payload, on_complete=on_complete)
-        self._trace_log.record_write(trace)
+        self._record_write(trace)
 
-        replicas = self._membership.preference_list(key, self._config.n)
-        for replica in replicas:
-            self._send_write(replica, handle)
+        replicas = self._preference(key)
+        if self._event_labels:
+            for replica in replicas:
+                self._send_write(replica, handle)
+        else:
+            # Inlined _send_write: locals bound once, delivery checked only
+            # when loss or partitions are actually configured (delivery state
+            # can only change between events, never inside this send loop).
+            network = self._network
+            push_call = self._push_call
+            deliver = self._deliver_write
+            lossy = network.may_drop
+            for replica in replicas:
+                if lossy and not network.delivers(
+                    self.coordinator_id, replica.node_id
+                ):
+                    trace.dropped_replicas.add(replica.node_id)
+                    continue
+                push_call(
+                    now + network.write_delay(replica.node_id),
+                    deliver,
+                    replica,
+                    handle,
+                )
 
         handle._timeout_event = self._simulator.schedule(
             self._timeout_ms,
             lambda: self._write_timeout(handle),
-            label=f"write-timeout:{trace.operation_id}",
+            label=f"write-timeout:{trace.operation_id}" if self._event_labels else "",
         )
         return handle
 
@@ -164,15 +218,20 @@ class Coordinator:
             handle.trace.dropped_replicas.add(replica.node_id)
             return
         delay = self._network.write_delay(replica.node_id)
-        self._simulator.schedule(
-            delay,
-            lambda: self._deliver_write(replica, handle),
-            label=f"write-deliver:{handle.trace.operation_id}:{replica.node_id}",
-        )
+        if self._event_labels:
+            self._simulator.schedule(
+                delay,
+                lambda: self._deliver_write(replica, handle),
+                label=f"write-deliver:{handle.trace.operation_id}:{replica.node_id}",
+            )
+        else:
+            self._push_call(
+                self._clock.now_ms + delay, self._deliver_write, replica, handle
+            )
 
     def _deliver_write(self, replica: StorageNode, handle: WriteHandle) -> None:
         """The write message arrives at a replica; apply it and send the ack (A leg)."""
-        now = self._simulator.now_ms
+        now = self._clock.now_ms
         if not replica.alive:
             handle.trace.dropped_replicas.add(replica.node_id)
             if self._hinted_handoff:
@@ -182,23 +241,34 @@ class Coordinator:
             return
         replica.apply_write(handle.payload, now)
         handle.trace.replica_arrivals_ms[replica.node_id] = now
-        if not self._network.delivers(replica.node_id, self.coordinator_id):
+        network = self._network
+        if network.may_drop and not network.delivers(
+            replica.node_id, self.coordinator_id
+        ):
             return
-        ack_delay = self._network.ack_delay(replica.node_id)
-        self._simulator.schedule(
-            ack_delay,
-            lambda: self._receive_ack(replica.node_id, handle),
-            label=f"write-ack:{handle.trace.operation_id}:{replica.node_id}",
-        )
+        ack_delay = network.ack_delay(replica.node_id)
+        if self._event_labels:
+            self._simulator.schedule(
+                ack_delay,
+                lambda: self._receive_ack(replica.node_id, handle),
+                label=f"write-ack:{handle.trace.operation_id}:{replica.node_id}",
+            )
+        else:
+            self._push_call(
+                self._clock.now_ms + ack_delay,
+                self._receive_ack,
+                replica.node_id,
+                handle,
+            )
 
     def _receive_ack(self, replica_id: str, handle: WriteHandle) -> None:
         """An acknowledgement reaches the coordinator; commit at the W-th one."""
-        now = self._simulator.now_ms
+        now = self._clock.now_ms
         handle.trace.ack_arrivals_ms[replica_id] = now
         handle.acks_received += 1
         if handle.finished or handle.trace.committed:
             return
-        if handle.acks_received >= self._config.w:
+        if handle.acks_received >= self._w:
             handle.trace.committed_ms = now
             handle.finished = True
             if handle._timeout_event is not None:
@@ -244,17 +314,26 @@ class Coordinator:
         if not self._network.delivers(self.coordinator_id, fallback.node_id):
             return
         delay = self._network.write_delay(fallback.node_id)
-        self._simulator.schedule(
-            delay,
-            lambda: self._deliver_sloppy_write(fallback, failed_replica, handle),
-            label=f"sloppy-write:{handle.trace.operation_id}:{fallback.node_id}",
-        )
+        if self._event_labels:
+            self._simulator.schedule(
+                delay,
+                lambda: self._deliver_sloppy_write(fallback, failed_replica, handle),
+                label=f"sloppy-write:{handle.trace.operation_id}:{fallback.node_id}",
+            )
+        else:
+            self._push_call(
+                self._clock.now_ms + delay,
+                self._deliver_sloppy_write,
+                fallback,
+                failed_replica,
+                handle,
+            )
 
     def _deliver_sloppy_write(
         self, fallback: StorageNode, intended: StorageNode, handle: WriteHandle
     ) -> None:
         """The redirected write arrives at the fallback node."""
-        now = self._simulator.now_ms
+        now = self._clock.now_ms
         if not fallback.alive:
             return
         fallback.apply_write(handle.payload, now)
@@ -266,11 +345,19 @@ class Coordinator:
         if not self._network.delivers(fallback.node_id, self.coordinator_id):
             return
         ack_delay = self._network.ack_delay(fallback.node_id)
-        self._simulator.schedule(
-            ack_delay,
-            lambda: self._receive_ack(fallback.node_id, handle),
-            label=f"sloppy-ack:{handle.trace.operation_id}:{fallback.node_id}",
-        )
+        if self._event_labels:
+            self._simulator.schedule(
+                ack_delay,
+                lambda: self._receive_ack(fallback.node_id, handle),
+                label=f"sloppy-ack:{handle.trace.operation_id}:{fallback.node_id}",
+            )
+        else:
+            self._push_call(
+                self._clock.now_ms + ack_delay,
+                self._receive_ack,
+                fallback.node_id,
+                handle,
+            )
 
     # ------------------------------------------------------------------
     # Hinted handoff.
@@ -288,11 +375,16 @@ class Coordinator:
         replayed = 0
         for payload in hints:
             delay = self._network.write_delay(replica.node_id)
-            self._simulator.schedule(
-                delay,
-                lambda p=payload: replica.apply_write(p, self._simulator.now_ms),
-                label=f"hint-replay:{replica.node_id}",
-            )
+            if self._event_labels:
+                self._simulator.schedule(
+                    delay,
+                    lambda p=payload: replica.apply_write(p, self._clock.now_ms),
+                    label=f"hint-replay:{replica.node_id}",
+                )
+            else:
+                self._simulator.schedule_action(
+                    delay, lambda p=payload: replica.apply_write(p, self._clock.now_ms)
+                )
             replayed += 1
         self.hints_replayed += replayed
         return replayed
@@ -311,28 +403,41 @@ class Coordinator:
         on_complete: Optional[Callable[[ReadTrace], None]] = None,
     ) -> ReadHandle:
         """Issue a read: forward to replicas, return the newest of the first R responses."""
-        now = self._simulator.now_ms
-        trace = ReadTrace(
-            operation_id=next_operation_id(),
-            key=key,
-            coordinator=self.coordinator_id,
-            started_ms=now,
-        )
-        replicas = self._membership.preference_list(key, self._config.n)
+        now = self._clock.now_ms
+        trace = ReadTrace(next_operation_id(), key, self.coordinator_id, now)
+        replicas = self._preference(key)
         if not self._read_fanout_all:
-            replicas = replicas[: self._config.r]
-        handle = ReadHandle(
-            trace=trace, expected_responses=len(replicas), on_complete=on_complete
-        )
-        self._trace_log.record_read(trace)
+            replicas = replicas[: self._r]
+        handle = ReadHandle(trace, len(replicas), on_complete=on_complete)
+        self._record_read(trace)
 
-        for replica in replicas:
-            self._send_read(replica, key, handle)
+        if self._event_labels:
+            for replica in replicas:
+                self._send_read(replica, key, handle)
+        else:
+            # Inlined _send_read (see write() above for the rationale).
+            network = self._network
+            push_call = self._push_call
+            deliver = self._deliver_read
+            lossy = network.may_drop
+            for replica in replicas:
+                if lossy and not network.delivers(
+                    self.coordinator_id, replica.node_id
+                ):
+                    handle.expected_responses -= 1
+                    continue
+                push_call(
+                    now + network.read_delay(replica.node_id),
+                    deliver,
+                    replica,
+                    key,
+                    handle,
+                )
 
         handle._timeout_event = self._simulator.schedule(
             self._timeout_ms,
             lambda: self._read_timeout(handle),
-            label=f"read-timeout:{trace.operation_id}",
+            label=f"read-timeout:{trace.operation_id}" if self._event_labels else "",
         )
         return handle
 
@@ -342,29 +447,48 @@ class Coordinator:
             handle.expected_responses -= 1
             return
         delay = self._network.read_delay(replica.node_id)
-        self._simulator.schedule(
-            delay,
-            lambda: self._deliver_read(replica, key, handle),
-            label=f"read-deliver:{handle.trace.operation_id}:{replica.node_id}",
-        )
+        if self._event_labels:
+            self._simulator.schedule(
+                delay,
+                lambda: self._deliver_read(replica, key, handle),
+                label=f"read-deliver:{handle.trace.operation_id}:{replica.node_id}",
+            )
+        else:
+            self._push_call(
+                self._clock.now_ms + delay, self._deliver_read, replica, key, handle
+            )
 
     def _deliver_read(self, replica: StorageNode, key: str, handle: ReadHandle) -> None:
         """The read request arrives at a replica; send back its current version (S leg)."""
         if not replica.alive:
             handle.expected_responses -= 1
-            self._maybe_run_read_repair(handle)
+            if self._read_repair:
+                self._maybe_run_read_repair(handle)
             return
         payload = replica.read(key)
-        if not self._network.delivers(replica.node_id, self.coordinator_id):
+        network = self._network
+        if network.may_drop and not network.delivers(
+            replica.node_id, self.coordinator_id
+        ):
             handle.expected_responses -= 1
-            self._maybe_run_read_repair(handle)
+            if self._read_repair:
+                self._maybe_run_read_repair(handle)
             return
-        delay = self._network.response_delay(replica.node_id)
-        self._simulator.schedule(
-            delay,
-            lambda: self._receive_response(replica.node_id, payload, handle),
-            label=f"read-response:{handle.trace.operation_id}:{replica.node_id}",
-        )
+        delay = network.response_delay(replica.node_id)
+        if self._event_labels:
+            self._simulator.schedule(
+                delay,
+                lambda: self._receive_response(replica.node_id, payload, handle),
+                label=f"read-response:{handle.trace.operation_id}:{replica.node_id}",
+            )
+        else:
+            self._push_call(
+                self._clock.now_ms + delay,
+                self._receive_response,
+                replica.node_id,
+                payload,
+                handle,
+            )
 
     def _receive_response(
         self,
@@ -373,23 +497,25 @@ class Coordinator:
         handle: ReadHandle,
     ) -> None:
         """A replica's response reaches the coordinator."""
-        now = self._simulator.now_ms
-        handle.trace.response_arrivals_ms[replica_id] = now
+        now = self._clock.now_ms
+        trace = handle.trace
+        trace.response_arrivals_ms[replica_id] = now
         handle.responses[replica_id] = payload
         version = payload.version if payload is not None else None
 
-        if not handle.finished and len(handle.trace.quorum_responses) < self._config.r:
-            handle.trace.quorum_responses[replica_id] = version
-            if len(handle.trace.quorum_responses) >= self._config.r:
+        if not handle.finished and len(trace.quorum_responses) < self._r:
+            trace.quorum_responses[replica_id] = version
+            if len(trace.quorum_responses) >= self._r:
                 self._complete_read(handle)
         else:
-            handle.trace.late_responses[replica_id] = version
+            trace.late_responses[replica_id] = version
 
-        self._maybe_run_read_repair(handle)
+        if self._read_repair:
+            self._maybe_run_read_repair(handle)
 
     def _complete_read(self, handle: ReadHandle) -> None:
         """Assemble the result from the first R responses and return to the client."""
-        now = self._simulator.now_ms
+        now = self._clock.now_ms
         quorum_payloads = [
             handle.responses[replica_id]
             for replica_id in handle.trace.quorum_responses
@@ -439,10 +565,16 @@ class Coordinator:
                 continue
             replica = self._membership.node(replica_id)
             delay = self._network.write_delay(replica_id)
-            self._simulator.schedule(
-                delay,
-                lambda r=replica, p=newest: r.apply_write(p, self._simulator.now_ms),
-                label=f"read-repair:{handle.trace.operation_id}:{replica_id}",
-            )
+            if self._event_labels:
+                self._simulator.schedule(
+                    delay,
+                    lambda r=replica, p=newest: r.apply_write(p, self._clock.now_ms),
+                    label=f"read-repair:{handle.trace.operation_id}:{replica_id}",
+                )
+            else:
+                self._simulator.schedule_action(
+                    delay,
+                    lambda r=replica, p=newest: r.apply_write(p, self._clock.now_ms),
+                )
             handle.trace.repairs_issued += 1
             self.repairs_sent += 1

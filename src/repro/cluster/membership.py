@@ -30,6 +30,15 @@ class Membership:
             node_id: StorageNode(node_id=node_id) for node_id in ids
         }
         self._ring = ConsistentHashRing(ids, virtual_nodes=virtual_nodes)
+        #: Bumped whenever the ring changes; lets coordinators keep their own
+        #: tiny placement memos without risking staleness.
+        self.generation = 0
+        # Placement cache: ring walks are pure in (key, n) until the ring
+        # itself changes, and coordinators resolve the same key's preference
+        # list on every operation — a hot path at paper-scale write counts.
+        # Node objects are mutated in place for liveness, so cached tuples
+        # stay truthful across crashes/recoveries.
+        self._preference_cache: dict[tuple[str, int], tuple[StorageNode, ...]] = {}
 
     # ------------------------------------------------------------------
     # Roster.
@@ -58,6 +67,8 @@ class Membership:
         node = StorageNode(node_id=node_id)
         self._nodes[node_id] = node
         self._ring.add_node(node_id)
+        self._preference_cache.clear()
+        self.generation += 1
         return node
 
     def remove_node(self, node_id: str) -> None:
@@ -65,6 +76,8 @@ class Membership:
         self.node(node_id)
         del self._nodes[node_id]
         self._ring.remove_node(node_id)
+        self._preference_cache.clear()
+        self.generation += 1
 
     def __len__(self) -> int:
         return len(self._nodes)
@@ -72,9 +85,23 @@ class Membership:
     # ------------------------------------------------------------------
     # Placement and liveness.
     # ------------------------------------------------------------------
+    def preference_nodes(self, key: str, n: int) -> tuple[StorageNode, ...]:
+        """Cached ``n`` replica nodes for ``key`` (alive or not), in ring order.
+
+        Returns a tuple so callers cannot mutate the cached placement; the
+        cache is invalidated whenever the ring changes (add/remove node).
+        """
+        cached = self._preference_cache.get((key, n))
+        if cached is None:
+            cached = tuple(
+                self.node(node_id) for node_id in self._ring.preference_list(key, n)
+            )
+            self._preference_cache[(key, n)] = cached
+        return cached
+
     def preference_list(self, key: str, n: int) -> list[StorageNode]:
         """The ``n`` replica nodes for ``key`` (alive or not), in ring order."""
-        return [self.node(node_id) for node_id in self._ring.preference_list(key, n)]
+        return list(self.preference_nodes(key, n))
 
     def alive_nodes(self) -> list[StorageNode]:
         """Nodes currently alive."""

@@ -9,6 +9,13 @@ rather than different inputs.
 
 Message loss and partitions are modelled here as well so failure ablations
 do not need to touch the coordinator logic.
+
+Delay sampling is batched: each distinct underlying distribution gets a
+:class:`~repro.cluster.sampling.LatencyDrawBuffer` that refills
+``draw_batch_size`` values at a time from the shared generator, replacing the
+one-numpy-call-per-message hot path (see :mod:`repro.cluster.sampling` for
+the determinism contract).  ``draw_batch_size=1`` reproduces the legacy
+per-draw seed stream exactly.
 """
 
 from __future__ import annotations
@@ -17,6 +24,11 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.cluster.sampling import (
+    DEFAULT_DRAW_BATCH_SIZE,
+    LatencyDrawBuffer,
+    UniformDrawBuffer,
+)
 from repro.exceptions import ConfigurationError
 from repro.latency.base import LatencyDistribution
 from repro.latency.composite import PerReplicaLatency
@@ -40,12 +52,17 @@ class Network:
         (the WAN scenario).  Optional for IID distributions.
     loss_probability:
         Independent probability that any one-way message is dropped.
+    draw_batch_size:
+        Latency draws buffered per distribution between generator refills.
+        ``1`` disables batching and reproduces the legacy per-message
+        ``sample(1, rng)`` stream bit-for-bit.
     """
 
     distributions: WARSDistributions
     rng: np.random.Generator
     replica_slots: dict[str, int] = field(default_factory=dict)
     loss_probability: float = 0.0
+    draw_batch_size: int = DEFAULT_DRAW_BATCH_SIZE
     _partitioned: set[frozenset[str]] = field(default_factory=set, repr=False)
     dropped_messages: int = 0
 
@@ -54,11 +71,38 @@ class Network:
             raise ConfigurationError(
                 f"loss probability must be in [0, 1), got {self.loss_probability}"
             )
+        if self.draw_batch_size < 1:
+            raise ConfigurationError(
+                f"draw batch size must be a positive integer, got {self.draw_batch_size}"
+            )
+        # One buffer per distinct distribution object: legs sharing a
+        # distribution (e.g. A=R=S in the §5.2 validation) share its buffer,
+        # consuming draws in message order.  Keyed by id() — the distribution
+        # objects are pinned by self.distributions for the network's lifetime.
+        self._buffers: dict[int, LatencyDrawBuffer] = {}
+        self._loss_buffer: UniformDrawBuffer | None = None
+        # Per-leg replica → buffer caches so the delay methods are a dict hit
+        # plus a buffered draw: the per-replica resolution (isinstance check,
+        # slot validation) runs once per (leg, replica), not once per message.
+        self._w_cache: dict[str, LatencyDrawBuffer] = {}
+        self._a_cache: dict[str, LatencyDrawBuffer] = {}
+        self._r_cache: dict[str, LatencyDrawBuffer] = {}
+        self._s_cache: dict[str, LatencyDrawBuffer] = {}
 
     # ------------------------------------------------------------------
     # Delay sampling.
     # ------------------------------------------------------------------
-    def _sample(self, distribution: LatencyDistribution, replica: str) -> float:
+    def _buffer_for(self, distribution: LatencyDistribution) -> LatencyDrawBuffer:
+        buffer = self._buffers.get(id(distribution))
+        if buffer is None:
+            buffer = LatencyDrawBuffer(distribution, self.rng, self.draw_batch_size)
+            self._buffers[id(distribution)] = buffer
+        return buffer
+
+    def _resolve(
+        self, distribution: LatencyDistribution, replica: str
+    ) -> LatencyDrawBuffer:
+        """Resolve a leg distribution for one replica to its shared draw buffer."""
         if isinstance(distribution, PerReplicaLatency):
             slot = self.replica_slots.get(replica)
             if slot is None:
@@ -70,24 +114,60 @@ class Network:
                     f"replica {replica!r} slot {slot} outside per-replica distribution "
                     f"of size {distribution.replica_count}"
                 )
-            return float(distribution.replicas[slot].sample(1, self.rng)[0])
-        return float(distribution.sample(1, self.rng)[0])
+            distribution = distribution.replicas[slot]
+        return self._buffer_for(distribution)
+
+    def _sample(self, distribution: LatencyDistribution, replica: str) -> float:
+        """Uncached draw for one leg/replica (kept for ad-hoc callers)."""
+        return self._resolve(distribution, replica).draw()
+
+    @property
+    def may_drop(self) -> bool:
+        """True when delivery decisions can drop messages.
+
+        Hot paths consult this once per operation/delivery and call
+        :meth:`delivers` only when it is ``True``, so lossless partition-free
+        runs never pay the per-message delivery check.  Kept next to the drop
+        machinery so any new drop mechanism updates both together.
+        """
+        return bool(self._partitioned) or self.loss_probability > 0.0
+
+    @property
+    def draw_refills(self) -> int:
+        """Total buffer refills so far (instrumentation for tests/benchmarks)."""
+        return sum(buffer.refills for buffer in self._buffers.values())
 
     def write_delay(self, replica: str) -> float:
         """One-way delay for the coordinator → replica write message (``W``)."""
-        return self._sample(self.distributions.w, replica)
+        buffer = self._w_cache.get(replica)
+        if buffer is None:
+            buffer = self._resolve(self.distributions.w, replica)
+            self._w_cache[replica] = buffer
+        return buffer.draw()
 
     def ack_delay(self, replica: str) -> float:
         """One-way delay for the replica → coordinator acknowledgement (``A``)."""
-        return self._sample(self.distributions.a, replica)
+        buffer = self._a_cache.get(replica)
+        if buffer is None:
+            buffer = self._resolve(self.distributions.a, replica)
+            self._a_cache[replica] = buffer
+        return buffer.draw()
 
     def read_delay(self, replica: str) -> float:
         """One-way delay for the coordinator → replica read request (``R``)."""
-        return self._sample(self.distributions.r, replica)
+        buffer = self._r_cache.get(replica)
+        if buffer is None:
+            buffer = self._resolve(self.distributions.r, replica)
+            self._r_cache[replica] = buffer
+        return buffer.draw()
 
     def response_delay(self, replica: str) -> float:
         """One-way delay for the replica → coordinator read response (``S``)."""
-        return self._sample(self.distributions.s, replica)
+        buffer = self._s_cache.get(replica)
+        if buffer is None:
+            buffer = self._resolve(self.distributions.s, replica)
+            self._s_cache[replica] = buffer
+        return buffer.draw()
 
     # ------------------------------------------------------------------
     # Loss and partitions.
@@ -105,11 +185,23 @@ class Network:
         self._partitioned.clear()
 
     def delivers(self, sender: str, receiver: str) -> bool:
-        """Decide whether a message between two endpoints is delivered."""
-        if frozenset((sender, receiver)) in self._partitioned:
+        """Decide whether a message between two endpoints is delivered.
+
+        The decision never consumes latency draws: loss coin flips come from
+        a dedicated uniform buffer, so dropped messages leave the latency
+        streams untouched (see :mod:`repro.cluster.sampling`).
+        """
+        if not self._partitioned and not self.loss_probability:
+            # Fast path for the common lossless, partition-free runs: no
+            # frozenset allocation, no RNG consumption.
+            return True
+        if self._partitioned and frozenset((sender, receiver)) in self._partitioned:
             self.dropped_messages += 1
             return False
-        if self.loss_probability and self.rng.random() < self.loss_probability:
-            self.dropped_messages += 1
-            return False
+        if self.loss_probability:
+            if self._loss_buffer is None:
+                self._loss_buffer = UniformDrawBuffer(self.rng, self.draw_batch_size)
+            if self._loss_buffer.draw() < self.loss_probability:
+                self.dropped_messages += 1
+                return False
         return True

@@ -21,6 +21,23 @@ from repro.latency.base import as_rng
 __all__ = ["Simulator"]
 
 
+def _dispatch(entry: tuple) -> None:
+    """Invoke one raw heap entry (see :meth:`EventQueue.push_call`)."""
+    length = len(entry)
+    if length == 5:
+        entry[2](entry[3], entry[4])
+    elif length == 6:
+        entry[2](entry[3], entry[4], entry[5])
+    elif length == 4:
+        entry[2](entry[3])
+    else:
+        item = entry[2]
+        if item.__class__ is Event:
+            item.action()
+        else:
+            item()
+
+
 class Simulator:
     """Event loop shared by all cluster components.
 
@@ -71,7 +88,38 @@ class Simulator:
         """Schedule ``action`` to fire ``delay_ms`` milliseconds from now."""
         if delay_ms < 0:
             raise SimulationError(f"cannot schedule an event in the past (delay {delay_ms})")
-        return self._queue.push(self.now_ms + delay_ms, action, label)
+        return self._queue.push(self.clock.now_ms + delay_ms, action, label)
+
+    def schedule_action(self, delay_ms: float, action: Callable[[], None]) -> None:
+        """Schedule an *uncancellable* ``action`` ``delay_ms`` ms from now.
+
+        The hot-path twin of :meth:`schedule`: no :class:`Event` object (and
+        no label) is allocated, so message-delivery events — which are never
+        cancelled — cost only a heap entry.
+        """
+        if delay_ms < 0:
+            raise SimulationError(f"cannot schedule an event in the past (delay {delay_ms})")
+        self._queue.push_action(self.clock.now_ms + delay_ms, action)
+
+    def schedule_at_action(self, time_ms: float, action: Callable[[], None]) -> None:
+        """Uncancellable twin of :meth:`schedule_at` (no Event, no label)."""
+        if time_ms < self.clock.now_ms:
+            raise SimulationError(
+                f"cannot schedule an event in the past (now={self.clock.now_ms}, "
+                f"at={time_ms})"
+            )
+        self._queue.push_action(float(time_ms), action)
+
+    @property
+    def queue(self) -> EventQueue:
+        """The simulator's event queue.
+
+        Exposed so hot-path components (the coordinator's message sends) can
+        use the queue's allocation-free :meth:`EventQueue.push_call` directly
+        with precomputed absolute times; everything else should go through
+        :meth:`schedule`/:meth:`schedule_at`, which validate times.
+        """
+        return self._queue
 
     def schedule_at(self, time_ms: float, action: Callable[[], None], label: str = "") -> Event:
         """Schedule ``action`` to fire at absolute simulated time ``time_ms``."""
@@ -86,16 +134,16 @@ class Simulator:
     # ------------------------------------------------------------------
     def step(self) -> bool:
         """Process the next event.  Returns ``False`` when the queue is empty."""
-        event = self._queue.pop()
-        if event is None:
+        entry = self._queue._pop_raw(float("inf"))
+        if entry is None:
             return False
-        self.clock.advance_to(event.time_ms)
+        self.clock.advance_to(entry[0])
         self._processed += 1
         if self._processed > self._max_events:
             raise SimulationError(
                 f"simulation exceeded {self._max_events} events; possible event storm"
             )
-        event.action()
+        _dispatch(entry)
         return True
 
     def run(self, until_ms: float | None = None) -> None:
@@ -103,21 +151,28 @@ class Simulator:
 
         With ``until_ms`` given, events scheduled after the horizon stay in the
         queue and the clock is advanced exactly to the horizon.
+
+        The loop body is an inlined :meth:`step` with hot attributes bound to
+        locals: the queue is popped and the clock advanced directly, and the
+        processed-event counter lives in a local that is written back when the
+        loop exits (event actions only schedule work — they never re-enter
+        ``run``/``step``, which the re-entrancy guard enforces).
         """
         if self._running:
             raise SimulationError("simulator is not re-entrant; run() called recursively")
         self._running = True
+        clock = self.clock
+        queue = self._queue
+        horizon = float("inf") if until_ms is None else float(until_ms)
         try:
-            while True:
-                next_time = self._queue.peek_time()
-                if next_time is None:
-                    break
-                if until_ms is not None and next_time > until_ms:
-                    break
-                self.step()
-            if until_ms is not None and until_ms > self.now_ms:
-                self.clock.advance_to(until_ms)
+            queue.drain(clock, horizon, self._processed, self._max_events)
+            if until_ms is not None and until_ms > clock.now_ms:
+                clock.advance_to(until_ms)
         finally:
+            # The queue records its progress even when an event action (or
+            # the storm guard) raises mid-drain, keeping processed_events —
+            # and the max_events budget on a retried run() — exact.
+            self._processed = queue.last_drain_processed
             self._running = False
 
     def reset(self) -> None:

@@ -28,6 +28,7 @@ from repro.cluster.failures import FailureInjector
 from repro.cluster.membership import Membership
 from repro.cluster.network import Network
 from repro.cluster.node import StorageNode
+from repro.cluster.sampling import DEFAULT_DRAW_BATCH_SIZE
 from repro.cluster.simulator import Simulator
 from repro.cluster.staleness_detector import StalenessDetector
 from repro.cluster.tracing import TraceLog
@@ -64,6 +65,21 @@ class DynamoCluster:
         sends to only R (Voldemort, §2.3).
     loss_probability:
         Independent per-message drop probability.
+    engine:
+        ``"batched"`` (default) uses the overhauled hot path (tuple-heap
+        events, batched draw buffers); ``"reference"`` uses the pinned
+        pre-overhaul engine (:mod:`repro.cluster.reference`) — same protocol,
+        same determinism guarantees, original per-message costs — which
+        benchmarks use as their baseline.
+    draw_batch_size:
+        Message latencies drawn per network-buffer refill (see
+        :mod:`repro.cluster.sampling`); ``1`` reproduces the legacy
+        one-numpy-call-per-message seed stream.  Ignored by the reference
+        engine, which always draws per message.
+    event_labels:
+        Attach human-readable labels to every scheduled event.  Off by
+        default: labels are debugging sugar and cost an f-string per message
+        on the hot path.
     rng:
         Seed or generator controlling every random choice in the simulation.
     """
@@ -81,6 +97,9 @@ class DynamoCluster:
         loss_probability: float = 0.0,
         timeout_ms: float = 60_000.0,
         virtual_nodes: int = 64,
+        engine: str = "batched",
+        draw_batch_size: int = DEFAULT_DRAW_BATCH_SIZE,
+        event_labels: bool = False,
         rng: np.random.Generator | int | None = None,
     ) -> None:
         if node_count is None:
@@ -94,18 +113,32 @@ class DynamoCluster:
                 f"coordinator count must be >= 1, got {coordinator_count}"
             )
 
+        if engine not in ("batched", "reference"):
+            raise ConfigurationError(
+                f"unknown simulation engine {engine!r}; choose 'batched' or 'reference'"
+            )
         self.config = config
         self.distributions = distributions
-        self.simulator = Simulator(rng=rng)
+        self.engine = engine
+        if engine == "reference":
+            from repro.cluster.reference import ReferenceNetwork, ReferenceSimulator
+
+            self.simulator = ReferenceSimulator(rng=rng)
+            network_cls = ReferenceNetwork
+        else:
+            self.simulator = Simulator(rng=rng)
+            network_cls = Network
         node_ids = [f"node-{index}" for index in range(node_count)]
         self.membership = Membership(node_ids, virtual_nodes=virtual_nodes)
         replica_slots = {node_id: index for index, node_id in enumerate(node_ids)}
-        self.network = Network(
+        self.network = network_cls(
             distributions=distributions,
             rng=self.simulator.rng,
             replica_slots=replica_slots,
             loss_probability=loss_probability,
+            draw_batch_size=draw_batch_size,
         )
+        self._event_labels = event_labels
         self.trace_log = TraceLog()
         self.coordinators = [
             Coordinator(
@@ -120,9 +153,13 @@ class DynamoCluster:
                 sloppy_quorum=sloppy_quorum,
                 timeout_ms=timeout_ms,
                 read_fanout_all=read_fanout_all,
+                event_labels=event_labels,
             )
             for index in range(coordinator_count)
         ]
+        self._single_coordinator = (
+            self.coordinators[0] if coordinator_count == 1 else None
+        )
         self.failure_injector = FailureInjector(self.simulator, self.membership)
         self.staleness_detector = StalenessDetector(self.trace_log)
         self._anti_entropy: Optional[MerkleAntiEntropy] = None
@@ -155,6 +192,9 @@ class DynamoCluster:
     def _pick_coordinator(self, coordinator: Coordinator | None = None) -> Coordinator:
         if coordinator is not None:
             return coordinator
+        single = self._single_coordinator
+        if single is not None:
+            return single
         chosen = self.coordinators[self._next_coordinator % len(self.coordinators)]
         self._next_coordinator += 1
         return chosen
@@ -200,18 +240,34 @@ class DynamoCluster:
     ) -> None:
         """Enqueue a write to start at simulated time ``at_ms``; its trace is recorded."""
         chosen = self._pick_coordinator(coordinator)
-        self.simulator.schedule_at(
-            at_ms, lambda: chosen.write(key, value), label=f"scheduled-write:{key}"
-        )
+        if self._event_labels:
+            self.simulator.schedule_at(
+                at_ms, lambda: chosen.write(key, value), label=f"scheduled-write:{key}"
+            )
+        else:
+            if at_ms < self.simulator.clock.now_ms:
+                raise SimulationError(
+                    f"cannot schedule an event in the past "
+                    f"(now={self.simulator.clock.now_ms}, at={at_ms})"
+                )
+            self.simulator.queue.push_call(float(at_ms), chosen.write, key, value)
 
     def schedule_read(
         self, key: str, at_ms: float, coordinator: Coordinator | None = None
     ) -> None:
         """Enqueue a read to start at simulated time ``at_ms``; its trace is recorded."""
         chosen = self._pick_coordinator(coordinator)
-        self.simulator.schedule_at(
-            at_ms, lambda: chosen.read(key), label=f"scheduled-read:{key}"
-        )
+        if self._event_labels:
+            self.simulator.schedule_at(
+                at_ms, lambda: chosen.read(key), label=f"scheduled-read:{key}"
+            )
+        else:
+            if at_ms < self.simulator.clock.now_ms:
+                raise SimulationError(
+                    f"cannot schedule an event in the past "
+                    f"(now={self.simulator.clock.now_ms}, at={at_ms})"
+                )
+            self.simulator.queue.push_call(float(at_ms), chosen.read, key)
 
     def run(self, until_ms: float | None = None) -> None:
         """Drain the event queue (optionally up to a simulated-time horizon)."""

@@ -17,7 +17,7 @@ from repro.cluster.versioning import Version
 __all__ = ["WriteTrace", "ReadTrace", "TraceLog"]
 
 
-@dataclass
+@dataclass(slots=True)
 class WriteTrace:
     """Lifecycle of a single write operation."""
 
@@ -57,7 +57,7 @@ class WriteTrace:
         }
 
 
-@dataclass
+@dataclass(slots=True)
 class ReadTrace:
     """Lifecycle of a single read operation."""
 

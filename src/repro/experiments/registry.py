@@ -93,6 +93,7 @@ _OPTIONAL_SWEEP_KWARGS: tuple[str, ...] = (
     "workers",
     "probe_resolution_ms",
     "kernel_backend",
+    "draw_batch_size",
 )
 
 

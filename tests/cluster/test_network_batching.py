@@ -1,0 +1,230 @@
+"""Tests for the network's batched draw buffers (loss, partitions, determinism).
+
+The contract under test (see :mod:`repro.cluster.sampling`):
+
+* draws are consumed strictly in request order by delivered messages;
+* delivery decisions never touch a latency buffer — a dropped message
+  consumes exactly one loss draw and zero latency draws;
+* fixed seed + fixed batch size => bit-for-bit reproducible runs;
+* ``draw_batch_size=1`` reproduces the legacy per-message sampling stream,
+  which the pinned reference engine also produces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.network import Network
+from repro.cluster.sampling import LatencyDrawBuffer, UniformDrawBuffer
+from repro.cluster.store import DynamoCluster
+from repro.cluster.client import WorkloadRunner
+from repro.core.quorum import ReplicaConfig
+from repro.exceptions import ConfigurationError
+from repro.latency.composite import PerReplicaLatency
+from repro.latency.distributions import ExponentialLatency
+from repro.latency.production import WARSDistributions
+from repro.workloads.operations import validation_workload
+
+
+def _network(seed: int, batch_size: int = 64, loss: float = 0.0) -> Network:
+    distributions = WARSDistributions.write_specialised(
+        write=ExponentialLatency.from_mean(20.0),
+        other=ExponentialLatency.from_mean(10.0),
+    )
+    return Network(
+        distributions=distributions,
+        rng=np.random.default_rng(seed),
+        replica_slots={f"n{i}": i for i in range(3)},
+        loss_probability=loss,
+        draw_batch_size=batch_size,
+    )
+
+
+class TestDrawBuffers:
+    def test_buffer_serves_samples_in_order(self):
+        distribution = ExponentialLatency.from_mean(5.0)
+        buffer = LatencyDrawBuffer(distribution, np.random.default_rng(3), 16)
+        expected = distribution.sample(16, np.random.default_rng(3))
+        got = [buffer.draw() for _ in range(16)]
+        assert got == pytest.approx(list(expected))
+        assert buffer.refills == 1
+
+    def test_refill_happens_exactly_at_batch_boundary(self):
+        buffer = LatencyDrawBuffer(
+            ExponentialLatency.from_mean(5.0), np.random.default_rng(0), 8
+        )
+        for index in range(20):
+            buffer.draw()
+            assert buffer.refills == index // 8 + 1
+
+    def test_batch_size_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            LatencyDrawBuffer(
+                ExponentialLatency.from_mean(5.0), np.random.default_rng(0), 0
+            )
+        with pytest.raises(ConfigurationError):
+            UniformDrawBuffer(np.random.default_rng(0), -1)
+
+    def test_uniform_buffer_matches_generator_stream(self):
+        buffer = UniformDrawBuffer(np.random.default_rng(9), 8)
+        expected = np.random.default_rng(9).random(8)
+        assert [buffer.draw() for _ in range(8)] == pytest.approx(list(expected))
+
+
+class TestNetworkBatching:
+    def test_legs_sharing_a_distribution_share_one_buffer(self):
+        # write_specialised aliases A=R=S to one object: its buffer serves
+        # those legs' draws interleaved in request order.
+        network = _network(seed=5, batch_size=32)
+        other = network.distributions.a
+        assert network.distributions.r is other and network.distributions.s is other
+        expected = iter(other.sample(32, np.random.default_rng(5)))
+        assert network.ack_delay("n0") == pytest.approx(next(expected))
+        assert network.read_delay("n1") == pytest.approx(next(expected))
+        assert network.response_delay("n2") == pytest.approx(next(expected))
+        assert network.ack_delay("n2") == pytest.approx(next(expected))
+
+    def test_batch_size_one_reproduces_legacy_per_draw_stream(self):
+        network = _network(seed=11, batch_size=1)
+        rng = np.random.default_rng(11)
+        w = network.distributions.w
+        other = network.distributions.a
+        # Interleave legs exactly as a write+read would; the legacy path drew
+        # sample(1, rng) per message at these same points.
+        assert network.write_delay("n0") == pytest.approx(float(w.sample(1, rng)[0]))
+        assert network.ack_delay("n0") == pytest.approx(float(other.sample(1, rng)[0]))
+        assert network.read_delay("n1") == pytest.approx(float(other.sample(1, rng)[0]))
+        assert network.write_delay("n2") == pytest.approx(float(w.sample(1, rng)[0]))
+
+    def test_dropped_messages_consume_no_latency_draws(self):
+        # Replica n1's messages are partitioned away; the delays served to
+        # n0 and n2 must be exactly the first two values of the stream — the
+        # dropped message shifts consumption, it does not burn a draw.
+        baseline = _network(seed=7, batch_size=16)
+        first, second = baseline.write_delay("n0"), baseline.write_delay("n1")
+
+        partitioned = _network(seed=7, batch_size=16)
+        partitioned.partition("coordinator-0", "n1")
+        assert partitioned.delivers("coordinator-0", "n0")
+        got_first = partitioned.write_delay("n0")
+        assert not partitioned.delivers("coordinator-0", "n1")
+        assert partitioned.delivers("coordinator-0", "n2")
+        got_second = partitioned.write_delay("n2")
+        assert (got_first, got_second) == (first, second)
+        assert partitioned.dropped_messages == 1
+
+    def test_loss_draws_come_from_a_dedicated_buffer(self):
+        network = _network(seed=13, batch_size=8, loss=0.5)
+        for _ in range(20):
+            network.delivers("a", "b")
+        # Loss decisions refilled their own buffer; no latency buffer exists
+        # yet, so no latency draw was consumed by delivery decisions.
+        assert network.draw_refills == 0
+        assert network._loss_buffer is not None
+        assert network._loss_buffer.refills >= 1
+        assert network.dropped_messages > 0
+
+    def test_fixed_seed_and_batch_size_are_deterministic(self):
+        first = _network(seed=21, batch_size=16, loss=0.2)
+        second = _network(seed=21, batch_size=16, loss=0.2)
+        for _ in range(50):
+            assert first.delivers("a", "b") == second.delivers("a", "b")
+            assert first.write_delay("n0") == second.write_delay("n0")
+        assert first.dropped_messages == second.dropped_messages
+
+    def test_per_replica_distributions_get_separate_buffers(self):
+        local = ExponentialLatency.from_mean(1.0, name="local")
+        remote = ExponentialLatency.from_mean(80.0, name="remote")
+        per_replica = PerReplicaLatency(replicas=(local, remote, remote))
+        distributions = WARSDistributions(
+            w=per_replica, a=local, r=local, s=local, name="wan-ish"
+        )
+        network = Network(
+            distributions=distributions,
+            rng=np.random.default_rng(2),
+            replica_slots={"n0": 0, "n1": 1, "n2": 2},
+            draw_batch_size=16,
+        )
+        # Slot 0 draws come from `local`'s stream, untouched by slot-1 draws.
+        # The local buffer refills first (slot 0 is drawn first), so its
+        # batch precedes the remote one on the shared generator's stream.
+        probe = np.random.default_rng(2)
+        expected_local = iter(local.sample(16, probe))
+        expected_remote = iter(remote.sample(16, probe))
+        assert network.write_delay("n0") == pytest.approx(next(expected_local))
+        # Slots 1 and 2 alias the same `remote` object and share its buffer,
+        # consuming that stream in request order.
+        assert network.write_delay("n1") == pytest.approx(next(expected_remote))
+        assert network.write_delay("n0") == pytest.approx(next(expected_local))
+        assert network.write_delay("n2") == pytest.approx(next(expected_remote))
+
+    def test_invalid_batch_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _network(seed=0, batch_size=0)
+
+
+def _trace_fingerprint(cluster: DynamoCluster) -> tuple:
+    writes = tuple(
+        (trace.started_ms, trace.committed_ms, trace.version.timestamp)
+        for trace in cluster.trace_log.writes
+    )
+    reads = tuple(
+        (
+            trace.started_ms,
+            trace.completed_ms,
+            None if trace.returned_version is None else trace.returned_version.timestamp,
+        )
+        for trace in cluster.trace_log.reads
+    )
+    return writes, reads
+
+
+def _run_cluster(seed: int, **kwargs) -> DynamoCluster:
+    distributions = WARSDistributions.write_specialised(
+        write=ExponentialLatency.from_mean(20.0),
+        other=ExponentialLatency.from_mean(10.0),
+    )
+    cluster = DynamoCluster(
+        config=ReplicaConfig(n=3, r=1, w=1),
+        distributions=distributions,
+        rng=seed,
+        **kwargs,
+    )
+    operations = validation_workload(
+        key="k", writes=40, write_interval_ms=100.0, read_offsets_ms=(1.0, 5.0, 20.0)
+    )
+    WorkloadRunner(cluster).run(operations)
+    return cluster
+
+
+class TestEndToEndDeterminism:
+    def test_lossy_batched_runs_are_reproducible(self):
+        first = _run_cluster(3, loss_probability=0.1)
+        second = _run_cluster(3, loss_probability=0.1)
+        assert _trace_fingerprint(first) == _trace_fingerprint(second)
+        assert first.network.dropped_messages == second.network.dropped_messages
+
+    def test_batch_size_one_matches_reference_engine_exactly(self):
+        """draw_batch_size=1 on the new engine == the pinned pre-overhaul engine.
+
+        The event representation never consumes randomness, so the two
+        engines must produce bit-for-bit identical traces when both draw one
+        sample per message.
+        """
+        batched_off = _run_cluster(17, draw_batch_size=1)
+        reference = _run_cluster(17, engine="reference", event_labels=True)
+        assert _trace_fingerprint(batched_off) == _trace_fingerprint(reference)
+
+    def test_batch_size_changes_stream_but_not_statistics(self):
+        # Different batch sizes give different (but statistically equivalent)
+        # traces; this pins that they are *expected* to differ, so equality
+        # tests elsewhere must hold batch size fixed.
+        small = _run_cluster(23, draw_batch_size=2)
+        large = _run_cluster(23, draw_batch_size=4096)
+        assert _trace_fingerprint(small) != _trace_fingerprint(large)
+        assert len(small.trace_log.reads) == len(large.trace_log.reads)
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _run_cluster(0, engine="warp-drive")

@@ -161,3 +161,204 @@ class TestSimulator:
         a = Simulator(rng=7).rng.random(5)
         b = Simulator(rng=7).rng.random(5)
         assert list(a) == list(b)
+
+
+class TestLiveCountAccounting:
+    """Regression tests for the O(1) ``len(queue)`` counter.
+
+    The count must stay exact through every push/pop/cancel/drain sequence —
+    the pre-overhaul implementation recomputed it with an O(n) scan, so any
+    drift here is silent corruption rather than a crash.
+    """
+
+    def test_len_exact_through_mixed_cancellation_and_drain(self):
+        queue = EventQueue()
+        events = [queue.push(float(i % 7), lambda: None) for i in range(50)]
+        assert len(queue) == 50
+        for event in events[::3]:
+            event.cancel()
+        expected = 50 - len(events[::3])
+        assert len(queue) == expected
+        drained = 0
+        while queue.pop() is not None:
+            drained += 1
+            assert len(queue) == expected - drained
+        assert drained == expected
+        assert len(queue) == 0
+
+    def test_double_cancel_counts_once(self):
+        queue = EventQueue()
+        queue.push(1.0, lambda: None)
+        event = queue.push(2.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert len(queue) == 1
+
+    def test_cancel_after_pop_does_not_corrupt_count(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        popped = queue.pop()
+        assert popped is event
+        event.cancel()  # already fired; must not decrement the live count
+        assert len(queue) == 1
+
+    def test_cancel_after_clear_does_not_corrupt_count(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.clear()
+        assert len(queue) == 0
+        event.cancel()
+        queue.push(1.0, lambda: None)
+        assert len(queue) == 1
+
+    def test_peek_time_discards_cancelled_head_and_keeps_count(self):
+        queue = EventQueue()
+        head = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        head.cancel()
+        assert len(queue) == 1
+        assert queue.peek_time() == 2.0
+        assert len(queue) == 1
+
+    def test_push_action_entries_are_counted_and_popped(self):
+        queue = EventQueue()
+        fired: list[str] = []
+        queue.push_action(2.0, lambda: fired.append("b"))
+        queue.push(1.0, lambda: fired.append("a"))
+        assert len(queue) == 2
+        while (event := queue.pop()) is not None:
+            event.action()
+        assert fired == ["a", "b"]
+        assert len(queue) == 0
+
+    def test_compaction_preserves_order_and_count(self):
+        from repro.cluster.events import COMPACTION_MIN_CANCELLED
+
+        queue = EventQueue()
+        cancellable = [
+            queue.push(float(i), lambda: None)
+            for i in range(COMPACTION_MIN_CANCELLED + 10)
+        ]
+        survivors: list[float] = []
+        keep_a = queue.push(0.5, lambda: survivors.append(0.5))
+        keep_b = queue.push(2_000.0, lambda: survivors.append(2_000.0))
+        for event in cancellable:
+            event.cancel()
+        # All cancellable events cancelled: compaction must have fired at the
+        # threshold, bounding the heap to the stragglers cancelled after the
+        # rebuild plus the two live events.
+        assert len(queue) == 2
+        assert len(queue._heap) < COMPACTION_MIN_CANCELLED
+        while (event := queue.pop()) is not None:
+            event.action()
+        assert survivors == [0.5, 2_000.0]
+        assert keep_a.cancelled is False and keep_b.cancelled is False
+
+
+class TestFastPathScheduling:
+    def test_push_call_dispatches_with_arguments(self):
+        simulator = Simulator(rng=0)
+        seen: list[tuple] = []
+
+        def record(a, b):
+            seen.append((a, b, simulator.now_ms))
+
+        simulator.queue.push_call(4.0, record, "x", 1)
+        simulator.queue.push_call(2.0, record, "y", 2)
+        simulator.run()
+        assert seen == [("y", 2, 2.0), ("x", 1, 4.0)]
+        assert simulator.processed_events == 2
+
+    def test_push_call_three_arguments_and_step(self):
+        simulator = Simulator(rng=0)
+        seen: list[tuple] = []
+        simulator.queue.push_call(1.0, lambda a, b, c: seen.append((a, b, c)), 1, 2, 3)
+        assert simulator.step() is True
+        assert seen == [(1, 2, 3)]
+
+    def test_schedule_action_runs_without_event_allocation(self):
+        simulator = Simulator(rng=0)
+        fired: list[float] = []
+        simulator.schedule_action(5.0, lambda: fired.append(simulator.now_ms))
+        with pytest.raises(SimulationError):
+            simulator.schedule_action(-1.0, lambda: None)
+        simulator.run()
+        assert fired == [5.0]
+
+    def test_schedule_at_action_validates_past(self):
+        simulator = Simulator(rng=0)
+        simulator.schedule(5.0, lambda: None)
+        simulator.run()
+        with pytest.raises(SimulationError):
+            simulator.schedule_at_action(1.0, lambda: None)
+        simulator.schedule_at_action(9.0, lambda: None)
+        simulator.run()
+        assert simulator.now_ms == 9.0
+
+    def test_pop_wraps_raw_entries_in_events(self):
+        queue = EventQueue()
+        fired: list[int] = []
+        queue.push_call(1.0, fired.append, 7)
+        event = queue.pop()
+        assert event is not None
+        event.action()
+        assert fired == [7]
+
+
+class TestReferenceEngine:
+    def test_reference_simulator_matches_new_engine_timing(self):
+        from repro.cluster.reference import ReferenceSimulator
+
+        for simulator in (Simulator(rng=0), ReferenceSimulator(rng=0)):
+            seen: list[float] = []
+            simulator.schedule(10.0, lambda s=simulator: seen.append(s.now_ms))
+            simulator.schedule(5.0, lambda s=simulator: seen.append(s.now_ms))
+            simulator.run(until_ms=7.0)
+            assert seen == [5.0]
+            assert simulator.now_ms == 7.0
+            simulator.run()
+            assert seen == [5.0, 10.0]
+            assert simulator.processed_events == 2
+
+    def test_reference_queue_len_and_cancel(self):
+        from repro.cluster.reference import ReferenceEventQueue
+
+        queue = ReferenceEventQueue()
+        queue.push(1.0, lambda: None)
+        cancelled = queue.push(2.0, lambda: None)
+        cancelled.cancel()
+        assert len(queue) == 1
+
+
+class TestProcessedCountOnFailure:
+    def test_processed_events_exact_when_action_raises(self):
+        simulator = Simulator(rng=0)
+        simulator.schedule(1.0, lambda: None)
+
+        def boom() -> None:
+            raise RuntimeError("event action failed")
+
+        simulator.schedule(2.0, boom)
+        with pytest.raises(RuntimeError):
+            simulator.run()
+        # The event before the failure *and* the failing event were processed.
+        assert simulator.processed_events == 2
+
+    def test_event_storm_budget_survives_retried_runs(self):
+        simulator = Simulator(rng=0, max_events=10)
+
+        def rescheduling() -> None:
+            simulator.schedule(1.0, rescheduling)
+
+        simulator.schedule(1.0, rescheduling)
+        with pytest.raises(SimulationError):
+            simulator.run(until_ms=1_000.0)
+        processed_after_storm = simulator.processed_events
+        assert processed_after_storm >= 10
+        # A retried run must not restart the budget from a stale count: the
+        # very next processed event exceeds it again.
+        simulator.schedule(1.0, lambda: None)
+        with pytest.raises(SimulationError):
+            simulator.run(until_ms=2_000.0)
+        assert simulator.processed_events == processed_after_storm + 1

@@ -27,7 +27,10 @@ class TestReadRepairAblation:
 
 class TestFanoutAblation:
     def test_staleness_unchanged_but_load_differs(self):
-        result = run_experiment("ablation-read-fanout", trials=150, rng=0)
+        # 300 trials (not the 150 used elsewhere): the +-0.10 staleness-rate
+        # tolerance below is a statistical bound, and at 150 writes the two
+        # fan-out arms' independent workloads sit right at its edge.
+        result = run_experiment("ablation-read-fanout", trials=300, rng=0)
         by_label = {row["read_fanout"]: row for row in result.rows}
         dynamo = by_label["all N replicas (Dynamo)"]
         voldemort = by_label["only R replicas (Voldemort)"]

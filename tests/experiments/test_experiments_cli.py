@@ -235,7 +235,6 @@ class TestRegistrySmoke:
                 "section3-load",
                 "table1-2-3",
                 "table3-refit",
-                "validation",
             }, f"{experiment_id} silently loses --workers; add the kwarg to its runner"
 
     def test_cli_workers_match_serial_results(self, capsys, workers):
@@ -255,6 +254,45 @@ class TestRegistrySmoke:
         serial_output = capsys.readouterr().out
         assert main(argv + ["--workers", str(workers)]) == 0
         assert capsys.readouterr().out == serial_output
+
+    def test_cli_validation_accepts_workers_trials_and_draw_batch_size(
+        self, capsys, workers
+    ):
+        """The §5.2 validation experiment takes --workers/--trials/--draw-batch-size
+        through the registry filter (PR 2-style smoke test for the sharded
+        cluster runs): sharded and serial-blocked results must render the
+        same table for any worker count."""
+        argv = [
+            "run",
+            "validation",
+            "--trials",
+            "60",
+            "--seed",
+            "5",
+            "--draw-batch-size",
+            "256",
+        ]
+        assert main(argv + ["--workers", "1"]) == 0
+        serial_output = capsys.readouterr().out
+        assert serial_output.startswith("== ")
+        assert main(argv + ["--workers", str(workers)]) == 0
+        assert capsys.readouterr().out == serial_output
+
+    def test_cli_validation_draw_batch_size_one_runs_legacy_stream(self, capsys):
+        assert (
+            main(
+                [
+                    "run",
+                    "validation",
+                    "--trials",
+                    "40",
+                    "--draw-batch-size",
+                    "1",
+                ]
+            )
+            == 0
+        )
+        assert capsys.readouterr().out.startswith("== ")
 
     def test_cli_predict_accepts_workers(self, capsys):
         assert (

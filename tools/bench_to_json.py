@@ -87,6 +87,22 @@ def run_benchmarks(quick: bool = False) -> dict:
             "skipped": "numba is not installed; the backend falls back to numpy"
         }
 
+    import test_bench_cluster as bench_cluster
+
+    cluster_writes = max(bench_cluster.BENCH_WRITES // (4 if quick else 1), 500)
+    print(
+        f"cluster simulator old-vs-new ({cluster_writes} writes/run) ...", flush=True
+    )
+    benchmarks["cluster_events_per_sec"] = bench_cluster.measure_cluster_events_per_sec(
+        writes=cluster_writes
+    )
+
+    validation_writes = 5_000 if quick else 50_000
+    print(f"paper-scale validation cell ({validation_writes} writes) ...", flush=True)
+    benchmarks["validation_cell_paper_scale"] = (
+        bench_cluster.measure_paper_scale_validation_cell(writes=validation_writes)
+    )
+
     return document
 
 
@@ -111,8 +127,14 @@ def main(argv: list[str] | None = None) -> int:
     for name, result in document["benchmarks"].items():
         if "skipped" in result:
             print(f"{name}: skipped ({result['skipped']})")
-        else:
+        elif "speedup" in result:
             print(f"{name}: speedup {result['speedup']:.2f}x")
+        else:
+            summary = ", ".join(
+                f"{key} {value:.2f}" if isinstance(value, float) else f"{key} {value}"
+                for key, value in result.items()
+            )
+            print(f"{name}: {summary}")
     print(f"wrote {output}")
     return 0
 
