@@ -63,6 +63,11 @@ from repro.latency import (
     wan,
     ymmr,
 )
+from repro.analytic import (
+    AnalyticConfigResult,
+    AnalyticEnvironment,
+    AnalyticPredictor,
+)
 from repro.montecarlo import (
     ConfigSweepResult,
     StreamingHistogram,
@@ -92,6 +97,10 @@ __all__ = [
     "WARSTrialResult",
     "iter_configs",
     "sample_wars_batch",
+    # Analytic fast path
+    "AnalyticConfigResult",
+    "AnalyticEnvironment",
+    "AnalyticPredictor",
     # Monte Carlo sweep engine
     "ConfigSweepResult",
     "StreamingHistogram",

@@ -1,0 +1,50 @@
+"""Analytic (closed-form / numerical-convolution) WARS predictor.
+
+This package answers the same questions as :mod:`repro.montecarlo` —
+``P(consistent at t)``, t-visibility, and operation-latency percentiles for a
+Dynamo-style ``(N, R, W)`` configuration — without sampling.  The key result
+(derived in ``docs/architecture.md`` §7) is an *exact* factorisation of the
+WARS staleness probability into two independent pieces:
+
+* the commit-time contribution of the replicas that do **not** serve the read
+  (an order statistic of per-replica ``W + A`` sums), and
+* the probability that every replica in the read quorum is "fresh-blind"
+  (an order-statistics integral over the joint law of ``R + S`` and
+  ``W − R`` per replica).
+
+Both pieces reduce to one-dimensional quadratures over tabulated leg
+distributions (:class:`repro.analytic.grid.LatencyGrid`), so a full
+figure-4-style sweep answers in about a millisecond and a single point query
+in microseconds.  The Monte Carlo engine remains the verification oracle:
+:mod:`repro.analytic.validation` replays the paper's figure grids through
+both paths and reports the maximum absolute disagreement.
+
+The analytic path requires i.i.d. replicas, so the paper's WAN scenario
+(per-replica latencies) stays Monte Carlo only.
+"""
+
+from repro.analytic.grid import LatencyGrid, convolve_grids, quantile_ladder
+from repro.analytic.orderstats import order_statistic_cdf
+from repro.analytic.predictor import (
+    AnalyticConfigResult,
+    AnalyticEnvironment,
+    AnalyticPredictor,
+)
+from repro.analytic.validation import (
+    ValidationCase,
+    ValidationReport,
+    validate_against_montecarlo,
+)
+
+__all__ = [
+    "LatencyGrid",
+    "quantile_ladder",
+    "convolve_grids",
+    "order_statistic_cdf",
+    "AnalyticEnvironment",
+    "AnalyticConfigResult",
+    "AnalyticPredictor",
+    "ValidationCase",
+    "ValidationReport",
+    "validate_against_montecarlo",
+]

@@ -1,0 +1,44 @@
+"""Order-statistics combinators for quorum latency and staleness.
+
+A quorum operation completes when the ``k``-th fastest of ``n`` i.i.d.
+replicas responds, so every latency question about a Dynamo-style
+configuration is a question about order statistics.  For i.i.d. draws the
+transform is the classical binomial identity
+
+    P(X_(k) <= x) = sum_{j=k}^{n} C(n, j) F(x)^j (1 - F(x))^(n-j),
+
+which :func:`order_statistic_cdf` applies pointwise to a tabulated CDF.  The
+hypergeometric quorum-overlap identities property-tested in
+``tests/property/test_property_closed_forms.py`` are the combinatorial
+independence facts this transform relies on.
+"""
+
+from __future__ import annotations
+
+from math import comb
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["order_statistic_cdf"]
+
+
+def order_statistic_cdf(cdf: np.ndarray, n: int, k: int) -> np.ndarray:
+    """CDF of the ``k``-th smallest of ``n`` i.i.d. draws, given the parent CDF.
+
+    ``cdf`` is an array of parent-CDF values ``F(x)`` (any shape); the result
+    has the same shape.  Powers are built by repeated multiplication — ``n``
+    never exceeds a few tens of replicas, and integer powers keep the
+    evaluation exact at ``F = 0`` and ``F = 1``.
+    """
+    if not 1 <= k <= n:
+        raise ConfigurationError(f"order statistic k must be in [1, {n}], got {k}")
+    values = np.asarray(cdf, dtype=float)
+    survival = 1.0 - values
+    f_pow = values**k
+    total = comb(n, k) * f_pow * survival ** (n - k)
+    for j in range(k + 1, n + 1):
+        f_pow = f_pow * values
+        total = total + comb(n, j) * f_pow * survival ** (n - j)
+    return np.clip(total, 0.0, 1.0)

@@ -136,6 +136,18 @@ def build_parser() -> argparse.ArgumentParser:
     predict_parser.add_argument("--trials", type=int, default=100_000)
     predict_parser.add_argument("--seed", type=int, default=0)
     predict_parser.add_argument(
+        "--mode",
+        default="montecarlo",
+        choices=("montecarlo", "analytic", "hybrid"),
+        help=(
+            "prediction mode: 'montecarlo' samples through the sweep engine, "
+            "'analytic' answers by numerical convolution (no sampling; "
+            "requires i.i.d. replicas, so not available for --fit WAN), "
+            "'hybrid' answers analytically and spot-checks with a small "
+            "Monte Carlo sweep"
+        ),
+    )
+    predict_parser.add_argument(
         "--chunk-size",
         type=int,
         default=None,
@@ -244,6 +256,7 @@ def _command_predict(
     workers: int | None = None,
     probe_resolution_ms: float | None = None,
     kernel_backend: str | None = None,
+    mode: str = "montecarlo",
 ) -> int:
     config = ReplicaConfig(n=n, r=r, w=w)
     kwargs = {"replica_count": n} if fit.upper() == "WAN" else {}
@@ -256,9 +269,10 @@ def _command_predict(
         workers=workers if workers is not None else 1,
         probe_resolution_ms=probe_resolution_ms,
         kernel_backend=kernel_backend,
+        mode=mode,
     )
     print(f"latency environment: {fit}")
-    if report.trials < trials:
+    if mode == "montecarlo" and report.trials < trials:
         print(f"converged early after {report.trials} of {trials} trials")
     for line in report.summary_lines():
         print(line)
@@ -318,6 +332,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                 args.workers,
                 args.probe_resolution_ms,
                 args.kernel_backend,
+                args.mode,
             )
         parser.error(f"unknown command {args.command!r}")  # pragma: no cover
         return 2  # pragma: no cover

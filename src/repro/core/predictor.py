@@ -37,12 +37,19 @@ __all__ = ["PBSReport", "PBSPredictor"]
 #: on tail latency plus the medians quoted in §5.6.
 _REPORT_PERCENTILES: tuple[float, ...] = (50.0, 95.0, 99.0, 99.9)
 
+#: Monte Carlo trials used by the hybrid-mode spot-check (capped by the
+#: caller's ``trials`` budget).
+_HYBRID_SPOT_TRIALS: int = 20_000
+
 
 @dataclass(frozen=True)
 class PBSReport:
     """A bundled prediction for one configuration and latency environment."""
 
     config: ReplicaConfig
+    #: Monte Carlo trials behind the report: the full sweep budget in
+    #: ``montecarlo`` mode, the spot-check budget in ``hybrid`` mode, zero in
+    #: ``analytic`` mode.
     trials: int
     #: Probability a read immediately after commit (t = 0) is consistent.
     consistency_at_commit: float
@@ -62,6 +69,14 @@ class PBSReport:
     #: the probe grid.  A fixed trial budget can end the run before the
     #: requested resolution is met — compare the bracket width against it.
     t_visibility_brackets: Mapping[float, tuple[float, float] | None] | None = None
+    #: How the staleness/latency numbers were produced: ``"montecarlo"``
+    #: (sweep-engine sampling), ``"analytic"`` (numerical convolution), or
+    #: ``"hybrid"`` (analytic numbers spot-checked by a small sweep).
+    mode: str = "montecarlo"
+    #: Hybrid mode only: the Monte Carlo spot-check — trials run, the checked
+    #: consistency probabilities, and their disagreement with the analytic
+    #: values.
+    montecarlo_check: Mapping[str, float] | None = None
 
     def summary_lines(self) -> list[str]:
         """Human-readable summary, one finding per line."""
@@ -84,6 +99,14 @@ class PBSReport:
             f"{self.write_latency_ms[50.0]:.2f} / {self.write_latency_ms[99.0]:.2f} / "
             f"{self.write_latency_ms[99.9]:.2f}"
         )
+        if self.mode != "montecarlo":
+            lines.append(f"prediction mode: {self.mode} (numerical convolution)")
+        if self.montecarlo_check is not None:
+            lines.append(
+                "Monte Carlo spot-check: "
+                f"{int(self.montecarlo_check['trials'])} trials, max disagreement "
+                f"{self.montecarlo_check['max_absolute_error']:.4f}"
+            )
         return lines
 
 
@@ -233,11 +256,18 @@ class PBSPredictor:
         workers: int = 1,
         probe_resolution_ms: float | None = None,
         kernel_backend: str | None = None,
+        mode: str = "montecarlo",
     ) -> PBSReport:
         """Produce a :class:`PBSReport` summarising latency and staleness predictions.
 
-        Trials run through the streaming sweep engine, so arbitrarily large
-        trial counts use bounded memory.
+        In the default ``montecarlo`` mode, trials run through the streaming
+        sweep engine, so arbitrarily large trial counts use bounded memory.
+        ``mode="analytic"`` answers from :class:`repro.analytic.AnalyticPredictor`
+        instead — no sampling at all, microsecond queries after a one-off
+        tabulation — and ``mode="hybrid"`` takes the analytic numbers but runs
+        a small Monte Carlo sweep as a spot-check, recording the disagreement
+        in :attr:`PBSReport.montecarlo_check`.  The analytic path requires
+        i.i.d. replicas (the WAN per-replica model stays Monte Carlo only).
 
         Args
         ----
@@ -266,6 +296,12 @@ class PBSPredictor:
             Sampling-reduction backend from :mod:`repro.kernels` (``None``
             is the bit-for-bit NumPy reference; ``"numba"`` the fused JIT
             kernel, falling back to ``numpy`` when numba is missing).
+        mode:
+            ``"montecarlo"`` (default), ``"analytic"``, or ``"hybrid"``.
+            The sweep-engine knobs (``chunk_size``, ``tolerance``,
+            ``workers``, ``probe_resolution_ms``, ``kernel_backend``) apply
+            to the Monte Carlo sweep only; in ``analytic`` mode they are
+            ignored, and in ``hybrid`` mode they tune the spot-check sweep.
 
         Returns
         -------
@@ -283,6 +319,21 @@ class PBSPredictor:
         # the montecarlo package at module-import time.
         from repro.montecarlo.engine import SweepEngine, min_trials_for_quantile
 
+        if mode not in ("montecarlo", "analytic", "hybrid"):
+            raise ConfigurationError(
+                f"mode must be 'montecarlo', 'analytic' or 'hybrid', got {mode!r}"
+            )
+        if mode != "montecarlo":
+            return self._analytic_report(
+                mode=mode,
+                trials=trials,
+                rng=rng,
+                ks=ks,
+                chunk_size=chunk_size,
+                tolerance=tolerance,
+                workers=workers,
+                kernel_backend=kernel_backend,
+            )
         if trials < 100:
             raise ConfigurationError(
                 f"at least 100 trials are required for a meaningful report, got {trials}"
@@ -325,4 +376,66 @@ class PBSPredictor:
                 p: summary.write_latency_percentile(p) for p in _REPORT_PERCENTILES
             },
             t_visibility_brackets=brackets,
+        )
+
+    def _analytic_report(
+        self,
+        mode: str,
+        trials: int,
+        rng: np.random.Generator | int | None,
+        ks: Sequence[int],
+        chunk_size: int | None,
+        tolerance: float | None,
+        workers: int,
+        kernel_backend: str | None,
+    ) -> PBSReport:
+        """Answer a report analytically; in hybrid mode, spot-check it by sampling."""
+        # Imported lazily for symmetry with the engine: repro.core stays
+        # importable without the analytic package.
+        from repro.analytic.predictor import AnalyticPredictor
+
+        analytic = AnalyticPredictor(distributions=self.distributions).result(self.config)
+        staleness_model = self.k_staleness()
+        check: dict[str, float] | None = None
+        check_trials = 0
+        if mode == "hybrid":
+            from repro.montecarlo.engine import SweepEngine
+
+            check_trials = max(min(trials, _HYBRID_SPOT_TRIALS), 100)
+            probe_times = (0.0, analytic.t_visibility(0.99))
+            engine = SweepEngine(
+                self.distributions,
+                (self.config,),
+                times_ms=probe_times,
+                chunk_size=chunk_size,
+                tolerance=tolerance,
+                workers=workers,
+                kernel_backend=kernel_backend,
+            )
+            summary = engine.run(check_trials, rng).results[0]
+            disagreements = [
+                abs(analytic.consistency_probability(t) - summary.consistency_probability(t))
+                for t in probe_times
+            ]
+            check = {
+                "trials": float(check_trials),
+                "consistency_at_commit": summary.probability_never_stale(),
+                "consistency_at_t99": summary.consistency_probability(probe_times[1]),
+                "max_absolute_error": max(disagreements),
+            }
+        return PBSReport(
+            config=self.config,
+            trials=check_trials,
+            consistency_at_commit=analytic.consistency_probability(0.0),
+            t_visibility_999=analytic.t_visibility(0.999),
+            t_visibility_99=analytic.t_visibility(0.99),
+            k_staleness={k: staleness_model.consistency(k) for k in ks},
+            read_latency_ms={
+                p: analytic.read_latency_percentile(p) for p in _REPORT_PERCENTILES
+            },
+            write_latency_ms={
+                p: analytic.write_latency_percentile(p) for p in _REPORT_PERCENTILES
+            },
+            mode=mode,
+            montecarlo_check=check,
         )

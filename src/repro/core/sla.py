@@ -131,6 +131,16 @@ class SLAOptimizer:
         Sampling-reduction backend from :mod:`repro.kernels` used by every
         evaluation sweep (``None`` is the bit-for-bit NumPy reference;
         ``"numba"`` the fused JIT kernel).
+    mode:
+        ``"montecarlo"`` (default) evaluates every candidate by sampling.
+        ``"analytic"`` evaluates through :class:`repro.analytic.AnalyticPredictor`
+        instead — the whole ``O(N^2)`` search then costs milliseconds, which
+        is the paper's "SLA search as a small optimisation problem" reading
+        taken literally.  ``"hybrid"`` searches analytically and then
+        re-evaluates only the winning configuration by Monte Carlo in
+        :meth:`best` (the verdict reported is the Monte Carlo one).  The
+        analytic modes require i.i.d. replicas, so WAN-style per-replica
+        models must use ``"montecarlo"``.
     """
 
     def __init__(
@@ -144,11 +154,16 @@ class SLAOptimizer:
         workers: int = 1,
         probe_resolution_ms: float | None = None,
         kernel_backend: str | None = None,
+        mode: str = "montecarlo",
     ) -> None:
         if trials < 100:
             raise ConfigurationError(f"at least 100 trials are required, got {trials}")
         if not replication_factors:
             raise ConfigurationError("at least one replication factor is required")
+        if mode not in ("montecarlo", "analytic", "hybrid"):
+            raise ConfigurationError(
+                f"mode must be 'montecarlo', 'analytic' or 'hybrid', got {mode!r}"
+            )
         self._distributions = distributions
         self._replication_factors = tuple(sorted(set(replication_factors)))
         self._trials = trials
@@ -165,11 +180,25 @@ class SLAOptimizer:
         # Sampling-reduction backend name, forwarded to every sweep (None is
         # the bit-for-bit NumPy reference).
         self._kernel_backend = kernel_backend
+        self._mode = mode
+        # Analytic predictors cached per replication factor: with a callable
+        # ``distributions`` each N may have its own environment tables.
+        self._analytic_cache: dict[int, object] = {}
 
     def _distributions_for(self, n: int) -> WARSDistributions:
         if callable(self._distributions):
             return self._distributions(n)
         return self._distributions
+
+    def _analytic_for(self, n: int):
+        # Imported lazily for symmetry with the engine import in _engine_for.
+        from repro.analytic.predictor import AnalyticPredictor
+
+        predictor = self._analytic_cache.get(n)
+        if predictor is None:
+            predictor = AnalyticPredictor(distributions=self._distributions_for(n))
+            self._analytic_cache[n] = predictor
+        return predictor
 
     def _candidate_configs(self, target: SLATarget) -> Iterable[ReplicaConfig]:
         for n in self._replication_factors:
@@ -246,10 +275,34 @@ class SLAOptimizer:
         >>> evaluation.meets_target
         True
         """
+        if self._mode in ("analytic", "hybrid"):
+            return self._evaluation_from_analytic(config, target)
         summary = self._engine_for(config.n, (config,), target).run(
             self._trials, self._rng
         ).results[0]
         return self._evaluation_from_summary(summary, target)
+
+    def _evaluate_montecarlo(
+        self, config: ReplicaConfig, target: SLATarget
+    ) -> ConfigurationEvaluation:
+        """Monte Carlo evaluation regardless of mode (hybrid confirmation)."""
+        summary = self._engine_for(config.n, (config,), target).run(
+            self._trials, self._rng
+        ).results[0]
+        return self._evaluation_from_summary(summary, target)
+
+    def _evaluation_from_analytic(
+        self, config: ReplicaConfig, target: SLATarget
+    ) -> ConfigurationEvaluation:
+        result = self._analytic_for(config.n).result(config)
+        return self._build_evaluation(
+            config,
+            target,
+            read_latency=result.read_latency_percentile(target.latency_percentile),
+            write_latency=result.write_latency_percentile(target.latency_percentile),
+            t_visibility=result.t_visibility(target.consistency_probability),
+            consistency_at_commit=result.probability_never_stale(),
+        )
 
     def _engine_for(self, n: int, configs: Sequence[ReplicaConfig], target: SLATarget):
         # Imported lazily: repro.core must stay importable without pulling in
@@ -312,6 +365,11 @@ class SLAOptimizer:
                 "no candidate configurations satisfy the durability/availability floors"
             )
         evaluations: list[ConfigurationEvaluation] = []
+        if self._mode in ("analytic", "hybrid"):
+            for configs in by_factor.values():
+                for config in configs:
+                    evaluations.append(self._evaluation_from_analytic(config, target))
+            return sorted(evaluations, key=lambda e: e.combined_latency_ms)
         for n, configs in by_factor.items():
             for summary in self._engine_for(n, configs, target).run(self._trials, self._rng):
                 evaluations.append(self._evaluation_from_summary(summary, target))
@@ -333,7 +391,10 @@ class SLAOptimizer:
         Returns
         -------
         The winning :class:`ConfigurationEvaluation`, or ``None`` when no
-        candidate meets every constraint.
+        candidate meets every constraint.  In ``hybrid`` mode the analytic
+        search picks the winner and a Monte Carlo evaluation of that single
+        configuration is returned (and must itself meet the target),
+        combining the analytic search speed with a sampled verdict.
         """
         feasible = [
             evaluation for evaluation in self.evaluate_all(target) if evaluation.meets_target
@@ -341,4 +402,7 @@ class SLAOptimizer:
         if not feasible:
             return None
         feasible.sort(key=lambda e: (e.combined_latency_ms, -e.config.w))
+        if self._mode == "hybrid":
+            confirmed = self._evaluate_montecarlo(feasible[0].config, target)
+            return confirmed if confirmed.meets_target else None
         return feasible[0]

@@ -1,0 +1,72 @@
+"""Analytic-vs-Monte-Carlo validation experiment.
+
+The analytic fast path (:mod:`repro.analytic`) must agree with the Monte
+Carlo engine everywhere it claims to apply.  This experiment replays the
+paper's figure-4/6/7 probe grids (minus the WAN scenario, whose per-replica
+latency model the analytic decomposition does not cover) through both paths
+and reports the per-case disagreement — the model-vs-simulation table backing
+the claim that the analytic predictor can stand in for sampling on the
+i.i.d.-replica figures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analytic.validation import default_validation_cases, validate_against_montecarlo
+from repro.experiments.registry import ExperimentResult, register
+
+__all__ = ["run_analytic_validation"]
+
+
+@register(
+    "analytic-validation",
+    "Analytic fast path vs Monte Carlo on the figure-4/6/7 grids (minus WAN)",
+)
+def run_analytic_validation(
+    trials: int = 50_000,
+    rng: np.random.Generator | int | None = 0,
+    workers: int = 1,
+) -> ExperimentResult:
+    """Max/mean consistency-probability disagreement per validation case.
+
+    ``trials`` sizes the Monte Carlo oracle; the residual disagreement is
+    dominated by its sampling noise (~``1/sqrt(trials)``), not by the
+    analytic discretisation.  ``workers`` shards the oracle across processes
+    (result-invariant, like every engine sweep).
+    """
+    seed = rng if isinstance(rng, int) or rng is None else 0
+    cases = default_validation_cases()
+    rows = []
+    for case in cases:
+        report = validate_against_montecarlo(
+            cases=(case,), trials=trials, rng=seed, workers=workers
+        )
+        worst = report.worst_row
+        rows.append(
+            {
+                "case": case.label,
+                "environment": case.distributions.name,
+                "configs": len(case.configs),
+                "probes": len(report.rows),
+                "max_abs_error": report.max_absolute_error,
+                "mean_abs_error": report.mean_absolute_error,
+                "worst_probe_t_ms": worst["t_ms"],
+                "worst_probe_config": worst["config"],
+            }
+        )
+    return ExperimentResult(
+        experiment_id="analytic-validation",
+        title="Analytic predictor vs Monte Carlo oracle",
+        paper_artifact="Figures 4, 6, 7 (model validation)",
+        rows=rows,
+        notes=(
+            f"Monte Carlo oracle: {trials} trials per case, seed {seed}.",
+            "The WAN environment is excluded: its per-replica latency model "
+            "violates the i.i.d.-replica assumption of the analytic "
+            "decomposition, so Monte Carlo remains authoritative there.",
+            "Disagreements are dominated by Monte Carlo noise at this trial "
+            "count; the analytic discretisation error is an order of "
+            "magnitude smaller.",
+        ),
+    )

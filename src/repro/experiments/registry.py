@@ -123,6 +123,7 @@ def _ensure_loaded() -> None:
     # Imported lazily to avoid import cycles (experiment modules import this one).
     from repro.experiments import (  # noqa: F401
         ablations,
+        analytic,
         figure4,
         figure5,
         figure6,

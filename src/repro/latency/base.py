@@ -34,6 +34,14 @@ __all__ = [
 #: mirror the production summary tables in the paper (Tables 1 and 2).
 DEFAULT_PERCENTILES: tuple[float, ...] = (50.0, 75.0, 95.0, 98.0, 99.0, 99.9)
 
+#: Size and seed of the one-off Monte Carlo draw backing the sampling-based
+#: ``variance``/``cdf``/``ppf`` fallbacks.  The draw is made at most once per
+#: distribution instance and cached (instances are immutable), so repeated
+#: queries — e.g. tabulating a CDF for the analytic fast path — pay for the
+#: 200k samples exactly once instead of on every call.
+_FALLBACK_SAMPLE_COUNT: int = 200_000
+_FALLBACK_SAMPLE_SEED: int = 0
+
 
 def as_rng(seed_or_rng: int | np.random.Generator | None) -> np.random.Generator:
     """Return a :class:`numpy.random.Generator` from a seed, generator, or ``None``.
@@ -94,22 +102,58 @@ class LatencyDistribution(abc.ABC):
     # ------------------------------------------------------------------
     # Optional analytic hooks with sampling-based fallbacks.
     # ------------------------------------------------------------------
+    def _fallback_samples(self) -> np.ndarray:
+        """Return the cached, sorted fallback draw, sampling it on first use.
+
+        ``variance``/``cdf``/``ppf`` fall back to a fixed-seed 200,000-sample
+        estimate when a subclass has no closed form.  Distributions are
+        immutable, so the draw is a pure function of the instance and is
+        cached on first use (``object.__setattr__`` is the sanctioned escape
+        hatch for frozen dataclasses); every subsequent fallback query reuses
+        it instead of redrawing.
+        """
+        try:
+            return self._fallback_sample_cache  # type: ignore[attr-defined]
+        except AttributeError:
+            samples = np.sort(
+                self.sample(_FALLBACK_SAMPLE_COUNT, as_rng(_FALLBACK_SAMPLE_SEED))
+            )
+            object.__setattr__(self, "_fallback_sample_cache", samples)
+            return samples
+
     def variance(self) -> float:
         """Return the distribution variance (ms²), estimated by sampling if needed."""
-        samples = self.sample(200_000, as_rng(0))
-        return float(np.var(samples))
+        return float(np.var(self._fallback_samples()))
 
     def cdf(self, x: float) -> float:
         """Return ``P(latency <= x)``, estimated by sampling if not overridden."""
-        samples = self.sample(200_000, as_rng(0))
-        return float(np.mean(samples <= x))
+        samples = self._fallback_samples()
+        return float(np.searchsorted(samples, x, side="right") / samples.size)
 
     def ppf(self, q: float) -> float:
         """Return the ``q``-quantile (``q`` in [0, 1]), estimated by sampling if needed."""
         if not 0.0 <= q <= 1.0:
             raise DistributionError(f"quantile must be in [0, 1], got {q}")
-        samples = self.sample(200_000, as_rng(0))
-        return float(np.quantile(samples, q))
+        return float(np.quantile(self._fallback_samples(), q))
+
+    def ppf_batch(self, qs: Sequence[float] | np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`ppf`: the quantile for every ``q`` in ``qs``.
+
+        Subclasses that override :meth:`ppf` are evaluated point-wise through
+        their closed form; distributions still on the sampling fallback answer
+        the whole ladder with a single ``np.quantile`` call over the cached
+        draw.  This is the entry point the analytic fast path
+        (:mod:`repro.analytic`) uses to tabulate leg distributions.
+        """
+        values = np.asarray(qs, dtype=float)
+        if values.size == 0:
+            return values.copy()
+        if np.any(values < 0.0) or np.any(values > 1.0):
+            raise DistributionError("quantiles must lie in [0, 1]")
+        if type(self).ppf is not LatencyDistribution.ppf:
+            flat = np.array([self.ppf(float(q)) for q in values.ravel()])
+            return flat.reshape(values.shape)
+        return np.quantile(self._fallback_samples(), values)
 
     # ------------------------------------------------------------------
     # Convenience helpers shared by all distributions.

@@ -34,7 +34,74 @@ __all__ = [
     "ConstantLatency",
     "ShiftedLatency",
     "ScaledLatency",
+    "standard_normal_ppf",
 ]
+
+
+# Coefficients of Acklam's rational approximation to the inverse standard
+# normal CDF (relative error < 1.15e-9 everywhere), refined below with one
+# Halley step against ``math.erfc`` to reach machine precision.
+_ACKLAM_A = (
+    -3.969683028665376e01, 2.209460984245205e02, -2.759285104469687e02,
+    1.383577518672690e02, -3.066479806614716e01, 2.506628277459239e00,
+)
+_ACKLAM_B = (
+    -5.447609879822406e01, 1.615858368580409e02, -1.556989798598866e02,
+    6.680131188771972e01, -1.328068155288572e01,
+)
+_ACKLAM_C = (
+    -7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e00,
+    -2.549732539343734e00, 4.374664141464968e00, 2.938163982698783e00,
+)
+_ACKLAM_D = (
+    7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e00,
+    3.754408661907416e00,
+)
+_ACKLAM_P_LOW = 0.02425
+
+
+def standard_normal_ppf(q: float) -> float:
+    """Inverse CDF of the standard normal distribution (the probit function).
+
+    Closed-form building block for :meth:`NormalLatency.ppf` and
+    :meth:`LogNormalLatency.ppf`: neither :mod:`math` nor :mod:`numpy`
+    exposes an inverse error function, so this implements Acklam's rational
+    approximation plus one Halley refinement step against ``math.erfc``,
+    which lands within a few ulp of the exact quantile across (0, 1).
+    Returns ``-inf``/``inf`` at ``q = 0``/``q = 1``.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise DistributionError(f"quantile must be in [0, 1], got {q}")
+    if q == 0.0:
+        return -math.inf
+    if q == 1.0:
+        return math.inf
+    if q < _ACKLAM_P_LOW:
+        z = math.sqrt(-2.0 * math.log(q))
+        a, b, c, d, e, f = _ACKLAM_C
+        numerator = ((((a * z + b) * z + c) * z + d) * z + e) * z + f
+        g, h, i, j = _ACKLAM_D
+        denominator = (((g * z + h) * z + i) * z + j) * z + 1.0
+        x = numerator / denominator
+    elif q > 1.0 - _ACKLAM_P_LOW:
+        z = math.sqrt(-2.0 * math.log(1.0 - q))
+        a, b, c, d, e, f = _ACKLAM_C
+        numerator = ((((a * z + b) * z + c) * z + d) * z + e) * z + f
+        g, h, i, j = _ACKLAM_D
+        denominator = (((g * z + h) * z + i) * z + j) * z + 1.0
+        x = -numerator / denominator
+    else:
+        z = q - 0.5
+        r = z * z
+        a, b, c, d, e, f = _ACKLAM_A
+        numerator = (((((a * r + b) * r + c) * r + d) * r + e) * r + f) * z
+        g, h, i, j, k = _ACKLAM_B
+        denominator = ((((g * r + h) * r + i) * r + j) * r + k) * r + 1.0
+        x = numerator / denominator
+    # One Halley step: error = Phi(x) - q, with Phi via erfc for tail accuracy.
+    error = 0.5 * math.erfc(-x / math.sqrt(2.0)) - q
+    u = error * math.sqrt(2.0 * math.pi) * math.exp(0.5 * x * x)
+    return x - u / (1.0 + 0.5 * x * u)
 
 
 @dataclass(frozen=True, repr=False)
@@ -204,12 +271,35 @@ class NormalLatency(LatencyDistribution):
         big_phi = 0.5 * (1.0 + math.erf(z / math.sqrt(2.0)))
         return self.mu * big_phi + self.sigma * phi
 
+    def variance(self) -> float:
+        # Second moment of the clipped variable max(X, 0) for X ~ N(mu, sigma):
+        # E[max(X,0)^2] = (mu^2 + sigma^2) Phi(z) + mu sigma phi(z) with
+        # z = mu/sigma, minus the (already clipped-consistent) mean squared.
+        if self.sigma == 0:
+            return 0.0
+        z = self.mu / self.sigma
+        phi = math.exp(-0.5 * z * z) / math.sqrt(2.0 * math.pi)
+        big_phi = 0.5 * (1.0 + math.erf(z / math.sqrt(2.0)))
+        second_moment = (self.mu**2 + self.sigma**2) * big_phi + self.mu * self.sigma * phi
+        return max(second_moment - self.mean() ** 2, 0.0)
+
     def cdf(self, x: float) -> float:
         if x < 0:
             return 0.0
         if self.sigma == 0:
             return 1.0 if x >= self.mu else 0.0
         return 0.5 * (1.0 + math.erf((x - self.mu) / (self.sigma * math.sqrt(2.0))))
+
+    def ppf(self, q: float) -> float:
+        if not 0.0 <= q <= 1.0:
+            raise DistributionError(f"quantile must be in [0, 1], got {q}")
+        if q == 1.0:
+            return math.inf if self.sigma > 0 else max(self.mu, 0.0)
+        if self.sigma == 0:
+            return max(self.mu, 0.0)
+        if q == 0.0:
+            return 0.0
+        return max(0.0, self.mu + self.sigma * standard_normal_ppf(q))
 
 
 @dataclass(frozen=True, repr=False)
@@ -252,6 +342,17 @@ class LogNormalLatency(LatencyDistribution):
         if self.sigma == 0:
             return 1.0 if math.log(x) >= self.mu else 0.0
         return 0.5 * (1.0 + math.erf((math.log(x) - self.mu) / (self.sigma * math.sqrt(2.0))))
+
+    def ppf(self, q: float) -> float:
+        if not 0.0 <= q <= 1.0:
+            raise DistributionError(f"quantile must be in [0, 1], got {q}")
+        if q == 0.0:
+            return 0.0
+        if q == 1.0:
+            return math.inf if self.sigma > 0 else math.exp(self.mu)
+        if self.sigma == 0:
+            return math.exp(self.mu)
+        return math.exp(self.mu + self.sigma * standard_normal_ppf(q))
 
 
 @dataclass(frozen=True, repr=False)

@@ -92,6 +92,34 @@ class MixtureDistribution(LatencyDistribution):
             component.weight * component.distribution.cdf(x) for component in self.components
         )
 
+    def ppf(self, q: float) -> float:
+        # The mixture CDF has no closed-form inverse, but each component's ppf
+        # brackets the mixture quantile (the mixture CDF is a weighted average
+        # of the component CDFs), so bisect the analytic cdf between the
+        # smallest and largest component quantiles.
+        if not 0.0 <= q <= 1.0:
+            raise DistributionError(f"quantile must be in [0, 1], got {q}")
+        component_quantiles = [
+            component.distribution.ppf(q)
+            for component in self.components
+            if component.weight > 0.0
+        ]
+        low = min(component_quantiles)
+        high = max(component_quantiles)
+        if not np.isfinite(high):
+            return float(np.inf)
+        if high - low <= 1e-12:
+            return low
+        for _ in range(200):
+            mid = 0.5 * (low + high)
+            if self.cdf(mid) < q:
+                low = mid
+            else:
+                high = mid
+            if high - low <= 1e-12 * max(1.0, abs(high)):
+                break
+        return high
+
 
 def pareto_exponential_mixture(
     pareto_weight: float,

@@ -1,0 +1,48 @@
+"""Unit tests for the order-statistics CDF transform."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analytic.orderstats import order_statistic_cdf
+from repro.exceptions import ConfigurationError
+
+
+class TestOrderStatisticCdf:
+    def test_minimum_and_maximum_special_cases(self):
+        f = np.linspace(0.0, 1.0, 11)
+        # k=1 of n: 1 - (1-F)^n; k=n of n: F^n.
+        assert np.allclose(order_statistic_cdf(f, 3, 1), 1.0 - (1.0 - f) ** 3)
+        assert np.allclose(order_statistic_cdf(f, 3, 3), f**3)
+
+    def test_matches_monte_carlo_order_statistics(self):
+        rng = np.random.default_rng(7)
+        draws = np.sort(rng.uniform(size=(200_000, 5)), axis=1)
+        f = np.array([0.2, 0.5, 0.8])
+        for k in (1, 3, 5):
+            empirical = (draws[:, k - 1][:, None] <= f[None, :]).mean(axis=0)
+            assert np.allclose(order_statistic_cdf(f, 5, k), empirical, atol=5e-3)
+
+    def test_exact_at_endpoints(self):
+        f = np.array([0.0, 1.0])
+        for n in (1, 3, 10):
+            for k in range(1, n + 1):
+                result = order_statistic_cdf(f, n, k)
+                assert result[0] == 0.0
+                assert result[1] == 1.0
+
+    def test_monotone_in_k(self):
+        f = np.linspace(0.0, 1.0, 101)
+        previous = order_statistic_cdf(f, 4, 1)
+        for k in (2, 3, 4):
+            current = order_statistic_cdf(f, 4, k)
+            assert np.all(current <= previous + 1e-12)
+            previous = current
+
+    def test_rejects_invalid_k(self):
+        f = np.array([0.5])
+        with pytest.raises(ConfigurationError):
+            order_statistic_cdf(f, 3, 0)
+        with pytest.raises(ConfigurationError):
+            order_statistic_cdf(f, 3, 4)

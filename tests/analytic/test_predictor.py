@@ -1,0 +1,111 @@
+"""Unit tests for the analytic WARS predictor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analytic.predictor import AnalyticPredictor
+from repro.core.quorum import ReplicaConfig
+from repro.exceptions import ConfigurationError
+from repro.latency.distributions import ExponentialLatency
+from repro.latency.production import WARSDistributions, lnkd_ssd, wan
+
+
+@pytest.fixture(scope="module")
+def fig4_slow_write() -> AnalyticPredictor:
+    """The figure-4 1:0.10 environment: W mean 10 ms, A=R=S mean 1 ms."""
+    distributions = WARSDistributions.write_specialised(
+        write=ExponentialLatency(rate=0.1),
+        other=ExponentialLatency(rate=1.0),
+        name="fig4-1:0.10",
+    )
+    return AnalyticPredictor(distributions=distributions)
+
+
+class TestAnalyticPredictor:
+    def test_strict_quorum_is_always_consistent(self, fig4_slow_write):
+        result = fig4_slow_write.result(ReplicaConfig(n=3, r=2, w=2))
+        assert result.consistency_probability(0.0) == 1.0
+        assert result.t_visibility(0.999) == 0.0
+
+    def test_consistency_increases_with_t(self, fig4_slow_write):
+        result = fig4_slow_write.result(ReplicaConfig(n=3, r=1, w=1))
+        curve = [p for _, p in result.consistency_curve((0.0, 1.0, 10.0, 100.0))]
+        assert curve == sorted(curve)
+        assert curve[-1] > 0.999
+
+    def test_larger_quorums_are_fresher(self, fig4_slow_write):
+        base = fig4_slow_write.consistency_probability(ReplicaConfig(3, 1, 1), 0.0)
+        more_reads = fig4_slow_write.consistency_probability(ReplicaConfig(3, 2, 1), 0.0)
+        more_writes = fig4_slow_write.consistency_probability(ReplicaConfig(3, 1, 2), 0.0)
+        assert more_reads > base
+        assert more_writes > base
+
+    def test_matches_monte_carlo_at_commit(self, fig4_slow_write):
+        """The figure-4 slow-write anchor: P(consistent at t=0) ~ 0.42."""
+        result = fig4_slow_write.result(ReplicaConfig(n=3, r=1, w=1))
+        from repro.core.wars import WARSModel
+
+        model = WARSModel(
+            distributions=fig4_slow_write.distributions, config=ReplicaConfig(3, 1, 1)
+        )
+        sampled = model.sample(50_000, np.random.default_rng(0))
+        assert result.consistency_probability(0.0) == pytest.approx(
+            sampled.consistency_probability(0.0), abs=0.01
+        )
+
+    def test_t_visibility_inverts_consistency(self, fig4_slow_write):
+        result = fig4_slow_write.result(ReplicaConfig(n=3, r=1, w=1))
+        for target in (0.9, 0.99, 0.999):
+            t = result.t_visibility(target)
+            assert result.consistency_probability(t) == pytest.approx(target, abs=1e-3)
+
+    def test_latency_percentiles_monotone_in_quorum_size(self, fig4_slow_write):
+        p99_r1 = fig4_slow_write.result(ReplicaConfig(3, 1, 1)).read_latency_percentile(99.0)
+        p99_r3 = fig4_slow_write.result(ReplicaConfig(3, 3, 1)).read_latency_percentile(99.0)
+        assert p99_r3 > p99_r1
+
+    def test_sweep_matches_exact_point_queries(self, fig4_slow_write):
+        configs = (ReplicaConfig(3, 1, 1), ReplicaConfig(3, 2, 1))
+        times = (0.0, 1.0, 10.0, 100.0)
+        swept = fig4_slow_write.sweep(configs, times_ms=times)
+        for config, summary in zip(configs, swept):
+            exact = fig4_slow_write.result(config)
+            for t, p in summary.curve:
+                # The sweep's atom-compressed quadrature must stay within a
+                # fraction of the 1% validation budget of the exact path.
+                assert p == pytest.approx(exact.consistency_probability(t), abs=2e-3)
+            for target, t_vis in summary.t_visibility_ms.items():
+                assert t_vis == pytest.approx(max(exact.t_visibility(target), 1e-3), rel=0.05, abs=0.1)
+
+    def test_sweep_populates_summaries(self, fig4_slow_write):
+        (summary,) = fig4_slow_write.sweep(
+            (ReplicaConfig(3, 1, 1),), times_ms=(0.0, 10.0)
+        )
+        assert summary.curve is not None and len(summary.curve) == 2
+        assert set(summary.t_visibility_ms) == {0.99, 0.999}
+        assert summary.read_latency_ms[50.0] <= summary.read_latency_ms[99.9]
+
+    def test_environment_shared_across_queries(self, fig4_slow_write):
+        assert fig4_slow_write.environment is fig4_slow_write.environment
+
+    def test_rejects_per_replica_wan_model(self):
+        with pytest.raises(ConfigurationError, match="i.i.d."):
+            AnalyticPredictor(distributions=wan()).environment
+
+    def test_rejects_negative_time(self, fig4_slow_write):
+        result = fig4_slow_write.result(ReplicaConfig(3, 1, 1))
+        with pytest.raises(ConfigurationError):
+            result.consistency_probability(-1.0)
+
+    def test_rejects_bad_target_probability(self, fig4_slow_write):
+        result = fig4_slow_write.result(ReplicaConfig(3, 1, 1))
+        with pytest.raises(ConfigurationError):
+            result.t_visibility(0.0)
+
+    def test_production_fit_commit_consistency(self):
+        """LNKD-SSD at (3,1,1) is ~97-98% consistent at commit (paper §5.6)."""
+        predictor = AnalyticPredictor(distributions=lnkd_ssd())
+        probability = predictor.consistency_probability(ReplicaConfig(3, 1, 1), 0.0)
+        assert 0.95 < probability < 0.99

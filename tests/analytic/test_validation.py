@@ -1,0 +1,52 @@
+"""Acceptance test: the analytic predictor agrees with Monte Carlo to <= 1%.
+
+This is the contract named in the package docs: across the paper's
+figure-4/6/7 probe grids (minus WAN), the analytic consistency probabilities
+must sit within 1% absolute of the Monte Carlo oracle — a bound dominated by
+the oracle's own sampling noise at these trial counts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analytic.validation import (
+    default_validation_cases,
+    validate_against_montecarlo,
+)
+
+_TRIALS = 50_000
+
+
+@pytest.fixture(scope="module")
+def report():
+    return validate_against_montecarlo(trials=_TRIALS, rng=0)
+
+
+class TestValidationAgainstMonteCarlo:
+    def test_covers_every_figure_family(self):
+        labels = [case.label for case in default_validation_cases()]
+        for family in ("figure4", "figure6", "figure7"):
+            assert any(label.startswith(family) for label in labels)
+        assert not any("WAN" in label.upper() for label in labels)
+
+    def test_max_absolute_error_within_one_percent(self, report):
+        assert report.max_absolute_error <= 0.01, report.worst_row
+
+    def test_mean_error_is_well_inside_the_bound(self, report):
+        assert report.mean_absolute_error <= 0.002
+
+    def test_ratio_artifact_brackets_unity(self, report):
+        artifact = report.ratio_artifact()
+        assert artifact["min_ratio"] <= 1.0 <= artifact["max_ratio"]
+        assert 0.97 <= artifact["min_ratio"]
+        assert artifact["max_ratio"] <= 1.03
+
+    def test_sweep_fast_path_meets_the_same_bound(self):
+        # Only the cheapest family: the sweep path differs from the exact
+        # path by the atom quadrature alone, bounded here end to end.
+        cases = default_validation_cases(figure4_rates=(0.1,), replication_factors=(3,))
+        report = validate_against_montecarlo(
+            cases=cases[:1], trials=_TRIALS, rng=0, sweep_mode=True
+        )
+        assert report.max_absolute_error <= 0.01, report.worst_row

@@ -1,0 +1,103 @@
+"""Mode wiring tests: analytic and hybrid reports, SLA search, CLI flag."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.core.predictor import PBSPredictor
+from repro.core.quorum import ReplicaConfig
+from repro.core.sla import SLAOptimizer, SLATarget
+from repro.exceptions import ConfigurationError
+from repro.latency.production import lnkd_ssd, wan
+
+
+@pytest.fixture(scope="module")
+def predictor() -> PBSPredictor:
+    return PBSPredictor(lnkd_ssd(), ReplicaConfig(n=3, r=1, w=1))
+
+
+class TestReportModes:
+    def test_analytic_report_runs_no_trials(self, predictor):
+        report = predictor.report(mode="analytic")
+        assert report.mode == "analytic"
+        assert report.trials == 0
+        assert report.montecarlo_check is None
+        assert 0.9 < report.consistency_at_commit < 1.0
+        assert report.t_visibility_99 <= report.t_visibility_999
+
+    def test_analytic_agrees_with_montecarlo_report(self, predictor):
+        analytic = predictor.report(mode="analytic")
+        sampled = predictor.report(trials=50_000, rng=0)
+        assert analytic.consistency_at_commit == pytest.approx(
+            sampled.consistency_at_commit, abs=0.01
+        )
+        assert analytic.read_latency_ms[50.0] == pytest.approx(
+            sampled.read_latency_ms[50.0], rel=0.05
+        )
+
+    def test_hybrid_report_spot_checks(self, predictor):
+        report = predictor.report(trials=10_000, rng=0, mode="hybrid")
+        assert report.mode == "hybrid"
+        assert report.trials == 10_000
+        assert report.montecarlo_check is not None
+        assert report.montecarlo_check["max_absolute_error"] <= 0.02
+        assert any("spot-check" in line for line in report.summary_lines())
+
+    def test_k_staleness_is_mode_independent(self, predictor):
+        analytic = predictor.report(mode="analytic")
+        sampled = predictor.report(trials=1_000, rng=0)
+        assert analytic.k_staleness == sampled.k_staleness
+
+    def test_rejects_unknown_mode(self, predictor):
+        with pytest.raises(ConfigurationError, match="mode"):
+            predictor.report(mode="telepathy")
+
+    def test_analytic_rejects_wan(self):
+        wan_predictor = PBSPredictor(wan(), ReplicaConfig(n=3, r=1, w=1))
+        with pytest.raises(ConfigurationError, match="i.i.d."):
+            wan_predictor.report(mode="analytic")
+
+
+class TestSLAOptimizerModes:
+    def test_analytic_search_matches_montecarlo_winner(self):
+        target = SLATarget(t_visibility_ms=10.0, read_latency_ms=10.0)
+        analytic = SLAOptimizer(
+            lnkd_ssd(), replication_factors=(2, 3), mode="analytic"
+        ).best(target)
+        sampled = SLAOptimizer(
+            lnkd_ssd(), replication_factors=(2, 3), trials=20_000, rng=0
+        ).best(target)
+        assert analytic is not None and sampled is not None
+        assert analytic.config == sampled.config
+
+    def test_analytic_evaluate_reports_violations(self):
+        optimizer = SLAOptimizer(lnkd_ssd(), mode="analytic")
+        impossible = SLATarget(read_latency_ms=1e-6)
+        evaluation = optimizer.evaluate(ReplicaConfig(3, 1, 1), impossible)
+        assert not evaluation.meets_target
+        assert any("read latency" in v for v in evaluation.violations)
+
+    def test_hybrid_best_returns_montecarlo_verdict(self):
+        target = SLATarget(t_visibility_ms=100.0)
+        optimizer = SLAOptimizer(
+            lnkd_ssd(), replication_factors=(3,), trials=5_000, rng=0, mode="hybrid"
+        )
+        best = optimizer.best(target)
+        assert best is not None
+        assert best.meets_target
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ConfigurationError, match="mode"):
+            SLAOptimizer(lnkd_ssd(), mode="psychic")
+
+
+class TestCliMode:
+    def test_predict_analytic_mode(self, capsys):
+        assert main(["predict", "--fit", "LNKD-SSD", "--mode", "analytic"]) == 0
+        out = capsys.readouterr().out
+        assert "prediction mode: analytic" in out
+
+    def test_predict_wan_analytic_fails_cleanly(self, capsys):
+        assert main(["predict", "--fit", "WAN", "--mode", "analytic"]) == 1
+        assert "i.i.d." in capsys.readouterr().err

@@ -338,6 +338,10 @@ class TestRegistrySmoke:
                 "table1-2-3",
                 "table3-refit",
                 "validation",
+                # analytic-validation compares analytic vs Monte Carlo on a
+                # *fixed* probe grid by construction; adaptive refinement
+                # would change the oracle's grid, not the comparison.
+                "analytic-validation",
             }, (
                 f"{experiment_id} silently loses --probe-resolution-ms; "
                 "add the kwarg to its runner"

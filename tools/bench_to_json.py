@@ -103,6 +103,18 @@ def run_benchmarks(quick: bool = False) -> dict:
         bench_cluster.measure_paper_scale_validation_cell(writes=validation_writes)
     )
 
+    import test_bench_analytic as bench_analytic
+
+    if quick:
+        bench_analytic.TRIALS = max(bench_analytic.TRIALS // 4, 25_000)
+    print(
+        f"analytic fast path vs Monte Carlo engine ({bench_analytic.TRIALS} trials) ...",
+        flush=True,
+    )
+    benchmarks["analytic_vs_montecarlo"] = (
+        bench_analytic.measure_analytic_vs_montecarlo()
+    )
+
     return document
 
 
