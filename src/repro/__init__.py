@@ -13,6 +13,9 @@ Practical Partial Quorums* (VLDB 2012).  The package provides:
 * ``repro.montecarlo`` — t-visibility sweeps, latency CDFs, convergence tools.
 * ``repro.analysis`` — staleness measurement, statistics, and validation.
 * ``repro.experiments`` — one module per table/figure in the paper.
+* ``repro.serving`` — an online multi-tenant prediction service: streaming
+  ingest, periodic refit, fingerprint-cached analytic answers, and
+  asynchronous Monte Carlo audits, exposed over JSON/HTTP.
 
 Quickstart
 ----------
@@ -74,6 +77,12 @@ from repro.montecarlo import (
     SweepEngine,
     SweepResult,
 )
+from repro.serving import (
+    PredictorService,
+    ServedPrediction,
+    ServedRecommendation,
+    StreamingReservoir,
+)
 
 __version__ = "1.0.0"
 
@@ -106,6 +115,11 @@ __all__ = [
     "StreamingHistogram",
     "SweepEngine",
     "SweepResult",
+    # Serving layer
+    "PredictorService",
+    "ServedPrediction",
+    "ServedRecommendation",
+    "StreamingReservoir",
     # Exceptions
     "AnalysisError",
     "ConfigurationError",

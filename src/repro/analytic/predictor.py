@@ -412,6 +412,25 @@ class AnalyticPredictor:
         """A lazily evaluated result for one configuration."""
         return AnalyticConfigResult(config=config, environment=self.environment)
 
+    def rebind(self, distributions: WARSDistributions) -> "AnalyticPredictor":
+        """A predictor over new distributions with this predictor's tuning.
+
+        The serving layer refits a tenant's latency model as observations
+        stream in; ``rebind`` carries the grid/tail/quadrature tuning across
+        the drift so every generation of the environment is discretised
+        identically.  When the distributions are the same object, ``self`` is
+        returned and the warm environment tables are preserved.
+        """
+        if distributions is self.distributions:
+            return self
+        return AnalyticPredictor(
+            distributions=distributions,
+            grid_points=self.grid_points,
+            tail_mass=self.tail_mass,
+            request_cells=self.request_cells,
+            quad_cells=self.quad_cells,
+        )
+
     def consistency_probability(self, config: ReplicaConfig, t_ms: float) -> float:
         """``P(consistent at t)`` for one configuration."""
         return self.result(config).consistency_probability(t_ms)

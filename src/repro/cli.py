@@ -10,10 +10,14 @@ Usage (installed as ``pbs-repro``)::
                                         # sharded sweep + adaptive probe grid
     pbs-repro predict --fit LNKD-DISK --n 3 --r 1 --w 1
                                         # one-off prediction for a configuration
+    pbs-repro serve --port 8080         # JSON/HTTP prediction service
 
 ``predict`` mirrors the interactive demo the paper links to: given a latency
 environment and an (N, R, W) choice, print consistency-at-commit, t-visibility
-targets, k-staleness, and operation latency percentiles.
+targets, k-staleness, and operation latency percentiles.  ``serve`` keeps a
+:class:`repro.serving.PredictorService` running behind a JSON/HTTP endpoint:
+tenants stream latency observations in and query predictions/SLA
+recommendations against continuously refit models.
 """
 
 from __future__ import annotations
@@ -193,6 +197,54 @@ def build_parser() -> argparse.ArgumentParser:
             "'auto' (fastest available)"
         ),
     )
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="run the JSON/HTTP prediction service"
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve_parser.add_argument(
+        "--port", type=int, default=8080, help="bind port (0 picks a free port)"
+    )
+    serve_parser.add_argument(
+        "--fit",
+        default="LNKD-SSD",
+        choices=[name for name in PRODUCTION_FIT_NAMES if name != "WAN"],
+        help=(
+            "latency environment for the pre-registered 'default' tenant "
+            "(the service answers analytically, so the per-replica WAN model "
+            "is not servable)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--refit-every",
+        type=int,
+        default=None,
+        help="auto-refit a tenant after this many ingested observations",
+    )
+    serve_parser.add_argument(
+        "--refit-method",
+        default="empirical",
+        choices=("empirical", "mixture"),
+        help=(
+            "how reservoirs become distributions on refit: 'empirical' "
+            "(resample the reservoir directly) or 'mixture' (the paper's "
+            "Pareto+exponential fit)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--no-spot-checks",
+        action="store_true",
+        help="disable the background Monte Carlo audit thread",
+    )
+    serve_parser.add_argument(
+        "--request-limit",
+        type=int,
+        default=None,
+        help="exit after this many responses (scripted runs and tests)",
+    )
+    serve_parser.add_argument(
+        "--verbose", action="store_true", help="log each request to stderr"
+    )
     return parser
 
 
@@ -298,6 +350,35 @@ def _command_predict(
     return 0
 
 
+def _command_serve(
+    host: str,
+    port: int,
+    fit: str,
+    refit_every: int | None,
+    refit_method: str,
+    spot_checks: bool,
+    request_limit: int | None,
+    verbose: bool,
+) -> int:
+    # Imported lazily so the CLI stays importable without the serving stack.
+    from repro.serving import PredictorService, make_server, serve_forever
+
+    service = PredictorService(refit_every=refit_every, refit_method=refit_method)
+    service.register_tenant("default", fit)
+    if spot_checks:
+        service.start_spot_check_worker()
+    server = make_server(service, host=host, port=port, verbose=verbose)
+    bound_host, bound_port = server.server_address[:2]
+    print(f"pbs-repro serving on http://{bound_host}:{bound_port}", flush=True)
+    print(f"default tenant registered with the {fit} fit", flush=True)
+    try:
+        handled = serve_forever(server, request_limit=request_limit)
+    finally:
+        service.stop_spot_check_worker()
+    print(f"served {handled} responses", flush=True)
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -333,6 +414,17 @@ def main(argv: Sequence[str] | None = None) -> int:
                 args.probe_resolution_ms,
                 args.kernel_backend,
                 args.mode,
+            )
+        if args.command == "serve":
+            return _command_serve(
+                args.host,
+                args.port,
+                args.fit,
+                args.refit_every,
+                args.refit_method,
+                not args.no_spot_checks,
+                args.request_limit,
+                args.verbose,
             )
         parser.error(f"unknown command {args.command!r}")  # pragma: no cover
         return 2  # pragma: no cover

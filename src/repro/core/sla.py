@@ -131,6 +131,13 @@ class SLAOptimizer:
         Sampling-reduction backend from :mod:`repro.kernels` used by every
         evaluation sweep (``None`` is the bit-for-bit NumPy reference;
         ``"numba"`` the fused JIT kernel).
+    analytic_predictor:
+        Optional pre-built :class:`repro.analytic.AnalyticPredictor` used by
+        the analytic modes when ``distributions`` is static.  Passing a warm
+        predictor lets callers (e.g. the serving layer) share one set of
+        environment tables across many optimisations; its distributions must
+        be the ones passed as ``distributions``.  Ignored when
+        ``distributions`` is callable (each N then owns its environment).
     mode:
         ``"montecarlo"`` (default) evaluates every candidate by sampling.
         ``"analytic"`` evaluates through :class:`repro.analytic.AnalyticPredictor`
@@ -155,6 +162,7 @@ class SLAOptimizer:
         probe_resolution_ms: float | None = None,
         kernel_backend: str | None = None,
         mode: str = "montecarlo",
+        analytic_predictor: object | None = None,
     ) -> None:
         if trials < 100:
             raise ConfigurationError(f"at least 100 trials are required, got {trials}")
@@ -181,9 +189,19 @@ class SLAOptimizer:
         # the bit-for-bit NumPy reference).
         self._kernel_backend = kernel_backend
         self._mode = mode
-        # Analytic predictors cached per replication factor: with a callable
-        # ``distributions`` each N may have its own environment tables.
-        self._analytic_cache: dict[int, object] = {}
+        if analytic_predictor is not None and callable(distributions):
+            raise ConfigurationError(
+                "a pre-built analytic predictor can only be supplied with static "
+                "distributions (a callable gives each replication factor its own "
+                "environment)"
+            )
+        # Analytic predictors cached per replication factor when the
+        # distributions are callable (each N may then have its own environment
+        # tables); static distributions define a single environment whose
+        # tables are shared by every N, so one predictor serves them all.
+        self._analytic_cache: dict[object, object] = {}
+        if analytic_predictor is not None:
+            self._analytic_cache["static"] = analytic_predictor
 
     def _distributions_for(self, n: int) -> WARSDistributions:
         if callable(self._distributions):
@@ -194,10 +212,11 @@ class SLAOptimizer:
         # Imported lazily for symmetry with the engine import in _engine_for.
         from repro.analytic.predictor import AnalyticPredictor
 
-        predictor = self._analytic_cache.get(n)
+        key: object = n if callable(self._distributions) else "static"
+        predictor = self._analytic_cache.get(key)
         if predictor is None:
             predictor = AnalyticPredictor(distributions=self._distributions_for(n))
-            self._analytic_cache[n] = predictor
+            self._analytic_cache[key] = predictor
         return predictor
 
     def _candidate_configs(self, target: SLATarget) -> Iterable[ReplicaConfig]:

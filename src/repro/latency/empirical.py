@@ -43,7 +43,10 @@ class EmpiricalDistribution(LatencyDistribution):
         return cls(observations=np.fromiter(samples, dtype=float), name=name)
 
     def sample(self, size: int, rng: np.random.Generator) -> np.ndarray:
-        return rng.choice(self.observations, size=size, replace=True)
+        # rng.integers + fancy indexing is the fast path for uniform
+        # resampling; rng.choice routes through a generic weighted-draw
+        # machinery that is several times slower for this common case.
+        return self.observations[rng.integers(0, self.observations.size, size=size)]
 
     def mean(self) -> float:
         return float(np.mean(self.observations))
@@ -78,6 +81,7 @@ class QuantileTableDistribution(LatencyDistribution):
     latencies: np.ndarray
     name: str = "quantile-table"
     _mean_cache: float = field(default=float("nan"), compare=False)
+    _variance_cache: float = field(default=float("nan"), compare=False)
 
     def __post_init__(self) -> None:
         quantiles = np.asarray(self.quantiles, dtype=float)
@@ -98,9 +102,16 @@ class QuantileTableDistribution(LatencyDistribution):
         object.__setattr__(self, "latencies", latencies)
         # Mean of a piecewise-linear quantile function is the average of
         # trapezoid areas over the quantile axis.
+        masses = np.diff(quantiles)
         segment_means = (latencies[:-1] + latencies[1:]) / 2.0
-        mean = float(np.sum(segment_means * np.diff(quantiles)))
+        mean = float(np.sum(segment_means * masses))
         object.__setattr__(self, "_mean_cache", mean)
+        # E[X^2] of a linear segment a->b is (a^2 + ab + b^2) / 3, so the
+        # second moment is one more weighted segment sum and the variance
+        # needs no sampling fallback.
+        a, b = latencies[:-1], latencies[1:]
+        second_moment = float(np.sum(masses * (a * a + a * b + b * b) / 3.0))
+        object.__setattr__(self, "_variance_cache", second_moment - mean * mean)
 
     @classmethod
     def from_percentiles(
@@ -125,14 +136,42 @@ class QuantileTableDistribution(LatencyDistribution):
     def mean(self) -> float:
         return self._mean_cache
 
+    def variance(self) -> float:
+        """Exact variance of the piecewise-linear quantile function (ms²)."""
+        return self._variance_cache
+
     def ppf(self, q: float) -> float:
         if not 0.0 <= q <= 1.0:
             raise DistributionError(f"quantile must be in [0, 1], got {q}")
         return float(np.interp(q, self.quantiles, self.latencies))
 
     def cdf(self, x: float) -> float:
-        if x <= self.latencies[0]:
+        """``P(X <= x)`` as the generalised inverse of the quantile table.
+
+        Flat latency segments are atoms: the CDF there is the *maximal*
+        quantile mapping to that latency (``searchsorted`` with
+        ``side="right"``), which keeps the CDF right-continuous and the
+        ``cdf(ppf(0.0))`` round trip truthful at the lower boundary.  Feeding
+        the raw knots to ``np.interp`` would be wrong twice over: its result
+        at duplicate x-knots is underspecified, and linearly bridging a flat
+        segment smears the atom's mass across the neighbouring latencies.
+        """
+        latencies = self.latencies
+        if x < latencies[0]:
             return 0.0
-        if x >= self.latencies[-1]:
+        if x >= latencies[-1]:
             return 1.0
-        return float(np.interp(x, self.latencies, self.quantiles))
+        # Rightmost knot with latency <= x; at a flat segment this lands on
+        # the segment's last knot, i.e. the maximal quantile of the atom.
+        index = int(np.searchsorted(latencies, x, side="right")) - 1
+        if latencies[index] == x:
+            return float(self.quantiles[index])
+        # Strictly inside (latencies[index], latencies[index + 1]): because
+        # ``index`` is the last occurrence of its latency, this span is
+        # strictly increasing and ordinary interpolation is well defined.
+        span = latencies[index + 1] - latencies[index]
+        fraction = (x - latencies[index]) / span
+        return float(
+            self.quantiles[index]
+            + fraction * (self.quantiles[index + 1] - self.quantiles[index])
+        )

@@ -22,9 +22,19 @@ from scipy import optimize
 from repro.exceptions import DistributionError
 from repro.latency.base import LatencyDistribution
 from repro.latency.mixture import MixtureDistribution, pareto_exponential_mixture
-from repro.latency.percentiles import normalized_rmse
+from repro.latency.percentiles import normalized_rmse, rmse
 
-__all__ = ["FitResult", "evaluate_fit", "fit_pareto_exponential"]
+__all__ = [
+    "DEFAULT_FIT_PERCENTILES",
+    "FitResult",
+    "evaluate_fit",
+    "fit_from_observations",
+    "fit_pareto_exponential",
+]
+
+#: Percentiles summarised from raw observations by :func:`fit_from_observations`,
+#: mirroring the shape of the paper's production tables (Tables 1 and 2).
+DEFAULT_FIT_PERCENTILES: tuple[float, ...] = (50.0, 75.0, 95.0, 98.0, 99.0, 99.9)
 
 
 @dataclass(frozen=True)
@@ -62,16 +72,38 @@ def _percentile_targets(
     return points, values
 
 
+def _target_spread(values: np.ndarray) -> float:
+    """Normalisation scale for the fit objective and N-RMSE metric.
+
+    Degenerate summaries — a single percentile, or a flat table where every
+    percentile quotes the same latency — have zero range, which would make
+    the paper's N-RMSE undefined mid-fit.  Fall back to the flat level
+    itself (relative error), or 1.0 when even that is zero.
+    """
+    spread = float(np.max(values) - np.min(values))
+    if spread > 0.0:
+        return spread
+    return float(np.max(np.abs(values))) or 1.0
+
+
 def evaluate_fit(
     distribution: LatencyDistribution,
     percentiles: Mapping[float, float],
     samples: int = 200_000,
     seed: int = 0,
 ) -> float:
-    """Return the N-RMSE between a distribution's percentiles and target percentiles."""
+    """Return the N-RMSE between a distribution's percentiles and target percentiles.
+
+    Zero-range targets (single-percentile or flat summaries) are normalised
+    by the flat latency level instead of the (zero) range, so the fit path
+    never raises mid-optimisation.
+    """
     points, values = _percentile_targets(percentiles)
     draws = distribution.sample(samples, np.random.default_rng(seed))
     predicted = np.percentile(draws, points)
+    spread = float(np.max(values) - np.min(values))
+    if spread == 0.0:
+        return rmse(predicted, values) / _target_spread(values)
     return normalized_rmse(predicted, values)
 
 
@@ -97,6 +129,8 @@ def _candidate_objective(
     # optimiser can "hide" an absurd tail behind a vanishing weight), and the
     # body must retain a non-trivial share of the mass.
     max_target = float(np.max(values))
+    if max_target <= 0.0:
+        return 1e6
     if rate < 1.0 / (20.0 * max_target) or not 0.2 <= weight <= 0.995:
         return 1e6
     try:
@@ -108,8 +142,50 @@ def _candidate_objective(
     predicted = np.interp(points / 100.0, cdf_values, probe)
     if np.any(~np.isfinite(predicted)):
         return 1e6
-    spread = float(np.max(values) - np.min(values)) or 1.0
-    return float(np.sqrt(np.mean((predicted - values) ** 2)) / spread)
+    return float(np.sqrt(np.mean((predicted - values) ** 2)) / _target_spread(values))
+
+
+def fit_from_observations(
+    observations: Sequence[float] | np.ndarray,
+    percentiles: Sequence[float] = DEFAULT_FIT_PERCENTILES,
+    grid_refinements: int = 3,
+    seed: int = 0,
+) -> FitResult:
+    """Summarise raw latency observations and fit the §5.5 mixture to them.
+
+    This is the streaming-refit path used by :mod:`repro.serving`: a tenant's
+    bounded observation reservoir is reduced to the same percentile-summary
+    shape as the paper's production tables and handed to
+    :func:`fit_pareto_exponential`, so periodic online refits and one-shot
+    table fits share a single code path — and a single determinism contract
+    (identical observations produce an identical :class:`FitResult`).
+
+    Args
+    ----
+    observations:
+        Raw latency samples in milliseconds (1-D, finite, non-negative).
+    percentiles:
+        Percentiles (strictly between 0 and 100) summarised before fitting.
+    grid_refinements / seed:
+        Forwarded to :func:`fit_pareto_exponential`.
+    """
+    values = np.asarray(observations, dtype=float)
+    if values.ndim != 1 or values.size == 0:
+        raise DistributionError("fitting requires a non-empty 1-D observation array")
+    if np.any(~np.isfinite(values)) or np.any(values < 0):
+        raise DistributionError("observations must be finite and non-negative")
+    points = np.asarray(sorted(set(float(p) for p in percentiles)), dtype=float)
+    if points.size == 0:
+        raise DistributionError("at least one percentile is required to fit a distribution")
+    summary = {
+        float(p): float(v) for p, v in zip(points, np.percentile(values, points))
+    }
+    return fit_pareto_exponential(
+        summary,
+        mean_hint=float(values.mean()),
+        grid_refinements=grid_refinements,
+        seed=seed,
+    )
 
 
 def fit_pareto_exponential(

@@ -22,6 +22,7 @@ can be validated against the published numbers.
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass
 from typing import Callable, Mapping
 
@@ -207,7 +208,10 @@ def production_fit(name: str, **kwargs: object) -> WARSDistributions:
     """Look up a production fit by its paper name (case-insensitive).
 
     ``kwargs`` are forwarded to the factory, which currently only matters for
-    ``WAN`` (``replica_count``, ``wan_delay_ms``).
+    ``WAN`` (``replica_count``, ``wan_delay_ms``).  Parameters the chosen
+    factory does not accept raise :class:`ConfigurationError` (not a bare
+    ``TypeError``), so e.g. ``production_fit("YMMR", replica_count=5)`` fails
+    with a message naming the fit and its accepted parameters.
     """
     key = name.upper().replace("_", "-")
     try:
@@ -216,4 +220,17 @@ def production_fit(name: str, **kwargs: object) -> WARSDistributions:
         raise ConfigurationError(
             f"unknown production fit {name!r}; expected one of {', '.join(PRODUCTION_FIT_NAMES)}"
         ) from exc
+    if kwargs:
+        accepted = inspect.signature(factory).parameters
+        unknown = sorted(set(kwargs) - set(accepted))
+        if unknown:
+            accepted_text = (
+                f"accepted parameters: {', '.join(accepted)}"
+                if accepted
+                else "it accepts no parameters"
+            )
+            raise ConfigurationError(
+                f"production fit {key!r} does not accept "
+                f"{', '.join(repr(k) for k in unknown)}; {accepted_text}"
+            )
     return factory(**kwargs)  # type: ignore[arg-type]

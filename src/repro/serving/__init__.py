@@ -1,0 +1,50 @@
+"""Online PBS prediction service: ingest → refit → serve → audit.
+
+This package operationalises the paper's workflow as a long-running,
+multi-tenant service: per-tenant latency observations stream into bounded
+reservoirs (:mod:`repro.serving.reservoir`), are periodically refit into
+latency models, and staleness/SLA questions are answered analytically with
+results memoised under environment fingerprints
+(:mod:`repro.serving.fingerprint`, :mod:`repro.serving.cache`).  The Monte
+Carlo engine runs asynchronously as an auditor of served answers
+(:mod:`repro.serving.service`), and :mod:`repro.serving.http` exposes the
+whole thing over stdlib JSON/HTTP (``pbs-repro serve``).
+"""
+
+from repro.serving.cache import CacheStats, LRUCache
+from repro.serving.fingerprint import (
+    distribution_token,
+    environment_fingerprint,
+    request_key,
+)
+from repro.serving.http import make_server, serve_forever
+from repro.serving.reservoir import StreamingReservoir
+from repro.serving.service import (
+    DEFAULT_PERCENTILES,
+    DEFAULT_TARGETS,
+    PredictorService,
+    ServedPrediction,
+    ServedRecommendation,
+    ServiceStats,
+    SpotCheckResult,
+    TenantStats,
+)
+
+__all__ = [
+    "CacheStats",
+    "LRUCache",
+    "StreamingReservoir",
+    "distribution_token",
+    "environment_fingerprint",
+    "request_key",
+    "make_server",
+    "serve_forever",
+    "PredictorService",
+    "ServedPrediction",
+    "ServedRecommendation",
+    "ServiceStats",
+    "SpotCheckResult",
+    "TenantStats",
+    "DEFAULT_PERCENTILES",
+    "DEFAULT_TARGETS",
+]

@@ -1,0 +1,106 @@
+"""A small thread-safe LRU cache for served prediction results.
+
+The serving layer caches *final answers* (prediction reports, optimiser
+recommendations) keyed by environment fingerprint + request parameters.
+Entries are immutable value objects so cache hits can be returned without
+copying.  Refits never invalidate explicitly: a refit changes the tenant's
+fingerprint, so stale entries simply stop being referenced and age out.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Generic, Hashable, TypeVar
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["CacheStats", "LRUCache"]
+
+_V = TypeVar("_V")
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Counters describing cache effectiveness since construction."""
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+    capacity: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when never queried)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class LRUCache(Generic[_V]):
+    """Bounded mapping with least-recently-used eviction.
+
+    All operations are O(1) and safe to call from the HTTP server's worker
+    threads concurrently with the ingest/refit path.
+    """
+
+    __slots__ = ("_capacity", "_entries", "_lock", "_hits", "_misses", "_evictions")
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ConfigurationError(f"cache capacity must be >= 1, got {capacity}")
+        self._capacity = int(capacity)
+        self._entries: OrderedDict[Hashable, _V] = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def get(self, key: Hashable) -> _V | None:
+        """Return the cached value and mark it most recently used."""
+        with self._lock:
+            try:
+                value = self._entries[key]
+            except KeyError:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return value
+
+    def put(self, key: Hashable, value: _V) -> None:
+        """Insert (or refresh) an entry, evicting the LRU entry when full."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._entries[key] = value
+                return
+            self._entries[key] = value
+            if len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> CacheStats:
+        """A consistent snapshot of the hit/miss/eviction counters."""
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                size=len(self._entries),
+                capacity=self._capacity,
+            )

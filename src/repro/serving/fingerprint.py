@@ -1,0 +1,106 @@
+"""Environment fingerprints: stable identity for cached predictions.
+
+A tenant's analytic answers are a pure function of (latency-distribution
+parameters × configuration grid × query parameters).  The serving layer keys
+its result cache on a *fingerprint* of that tuple: equal environments —
+however they were constructed — share cache entries, and any refit that
+changes a distribution parameter changes the fingerprint and naturally
+invalidates every stale entry (no explicit invalidation pass).
+
+Fingerprinting walks the distribution object graph structurally: frozen
+dataclasses contribute their class name and field values, numpy arrays their
+shape/dtype/bytes, containers their elements.  Two distributions fingerprint
+equal iff they are the same class with equal parameters, which is exactly
+the condition under which the analytic predictor returns equal answers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from typing import Iterable
+
+import numpy as np
+
+from repro.latency.production import WARSDistributions
+
+__all__ = [
+    "distribution_token",
+    "environment_fingerprint",
+    "request_key",
+]
+
+
+def _tokenise(value: object, parts: list[str]) -> None:
+    """Append a canonical token stream for ``value`` to ``parts``."""
+    if isinstance(value, np.ndarray):
+        parts.append(f"ndarray:{value.shape}:{value.dtype}")
+        parts.append(hashlib.sha256(np.ascontiguousarray(value).tobytes()).hexdigest())
+    elif isinstance(value, np.generic):
+        _tokenise(value.item(), parts)
+    elif isinstance(value, float):
+        parts.append(f"f:{value.hex()}")
+    elif isinstance(value, (int, bool, str, bytes)) or value is None:
+        parts.append(f"{type(value).__name__}:{value!r}")
+    elif dataclasses.is_dataclass(value) and not isinstance(value, type):
+        parts.append(f"dc:{type(value).__module__}.{type(value).__qualname__}")
+        for field in dataclasses.fields(value):
+            # Derived caches (e.g. QuantileTableDistribution._mean_cache) are
+            # excluded from equality by their declaration; mirror that here.
+            if not field.compare:
+                continue
+            parts.append(f"field:{field.name}")
+            _tokenise(getattr(value, field.name), parts)
+    elif isinstance(value, dict):
+        parts.append(f"dict:{len(value)}")
+        for key in sorted(value, key=repr):
+            _tokenise(key, parts)
+            _tokenise(value[key], parts)
+    elif isinstance(value, (list, tuple)):
+        parts.append(f"seq:{type(value).__name__}:{len(value)}")
+        for item in value:
+            _tokenise(item, parts)
+    else:
+        # Non-dataclass objects (e.g. hand-written distribution classes):
+        # fall back to class identity plus public attribute dict.  repr() is
+        # deliberately avoided — it may omit parameters.
+        parts.append(f"obj:{type(value).__module__}.{type(value).__qualname__}")
+        state = getattr(value, "__dict__", None)
+        if state:
+            _tokenise({k: v for k, v in state.items() if not k.startswith("_")}, parts)
+
+
+def distribution_token(distribution: object) -> str:
+    """Canonical token for one latency distribution (or any parameter tree)."""
+    parts: list[str] = []
+    _tokenise(distribution, parts)
+    return hashlib.sha256("\x1f".join(parts).encode()).hexdigest()
+
+
+def environment_fingerprint(
+    distributions: WARSDistributions,
+    replication_factors: Iterable[int] = (),
+    extra: object = None,
+) -> str:
+    """Fingerprint of a tenant's latency environment.
+
+    Covers the four WARS leg distributions (parameter-wise), the candidate
+    replication grid, and any ``extra`` tuning that changes analytic answers
+    (grid points, tail mass, ...).  Equal fingerprints guarantee equal
+    analytic predictions.
+    """
+    parts: list[str] = []
+    for letter, leg in distributions.components().items():
+        parts.append(f"leg:{letter}")
+        _tokenise(leg, parts)
+    parts.append(f"factors:{tuple(replication_factors)!r}")
+    if extra is not None:
+        _tokenise(extra, parts)
+    return hashlib.sha256("\x1f".join(parts).encode()).hexdigest()
+
+
+def request_key(fingerprint: str, kind: str, payload: object) -> str:
+    """Cache key for one query against one environment fingerprint."""
+    parts: list[str] = [fingerprint, f"kind:{kind}"]
+    _tokenise(payload, parts)
+    return hashlib.sha256("\x1f".join(parts).encode()).hexdigest()

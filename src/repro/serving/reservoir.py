@@ -1,0 +1,122 @@
+"""Bounded streaming reservoirs for per-tenant latency observations.
+
+The serving layer's write path must accept an unbounded stream of latency
+observations per tenant while holding only a fixed-size sample of it.
+:class:`StreamingReservoir` implements vectorised reservoir sampling
+(Vitter's Algorithm R, batched): after ``m`` observations the reservoir
+holds a uniform random subset of min(m, capacity) of them, every observation
+having had an equal chance of surviving.  The refit path then treats the
+reservoir contents as a representative sample of the tenant's recent
+latency environment.
+
+Determinism contract: a reservoir is seeded, and its contents are a pure
+function of (seed, capacity, observation sequence) regardless of how the
+sequence was split into ``observe``/``extend`` calls.  The serving layer's
+refit determinism — same observations, same fingerprint — rests on this.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, DistributionError
+
+__all__ = ["StreamingReservoir"]
+
+
+class StreamingReservoir:
+    """Fixed-capacity uniform sample over an unbounded observation stream.
+
+    Args
+    ----
+    capacity:
+        Maximum number of observations retained (>= 1).
+    seed:
+        Seed for the replacement draws.  Equal seeds and equal observation
+        sequences produce equal reservoir contents, independent of batching.
+    """
+
+    __slots__ = ("_capacity", "_values", "_filled", "_total", "_rng", "_seed")
+
+    def __init__(self, capacity: int = 4096, seed: int = 0) -> None:
+        if capacity < 1:
+            raise ConfigurationError(f"reservoir capacity must be >= 1, got {capacity}")
+        self._capacity = int(capacity)
+        self._values = np.empty(self._capacity, dtype=float)
+        self._filled = 0
+        self._total = 0
+        self._seed = int(seed)
+        self._rng = np.random.default_rng(self._seed)
+
+    # ------------------------------------------------------------------
+    # Ingest.
+    # ------------------------------------------------------------------
+    def observe(self, value: float) -> None:
+        """Ingest one observation (ms)."""
+        self.extend((value,))
+
+    def extend(self, values: Iterable[float] | Sequence[float] | np.ndarray) -> int:
+        """Ingest a batch of observations; returns how many were ingested.
+
+        The batch is validated as a whole (finite, non-negative) before any
+        element is admitted, so a bad batch never half-updates the reservoir.
+        """
+        batch = np.asarray(
+            values if isinstance(values, np.ndarray) else list(values), dtype=float
+        )
+        if batch.ndim != 1:
+            raise DistributionError("latency observations must form a 1-D sequence")
+        if batch.size == 0:
+            return 0
+        if np.any(~np.isfinite(batch)) or np.any(batch < 0):
+            raise DistributionError("latency observations must be finite and non-negative")
+
+        offset = 0
+        if self._filled < self._capacity:
+            take = min(self._capacity - self._filled, batch.size)
+            self._values[self._filled : self._filled + take] = batch[:take]
+            self._filled += take
+            self._total += take
+            offset = take
+        remainder = batch[offset:]
+        if remainder.size:
+            # Algorithm R, batched: observation number m (1-based) replaces a
+            # uniformly chosen slot j ~ U{0, m-1} iff j < capacity.
+            ordinals = self._total + 1 + np.arange(remainder.size)
+            slots = self._rng.integers(0, ordinals)
+            keep = slots < self._capacity
+            if np.any(keep):
+                # Later duplicates of a slot must win so batched ingestion
+                # matches one-at-a-time ingestion; assignment order in numpy
+                # fancy indexing already applies the last write.
+                self._values[slots[keep]] = remainder[keep]
+            self._total += remainder.size
+        return int(batch.size)
+
+    # ------------------------------------------------------------------
+    # Queries.
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        """Maximum number of retained observations."""
+        return self._capacity
+
+    @property
+    def total_observed(self) -> int:
+        """Observations ever ingested (retained or not)."""
+        return self._total
+
+    def __len__(self) -> int:
+        return self._filled
+
+    def values(self) -> np.ndarray:
+        """A copy of the retained observations (length ``min(total, capacity)``)."""
+        return self._values[: self._filled].copy()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<StreamingReservoir {self._filled}/{self._capacity} retained, "
+            f"{self._total} observed>"
+        )

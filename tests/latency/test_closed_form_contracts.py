@@ -36,7 +36,7 @@ from repro.latency.distributions import (
     UniformLatency,
     standard_normal_ppf,
 )
-from repro.latency.empirical import EmpiricalDistribution
+from repro.latency.empirical import EmpiricalDistribution, QuantileTableDistribution
 from repro.latency.mixture import MixtureDistribution
 from repro.latency.production import lnkd_disk
 
@@ -55,6 +55,12 @@ _CONTINUOUS_CASES: tuple[tuple[LatencyDistribution, float], ...] = (
     (
         EmpiricalDistribution(
             observations=np.random.default_rng(3).exponential(2.0, size=5_000)
+        ),
+        0.0,
+    ),
+    (
+        QuantileTableDistribution.from_percentiles(
+            [(50.0, 3.0), (95.0, 8.0), (99.0, 15.0)], minimum=1.0, maximum=40.0
         ),
         0.0,
     ),
@@ -139,6 +145,90 @@ class TestStandardNormalPpf:
     def test_rejects_out_of_range(self):
         with pytest.raises(DistributionError):
             standard_normal_ppf(-0.01)
+
+
+@dataclass(frozen=True, repr=False)
+class _CountingQuantileTable(QuantileTableDistribution):
+    """QuantileTableDistribution that records every sample() call."""
+
+    calls: list = field(default_factory=list, compare=False)
+
+    def sample(self, size: int, rng: np.random.Generator) -> np.ndarray:
+        self.calls.append(size)
+        return super().sample(size, rng)
+
+
+class TestQuantileTableClosedForms:
+    """The PR-7 bugfixes: boundary/flat-segment CDF and closed-form variance."""
+
+    def _flat_interior(self) -> QuantileTableDistribution:
+        # Quantile segments: [0, .3] -> latencies 0..1, [.3, .7] -> flat at 1
+        # (a 40% atom), [.7, 1] -> latencies 1..2.
+        return QuantileTableDistribution(
+            quantiles=np.array([0.0, 0.3, 0.7, 1.0]),
+            latencies=np.array([0.0, 1.0, 1.0, 2.0]),
+        )
+
+    def test_cdf_ppf_round_trip_at_zero(self):
+        dist = QuantileTableDistribution.from_percentiles(
+            [(50.0, 4.0), (99.0, 25.0)], minimum=1.0, maximum=100.0
+        )
+        assert dist.cdf(dist.ppf(0.0)) >= 0.0
+        assert dist.cdf(dist.ppf(0.0)) == pytest.approx(0.0)
+
+    def test_boundary_atom_reports_its_full_mass(self):
+        # minimum == p50 latency: the table starts with a flat segment, i.e.
+        # an atom of mass 0.5 at the minimum.  cdf used to return 0.0 there.
+        dist = QuantileTableDistribution.from_percentiles(
+            [(50.0, 2.0), (99.0, 8.0)], minimum=2.0, maximum=20.0
+        )
+        assert dist.cdf(2.0) == pytest.approx(0.5)
+        assert dist.cdf(dist.ppf(0.0)) == pytest.approx(0.5)
+        assert dist.cdf(np.nextafter(2.0, 0.0)) == 0.0
+
+    def test_flat_interior_segment_collapses_to_maximal_quantile(self):
+        dist = self._flat_interior()
+        # At the atom: the maximal quantile mapping to latency 1.
+        assert dist.cdf(1.0) == pytest.approx(0.7)
+        # Left of the atom the CDF follows the first segment only (u = .3 x),
+        # which np.interp over duplicate knots would have smeared.
+        assert dist.cdf(0.999) == pytest.approx(0.3 * 0.999)
+        # Right of the atom it continues from the atom's full mass.
+        assert dist.cdf(1.5) == pytest.approx(0.85)
+        assert dist.cdf(np.nextafter(1.0, 2.0)) == pytest.approx(0.7)
+
+    @given(x=st.floats(min_value=-0.5, max_value=2.5))
+    @settings(max_examples=100, deadline=None)
+    def test_cdf_is_monotone_and_bounded(self, x):
+        dist = self._flat_interior()
+        value = dist.cdf(x)
+        assert 0.0 <= value <= 1.0
+        assert dist.cdf(x + 0.125) >= value
+
+    def test_cdf_matches_sampling_with_flat_segments(self):
+        dist = self._flat_interior()
+        samples = dist.sample(200_000, np.random.default_rng(9))
+        for x in (0.25, 0.999, 1.0, 1.25, 1.75):
+            empirical = float(np.mean(samples <= x))
+            assert dist.cdf(x) == pytest.approx(empirical, abs=5e-3)
+
+    def test_variance_closed_form_never_samples(self):
+        dist = _CountingQuantileTable(
+            quantiles=np.array([0.0, 0.5, 0.9, 1.0]),
+            latencies=np.array([1.0, 3.0, 8.0, 40.0]),
+        )
+        dist.variance()
+        dist.mean()
+        dist.cdf(4.0)
+        dist.ppf(0.25)
+        assert dist.calls == []
+
+    def test_variance_matches_uniform_closed_form(self):
+        # Uniform on [0, 10] as a two-knot table: variance 100/12.
+        dist = QuantileTableDistribution(
+            quantiles=np.array([0.0, 1.0]), latencies=np.array([0.0, 10.0])
+        )
+        assert dist.variance() == pytest.approx(100.0 / 12.0)
 
 
 @dataclass(frozen=True)

@@ -167,6 +167,20 @@ class TestProductionFits:
         with pytest.raises(ConfigurationError):
             wan(replica_count=0)
 
+    def test_kwargs_rejected_by_parameterless_fits(self):
+        # Regression: this used to crash with TypeError from the factory call
+        # instead of a ConfigurationError naming the offending parameter.
+        with pytest.raises(ConfigurationError, match="replica_count"):
+            production_fit("YMMR", replica_count=5)
+        with pytest.raises(ConfigurationError, match="no parameters"):
+            production_fit("LNKD-SSD", wan_delay_ms=10.0)
+
+    def test_unknown_kwargs_rejected_with_accepted_list(self):
+        # WAN takes kwargs, but a typo'd name must still fail cleanly and
+        # name what would have been accepted.
+        with pytest.raises(ConfigurationError, match="wan_delay_ms"):
+            production_fit("WAN", wan_delay=10.0)
+
     def test_published_summaries_match_paper_tables(self):
         assert LINKEDIN_DISK_SUMMARY.mean == pytest.approx(4.85)
         assert LINKEDIN_SSD_SUMMARY.percentile(99.0) == pytest.approx(2.0)

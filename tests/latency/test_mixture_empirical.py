@@ -99,6 +99,23 @@ class TestEmpiricalDistribution:
         with pytest.raises(DistributionError):
             EmpiricalDistribution.from_samples([1.0, -2.0])
 
+    def test_sampling_is_uniform_over_observations(self):
+        # The rng.integers fast path must still resample uniformly with
+        # replacement: each observation appears with probability 1/n.
+        dist = EmpiricalDistribution.from_samples([1.0, 2.0, 3.0, 4.0])
+        samples = dist.sample(100_000, np.random.default_rng(2))
+        _, counts = np.unique(samples, return_counts=True)
+        assert counts.size == 4
+        assert np.all(np.abs(counts / samples.size - 0.25) < 0.01)
+
+    def test_sampling_reproducible_for_equal_seeds(self):
+        dist = EmpiricalDistribution.from_samples(
+            np.random.default_rng(0).exponential(2.0, size=500)
+        )
+        first = dist.sample(1_000, np.random.default_rng(42))
+        second = dist.sample(1_000, np.random.default_rng(42))
+        np.testing.assert_array_equal(first, second)
+
 
 class TestQuantileTableDistribution:
     def test_from_percentiles_builds_valid_table(self):

@@ -1,0 +1,123 @@
+"""Unit tests for environment fingerprints and the LRU result cache."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.sla import SLATarget
+from repro.exceptions import ConfigurationError
+from repro.latency.distributions import ExponentialLatency, ParetoLatency
+from repro.latency.empirical import EmpiricalDistribution
+from repro.latency.production import WARSDistributions, lnkd_ssd
+from repro.serving.cache import LRUCache
+from repro.serving.fingerprint import (
+    distribution_token,
+    environment_fingerprint,
+    request_key,
+)
+
+
+class TestFingerprints:
+    def test_equal_parameters_equal_fingerprint(self):
+        # Separately constructed but parameter-identical environments share
+        # a fingerprint (the cache-sharing property).
+        first = WARSDistributions.symmetric(ExponentialLatency(rate=0.5))
+        second = WARSDistributions.symmetric(ExponentialLatency(rate=0.5))
+        assert environment_fingerprint(first, (1, 2, 3)) == environment_fingerprint(
+            second, (1, 2, 3)
+        )
+
+    def test_parameter_change_changes_fingerprint(self):
+        base = WARSDistributions.symmetric(ExponentialLatency(rate=0.5))
+        drifted = WARSDistributions.symmetric(ExponentialLatency(rate=0.6))
+        assert environment_fingerprint(base, (3,)) != environment_fingerprint(
+            drifted, (3,)
+        )
+
+    def test_replication_grid_is_part_of_the_fingerprint(self):
+        wars = lnkd_ssd()
+        assert environment_fingerprint(wars, (1, 2, 3)) != environment_fingerprint(
+            wars, (1, 2, 3, 4, 5)
+        )
+
+    def test_distribution_class_distinguished(self):
+        # Same mean, different family -> different token.
+        assert distribution_token(ExponentialLatency(rate=1.0)) != distribution_token(
+            ParetoLatency(xm=0.5, alpha=2.0)
+        )
+
+    def test_empirical_observations_hashed_by_content(self):
+        first = EmpiricalDistribution.from_samples([1.0, 2.0, 3.0])
+        same = EmpiricalDistribution.from_samples(np.array([1.0, 2.0, 3.0]))
+        other = EmpiricalDistribution.from_samples([1.0, 2.0, 3.5])
+        assert distribution_token(first) == distribution_token(same)
+        assert distribution_token(first) != distribution_token(other)
+
+    def test_request_key_separates_kinds_and_payloads(self):
+        keys = {
+            request_key("fp", "predict", (3, 1, 1)),
+            request_key("fp", "predict", (3, 1, 2)),
+            request_key("fp", "recommend", (3, 1, 1)),
+            request_key("other", "predict", (3, 1, 1)),
+        }
+        assert len(keys) == 4
+
+    def test_sla_target_payloads_tokenise(self):
+        lenient = SLATarget(read_latency_ms=10.0)
+        strict = SLATarget(read_latency_ms=5.0)
+        assert request_key("fp", "recommend", lenient) != request_key(
+            "fp", "recommend", strict
+        )
+        assert request_key("fp", "recommend", lenient) == request_key(
+            "fp", "recommend", SLATarget(read_latency_ms=10.0)
+        )
+
+
+class TestLRUCache:
+    def test_get_put_roundtrip(self):
+        cache: LRUCache[str] = LRUCache(capacity=2)
+        cache.put("a", "A")
+        assert cache.get("a") == "A"
+        assert cache.get("missing") is None
+
+    def test_least_recently_used_is_evicted(self):
+        cache: LRUCache[int] = LRUCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh a; b is now LRU
+        cache.put("c", 3)
+        assert "a" in cache and "c" in cache
+        assert "b" not in cache
+
+    def test_stats_track_hits_misses_evictions(self):
+        cache: LRUCache[int] = LRUCache(capacity=1)
+        cache.get("a")
+        cache.put("a", 1)
+        cache.get("a")
+        cache.put("b", 2)  # evicts a
+        stats = cache.stats()
+        assert stats.hits == 1 and stats.misses == 1 and stats.evictions == 1
+        assert stats.size == 1 and stats.capacity == 1
+        assert stats.hit_rate == pytest.approx(0.5)
+
+    def test_put_refreshes_existing_key(self):
+        cache: LRUCache[int] = LRUCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # refresh, not insert: b must survive the next put
+        cache.put("c", 3)
+        assert cache.get("a") == 10 and cache.get("c") == 3
+        assert cache.get("b") is None
+
+    def test_clear_empties_but_keeps_counters(self):
+        cache: LRUCache[int] = LRUCache(capacity=4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats().hits == 1
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LRUCache(capacity=0)

@@ -1,0 +1,170 @@
+"""End-to-end tests for the JSON/HTTP front end and the serve CLI."""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.serving import PredictorService, make_server
+
+
+@pytest.fixture
+def server_url():
+    service = PredictorService()
+    service.register_tenant("acme", "LNKD-SSD")
+    server = make_server(service, port=0)
+    thread = threading.Thread(
+        target=server.serve_forever, kwargs={"poll_interval": 0.01}, daemon=True
+    )
+    thread.start()
+    yield f"http://127.0.0.1:{server.server_address[1]}"
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5.0)
+
+
+def _get(url: str) -> tuple[int, dict]:
+    try:
+        with urllib.request.urlopen(url) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def _post(url: str, body: dict | None = None) -> tuple[int, dict]:
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(body or {}).encode(),
+        method="POST",
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+class TestRoutes:
+    def test_healthz(self, server_url):
+        assert _get(f"{server_url}/healthz") == (200, {"status": "ok"})
+
+    def test_tenant_listing_and_registration(self, server_url):
+        status, body = _get(f"{server_url}/tenants")
+        assert status == 200 and body == {"tenants": ["acme"]}
+        status, body = _post(f"{server_url}/tenants/beta", {"fit": "YMMR"})
+        assert status == 200 and body["tenant"] == "beta"
+        assert len(body["fingerprint"]) == 64
+        assert _get(f"{server_url}/tenants")[1] == {"tenants": ["acme", "beta"]}
+
+    def test_predict_roundtrip(self, server_url):
+        status, body = _get(f"{server_url}/tenants/acme/predict?n=3&r=1&w=2")
+        assert status == 200
+        assert body["config"] == {"n": 3, "r": 1, "w": 2}
+        assert 0.0 <= body["consistency_at_commit"] <= 1.0
+        assert "0.999" in body["t_visibility_ms"]
+
+    def test_recommend_roundtrip(self, server_url):
+        status, body = _get(
+            f"{server_url}/tenants/acme/recommend"
+            "?read_latency_ms=10&t_visibility_ms=20"
+        )
+        assert status == 200
+        assert body["best"] is not None
+        assert body["best"]["meets_target"] is True
+
+    def test_ingest_and_refit(self, server_url):
+        status, body = _post(
+            f"{server_url}/tenants/acme/observations",
+            {"leg": "W", "values": [1.0, 2.0, 3.0]},
+        )
+        assert status == 200 and body["ingested"] == 3
+        before = _get(f"{server_url}/stats")[1]["tenants"][0]["fingerprint"]
+        status, body = _post(f"{server_url}/tenants/acme/refit")
+        assert status == 200 and body["fingerprint"] != before
+
+    def test_stats_exposes_counters(self, server_url):
+        _get(f"{server_url}/tenants/acme/predict?n=3&r=1&w=1")
+        status, body = _get(f"{server_url}/stats")
+        assert status == 200
+        assert body["predictions_served"] == 1
+        assert body["cache"]["capacity"] > 0
+
+
+class TestErrorMapping:
+    def test_unknown_tenant_is_404(self, server_url):
+        status, body = _get(f"{server_url}/tenants/ghost/predict?n=3&r=1&w=1")
+        assert status == 404 and "ghost" in body["error"]
+
+    def test_unknown_route_is_404(self, server_url):
+        assert _get(f"{server_url}/nothing")[0] == 404
+
+    def test_invalid_config_is_400(self, server_url):
+        status, body = _get(f"{server_url}/tenants/acme/predict?n=3&r=9&w=1")
+        assert status == 400 and "error" in body
+
+    def test_malformed_observations_are_400(self, server_url):
+        status, _ = _post(f"{server_url}/tenants/acme/observations", {"leg": "W"})
+        assert status == 400
+        status, _ = _post(
+            f"{server_url}/tenants/acme/observations",
+            {"leg": "W", "values": [1.0, -5.0]},
+        )
+        assert status == 400
+
+    def test_wan_registration_is_400(self, server_url):
+        status, body = _post(f"{server_url}/tenants/wan", {"fit": "WAN"})
+        assert status == 400 and "i.i.d." in body["error"]
+
+
+class TestServeCommand:
+    def test_request_limit_run(self):
+        import io
+        import re
+        import time
+        from contextlib import redirect_stdout
+
+        from repro.cli import main
+
+        out = io.StringIO()
+
+        def run() -> None:
+            with redirect_stdout(out):
+                main(
+                    [
+                        "serve",
+                        "--port",
+                        "0",
+                        "--fit",
+                        "LNKD-DISK",
+                        "--request-limit",
+                        "2",
+                        "--no-spot-checks",
+                    ]
+                )
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        match = None
+        deadline = time.monotonic() + 10.0
+        while match is None and time.monotonic() < deadline:
+            match = re.search(r"http://[\d.]+:(\d+)", out.getvalue())
+            time.sleep(0.02)
+        assert match is not None, "serve never reported its address"
+        base = f"http://127.0.0.1:{match.group(1)}"
+        assert _get(f"{base}/healthz")[0] == 200
+        assert _get(f"{base}/tenants")[1] == {"tenants": ["default"]}
+        thread.join(timeout=10.0)
+        assert not thread.is_alive()
+        assert "served 2 responses" in out.getvalue()
+
+    def test_serve_parser_defaults(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1" and args.port == 8080
+        assert args.fit == "LNKD-SSD" and args.request_limit is None

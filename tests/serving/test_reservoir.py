@@ -1,0 +1,80 @@
+"""Unit tests for the streaming reservoir (Vitter's Algorithm R, batched)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, DistributionError
+from repro.serving.reservoir import StreamingReservoir
+
+
+class TestStreamingReservoir:
+    def test_fills_to_capacity_verbatim(self):
+        reservoir = StreamingReservoir(capacity=8, seed=0)
+        reservoir.extend(np.arange(5.0))
+        assert len(reservoir) == 5
+        assert reservoir.total_observed == 5
+        np.testing.assert_array_equal(reservoir.values(), np.arange(5.0))
+
+    def test_capacity_bounds_memory(self):
+        reservoir = StreamingReservoir(capacity=100, seed=1)
+        reservoir.extend(np.random.default_rng(0).exponential(1.0, size=10_000))
+        assert len(reservoir) == 100
+        assert reservoir.total_observed == 10_000
+
+    def test_batch_split_invariance(self):
+        # Contents are a pure function of (seed, capacity, stream) no matter
+        # how the stream is chopped into observe/extend calls.
+        stream = np.random.default_rng(3).gamma(2.0, 2.0, size=5_000)
+        whole = StreamingReservoir(capacity=64, seed=9)
+        whole.extend(stream)
+        pieces = StreamingReservoir(capacity=64, seed=9)
+        for chunk in np.array_split(stream, 37):
+            pieces.extend(chunk)
+        np.testing.assert_array_equal(whole.values(), pieces.values())
+
+    def test_single_observe_matches_extend(self):
+        stream = np.random.default_rng(4).exponential(1.0, size=500)
+        batched = StreamingReservoir(capacity=32, seed=2)
+        batched.extend(stream)
+        single = StreamingReservoir(capacity=32, seed=2)
+        for value in stream:
+            single.observe(float(value))
+        np.testing.assert_array_equal(batched.values(), single.values())
+
+    def test_sample_is_unbiased(self):
+        # Average reservoir mean over many seeds tracks the stream mean.
+        stream = np.concatenate([np.full(500, 1.0), np.full(500, 3.0)])
+        means = []
+        for seed in range(200):
+            reservoir = StreamingReservoir(capacity=50, seed=seed)
+            reservoir.extend(stream)
+            means.append(reservoir.values().mean())
+        assert np.mean(means) == pytest.approx(stream.mean(), abs=0.05)
+
+    def test_values_returns_a_copy(self):
+        reservoir = StreamingReservoir(capacity=4, seed=0)
+        reservoir.extend([1.0, 2.0])
+        snapshot = reservoir.values()
+        snapshot[0] = 99.0
+        assert reservoir.values()[0] == 1.0
+
+    def test_bad_batches_rejected_wholesale(self):
+        reservoir = StreamingReservoir(capacity=4, seed=0)
+        with pytest.raises(DistributionError):
+            reservoir.extend([1.0, float("nan")])
+        with pytest.raises(DistributionError):
+            reservoir.extend([1.0, -2.0])
+        with pytest.raises(DistributionError):
+            reservoir.extend(np.ones((2, 2)))
+        # Nothing from the bad batches leaked in.
+        assert len(reservoir) == 0 and reservoir.total_observed == 0
+
+    def test_empty_batch_is_a_noop(self):
+        reservoir = StreamingReservoir(capacity=4, seed=0)
+        assert reservoir.extend([]) == 0
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StreamingReservoir(capacity=0)

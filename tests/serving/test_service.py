@@ -1,0 +1,269 @@
+"""Unit tests for :class:`repro.serving.PredictorService`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.quorum import ReplicaConfig
+from repro.core.sla import SLAOptimizer, SLATarget
+from repro.exceptions import ConfigurationError
+from repro.latency.distributions import ExponentialLatency
+from repro.latency.production import WARSDistributions, production_fit
+from repro.serving import PredictorService
+
+
+@pytest.fixture
+def service() -> PredictorService:
+    svc = PredictorService()
+    svc.register_tenant("acme", "LNKD-SSD")
+    return svc
+
+
+class TestTenantLifecycle:
+    def test_register_by_fit_name_and_explicit_distributions(self):
+        svc = PredictorService()
+        by_name = svc.register_tenant("a", "LNKD-SSD")
+        explicit = svc.register_tenant("b", production_fit("LNKD-SSD"))
+        # Same parameters -> same fingerprint, regardless of construction.
+        assert by_name == explicit
+        assert svc.tenants() == ("a", "b")
+
+    def test_wan_model_rejected(self):
+        svc = PredictorService()
+        with pytest.raises(ConfigurationError, match="i.i.d."):
+            svc.register_tenant("wan", production_fit("WAN", replica_count=3))
+
+    def test_unknown_tenant_raises_key_error(self, service):
+        with pytest.raises(KeyError, match="ghost"):
+            service.predict("ghost", ReplicaConfig(3, 1, 1))
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PredictorService().register_tenant("", "LNKD-SSD")
+
+
+class TestPredict:
+    def test_matches_offline_analytic_predictor(self, service):
+        from repro.analytic.predictor import AnalyticPredictor
+
+        config = ReplicaConfig(3, 1, 2)
+        served = service.predict("acme", config)
+        offline = AnalyticPredictor(distributions=production_fit("LNKD-SSD")).result(
+            config
+        )
+        assert served.consistency_at_commit == offline.probability_never_stale()
+        assert served.t_visibility_ms[0.999] == offline.t_visibility(0.999)
+        assert served.read_latency_ms[99.9] == offline.read_latency_percentile(99.9)
+
+    def test_repeat_queries_hit_the_cache(self, service):
+        config = ReplicaConfig(3, 1, 1)
+        first = service.predict("acme", config)
+        second = service.predict("acme", config)
+        assert first == second
+        stats = service.stats()
+        assert stats.cache.hits == 1
+        assert stats.predictions_served == 2
+
+    def test_strict_quorum_is_immediately_consistent(self, service):
+        served = service.predict("acme", ReplicaConfig(3, 2, 2))
+        assert served.consistency_at_commit == 1.0
+        assert served.t_visibility_ms[0.999] == 0.0
+
+    def test_to_dict_is_json_ready(self, service):
+        import json
+
+        payload = service.predict("acme", ReplicaConfig(3, 1, 1)).to_dict()
+        assert json.loads(json.dumps(payload)) == payload
+
+
+class TestRecommend:
+    def test_byte_identical_to_offline_sla_optimizer(self, service):
+        # The acceptance criterion: a served recommendation for a static
+        # environment equals the offline analytic optimiser's, field for field.
+        target = SLATarget(read_latency_ms=10.0, t_visibility_ms=20.0)
+        served = service.recommend("acme", target)
+        offline = SLAOptimizer(production_fit("LNKD-SSD"), mode="analytic")
+        assert served.best == offline.best(target)
+        assert list(served.evaluations) == offline.evaluate_all(target)
+
+    def test_infeasible_target_yields_none(self, service):
+        served = service.recommend(
+            "acme", SLATarget(read_latency_ms=1e-6, t_visibility_ms=1e-6)
+        )
+        assert served.best is None
+        assert all(not e.meets_target for e in served.evaluations)
+
+    def test_recommendations_cached(self, service):
+        target = SLATarget(t_visibility_ms=10.0)
+        service.recommend("acme", target)
+        service.recommend("acme", target)
+        assert service.stats().cache.hits == 1
+
+
+class TestRefit:
+    def test_refit_changes_fingerprint_and_invalidates(self):
+        svc = PredictorService()
+        original = svc.register_tenant("t", "LNKD-SSD")
+        config = ReplicaConfig(3, 1, 1)
+        before = svc.predict("t", config)
+        svc.ingest("t", "W", np.random.default_rng(0).exponential(5.0, size=1_000))
+        refit = svc.refit("t")
+        assert refit != original
+        after = svc.predict("t", config)
+        assert after.fingerprint == refit
+        # The old entry was not served: both lookups were cache misses.
+        assert svc.stats().cache.misses == 2
+        assert before.fingerprint == original
+
+    def test_refit_is_deterministic(self):
+        def build() -> str:
+            svc = PredictorService()
+            svc.register_tenant("t", "LNKD-SSD")
+            rng = np.random.default_rng(7)
+            for leg in "WARS":
+                svc.ingest("t", leg, rng.exponential(2.0, size=300))
+            return svc.refit("t")
+
+        assert build() == build()
+
+    def test_refit_without_observations_keeps_distributions(self):
+        svc = PredictorService()
+        original = svc.register_tenant("t", "LNKD-SSD")
+        assert svc.refit("t") == original
+
+    def test_auto_refit_after_threshold(self):
+        svc = PredictorService(refit_every=100)
+        original = svc.register_tenant("t", "LNKD-SSD")
+        svc.ingest("t", "W", np.random.default_rng(1).exponential(1.0, size=100))
+        assert svc.fingerprint_of("t") != original
+
+    def test_mixture_refit_uses_fit_pipeline(self):
+        svc = PredictorService(refit_method="mixture")
+        svc.register_tenant("t", "LNKD-SSD")
+        svc.ingest("t", "W", np.random.default_rng(2).exponential(2.0, size=2_000))
+        svc.refit("t")
+        # Smooth parametric tail: the refit leg must support deep quantiles.
+        served = svc.predict("t", ReplicaConfig(3, 1, 1))
+        assert served.write_latency_ms[99.9] > served.write_latency_ms[50.0]
+
+    def test_invalid_leg_rejected(self):
+        svc = PredictorService()
+        svc.register_tenant("t", "LNKD-SSD")
+        with pytest.raises(ConfigurationError, match="leg"):
+            svc.ingest("t", "X", [1.0])
+
+
+class TestSpotChecks:
+    def test_served_answers_are_audited_within_tolerance(self):
+        svc = PredictorService(spot_check_trials=20_000)
+        svc.register_tenant("t", "LNKD-SSD")
+        svc.predict("t", ReplicaConfig(3, 1, 1))
+        results = svc.run_pending_spot_checks()
+        assert len(results) == 1
+        assert results[0].passed
+        assert results[0].max_absolute_error < 0.02
+        stats = svc.stats()
+        assert stats.spot_checks_run == 1 and stats.spot_checks_failed == 0
+
+    def test_cache_hits_do_not_enqueue_audits(self):
+        svc = PredictorService()
+        svc.register_tenant("t", "LNKD-SSD")
+        config = ReplicaConfig(3, 1, 1)
+        svc.predict("t", config)
+        svc.predict("t", config)
+        assert svc.stats().spot_checks_pending == 1
+
+    def test_recommendation_winner_is_audited(self):
+        svc = PredictorService()
+        svc.register_tenant("t", "LNKD-SSD")
+        served = svc.recommend("t", SLATarget(t_visibility_ms=100.0))
+        assert served.best is not None
+        results = svc.run_pending_spot_checks()
+        assert results[0].config == served.best.config
+
+    def test_worker_thread_drains_queue(self):
+        import time
+
+        svc = PredictorService(spot_check_trials=1_000)
+        svc.register_tenant("t", "LNKD-SSD")
+        svc.predict("t", ReplicaConfig(3, 1, 1))
+        svc.start_spot_check_worker(interval_seconds=0.01)
+        try:
+            deadline = time.monotonic() + 10.0
+            while svc.stats().spot_checks_run == 0 and time.monotonic() < deadline:
+                time.sleep(0.02)
+        finally:
+            svc.stop_spot_check_worker()
+        assert svc.stats().spot_checks_run == 1
+
+
+class TestStats:
+    def test_snapshot_shape(self, service):
+        service.ingest("acme", "W", [1.0, 2.0])
+        service.predict("acme", ReplicaConfig(3, 1, 1))
+        stats = service.stats()
+        assert stats.tenants[0].name == "acme"
+        assert stats.tenants[0].observed == {"W": 2}
+        assert stats.predictions_served == 1
+        payload = stats.to_dict()
+        import json
+
+        assert json.loads(json.dumps(payload)) == payload
+
+
+class TestConstructionValidation:
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PredictorService(replication_factors=())
+        with pytest.raises(ConfigurationError):
+            PredictorService(refit_method="magic")
+        with pytest.raises(ConfigurationError):
+            PredictorService(refit_every=0)
+        with pytest.raises(ConfigurationError):
+            PredictorService(spot_check_trials=10)
+        with pytest.raises(ConfigurationError):
+            PredictorService(spot_check_tolerance=0.0)
+        with pytest.raises(ConfigurationError):
+            PredictorService(spot_check_queue=0)
+
+
+class TestSharedStaticPredictor:
+    def test_sla_optimizer_shares_one_predictor_for_static_distributions(self):
+        optimizer = SLAOptimizer(production_fit("LNKD-SSD"), mode="analytic")
+        optimizer.evaluate_all(SLATarget(t_visibility_ms=10.0))
+        # One environment for all five replication factors, not five.
+        assert len(optimizer._analytic_cache) == 1
+
+    def test_injected_predictor_is_used(self):
+        from repro.analytic.predictor import AnalyticPredictor
+
+        predictor = AnalyticPredictor(distributions=production_fit("LNKD-SSD"))
+        optimizer = SLAOptimizer(
+            production_fit("LNKD-SSD"), mode="analytic", analytic_predictor=predictor
+        )
+        assert optimizer._analytic_for(3) is predictor
+        assert optimizer._analytic_for(5) is predictor
+
+    def test_injected_predictor_rejected_with_callable_distributions(self):
+        from repro.analytic.predictor import AnalyticPredictor
+
+        wars = WARSDistributions.symmetric(ExponentialLatency(rate=1.0))
+        with pytest.raises(ConfigurationError):
+            SLAOptimizer(
+                lambda n: wars,
+                mode="analytic",
+                analytic_predictor=AnalyticPredictor(distributions=wars),
+            )
+
+    def test_rebind_preserves_tuning(self):
+        from repro.analytic.predictor import AnalyticPredictor
+
+        first = AnalyticPredictor(
+            distributions=production_fit("LNKD-SSD"), grid_points=512
+        )
+        rebound = first.rebind(production_fit("LNKD-DISK"))
+        assert rebound.grid_points == 512
+        assert rebound.distributions.name == "LNKD-DISK"
+        # Same object -> same predictor (warm tables preserved).
+        assert first.rebind(first.distributions) is first

@@ -22,6 +22,7 @@ SUBPACKAGES = (
     "repro.montecarlo",
     "repro.analysis",
     "repro.experiments",
+    "repro.serving",
 )
 
 
@@ -74,6 +75,9 @@ class TestDocstringCoverage:
         "repro.montecarlo",
         "repro.core.predictor",
         "repro.core.sla",
+        "repro.serving.service",
+        "repro.serving.reservoir",
+        "repro.serving.cache",
     )
 
     @pytest.mark.parametrize("module_name", _DOCUMENTED_SURFACES)

@@ -115,6 +115,14 @@ def run_benchmarks(quick: bool = False) -> dict:
         bench_analytic.measure_analytic_vs_montecarlo()
     )
 
+    import test_bench_serving as bench_serving
+
+    serving_requests = max(bench_serving.REQUESTS // (4 if quick else 1), 1_000)
+    print(f"serving-layer load test ({serving_requests} requests) ...", flush=True)
+    benchmarks["serving_load"] = bench_serving.measure_serving_load(
+        requests=serving_requests
+    )
+
     return document
 
 
