@@ -17,7 +17,13 @@ def test_bench_validation_grid(benchmark):
     few percent rather than a fraction of a percent.
     """
     result = run_once(benchmark, "validation", trials=200, rng=0, prediction_trials=60_000)
-    assert len(result.rows) == 9
+    # Full §5.2 grid: three replication configurations x 3 W means x 3 ARS means.
+    assert len(result.rows) == 27
+    assert {(row["n"], row["r"], row["w"]) for row in result.rows} == {
+        (3, 1, 1),
+        (3, 1, 2),
+        (3, 2, 1),
+    }
     mean_rmse = sum(row["consistency_rmse_pct"] for row in result.rows) / len(result.rows)
     assert mean_rmse < 8.0
     for row in result.rows:

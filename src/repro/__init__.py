@@ -51,6 +51,7 @@ from repro.exceptions import (
     DistributionError,
     ExperimentError,
     PBSError,
+    ScenarioError,
     SimulationError,
     WorkloadError,
 )
@@ -82,6 +83,14 @@ from repro.serving import (
     ServedPrediction,
     ServedRecommendation,
     StreamingReservoir,
+)
+from repro.scenarios import (
+    Scenario,
+    ScenarioDivergence,
+    get_scenario,
+    list_scenarios,
+    run_scenario,
+    scenario_names,
 )
 
 __version__ = "1.0.0"
@@ -120,12 +129,20 @@ __all__ = [
     "ServedPrediction",
     "ServedRecommendation",
     "StreamingReservoir",
+    # Scenario matrix
+    "Scenario",
+    "ScenarioDivergence",
+    "get_scenario",
+    "list_scenarios",
+    "run_scenario",
+    "scenario_names",
     # Exceptions
     "AnalysisError",
     "ConfigurationError",
     "DistributionError",
     "ExperimentError",
     "PBSError",
+    "ScenarioError",
     "SimulationError",
     "WorkloadError",
     # Latency

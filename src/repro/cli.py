@@ -8,6 +8,10 @@ Usage (installed as ``pbs-repro``)::
     pbs-repro run all --trials 20000    # run every experiment
     pbs-repro run table4 --workers 4 --probe-resolution-ms 1
                                         # sharded sweep + adaptive probe grid
+    pbs-repro run scenario --name partition --trials 2000
+                                        # hostile-conditions divergence report
+    pbs-repro run scenarios --trials 2000
+                                        # the full scenario matrix
     pbs-repro predict --fit LNKD-DISK --n 3 --r 1 --w 1
                                         # one-off prediction for a configuration
     pbs-repro serve --port 8080         # JSON/HTTP prediction service
@@ -102,6 +106,15 @@ def build_parser() -> argparse.ArgumentParser:
             "and bisect around each t-visibility crossing until it is bracketed "
             "to this many milliseconds (experiments without a probe grid "
             "ignore the flag)"
+        ),
+    )
+    run_parser.add_argument(
+        "--name",
+        default=None,
+        help=(
+            "hostile-conditions scenario name for the 'scenario' experiment "
+            "(see repro.scenarios; e.g. baseline, partition, zipfian-skew); "
+            "experiments without scenarios ignore the flag"
         ),
     )
     run_parser.add_argument(
@@ -266,6 +279,7 @@ def _command_run(
     probe_resolution_ms: float | None = None,
     kernel_backend: str | None = None,
     draw_batch_size: int | None = None,
+    name: str | None = None,
 ) -> int:
     if experiment == "all":
         experiment_ids = [experiment_id for experiment_id, _ in list_experiments()]
@@ -284,6 +298,8 @@ def _command_run(
         sweep_kwargs["kernel_backend"] = kernel_backend
     if draw_batch_size is not None:
         sweep_kwargs["draw_batch_size"] = draw_batch_size
+    if name is not None:
+        sweep_kwargs["name"] = name
     for experiment_id in experiment_ids:
         result = run_experiment(experiment_id, trials=trials, rng=seed, **sweep_kwargs)
         print(result.to_text(precision=precision))
@@ -399,6 +415,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                 args.probe_resolution_ms,
                 args.kernel_backend,
                 args.draw_batch_size,
+                args.name,
             )
         if args.command == "predict":
             return _command_predict(

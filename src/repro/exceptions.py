@@ -38,3 +38,7 @@ class ExperimentError(PBSError):
 
 class KernelError(PBSError):
     """An unknown or unusable Monte Carlo kernel backend was requested."""
+
+
+class ScenarioError(PBSError):
+    """A hostile-conditions scenario was mis-specified or does not exist."""

@@ -95,14 +95,19 @@ def _run_cluster_workload(
     read_repair: bool = False,
     read_fanout_all: bool = True,
     crash_replica: bool = False,
+    draw_batch_size: int | None = None,
 ) -> dict[str, float]:
     """Run the single-key overwrite workload and summarise staleness and load."""
+    cluster_kwargs: dict = {}
+    if draw_batch_size is not None:
+        cluster_kwargs["draw_batch_size"] = draw_batch_size
     cluster = DynamoCluster(
         config=config,
         distributions=distributions,
         read_repair=read_repair,
         read_fanout_all=read_fanout_all,
         rng=rng,
+        **cluster_kwargs,
     )
     key = "ablation-key"
     if crash_replica:
@@ -133,6 +138,7 @@ def run_read_repair_ablation(
     workers: int = 1,
     probe_resolution_ms: float | None = None,
     kernel_backend: str | None = None,
+    draw_batch_size: int | None = None,
 ) -> ExperimentResult:
     """Compare observed staleness with read repair disabled (paper's model) vs enabled."""
     generator = as_rng(rng)
@@ -148,7 +154,12 @@ def run_read_repair_ablation(
     rows = []
     for label, read_repair in (("disabled (paper model)", False), ("enabled", True)):
         summary = _run_cluster_workload(
-            config, distributions, writes=trials, rng=generator, read_repair=read_repair
+            config,
+            distributions,
+            writes=trials,
+            rng=generator,
+            read_repair=read_repair,
+            draw_batch_size=draw_batch_size,
         )
         rows.append(
             {"read_repair": label, **summary, "wars_predicted_t_visibility_90_ms": predicted}
@@ -175,6 +186,7 @@ def run_fanout_ablation(
     workers: int = 1,
     probe_resolution_ms: float | None = None,
     kernel_backend: str | None = None,
+    draw_batch_size: int | None = None,
 ) -> ExperimentResult:
     """Staleness is unchanged by fan-out choice; per-replica read load is not."""
     generator = as_rng(rng)
@@ -190,7 +202,12 @@ def run_fanout_ablation(
     rows = []
     for label, fanout_all in (("all N replicas (Dynamo)", True), ("only R replicas (Voldemort)", False)):
         summary = _run_cluster_workload(
-            config, distributions, writes=trials, rng=generator, read_fanout_all=fanout_all
+            config,
+            distributions,
+            writes=trials,
+            rng=generator,
+            read_fanout_all=fanout_all,
+            draw_batch_size=draw_batch_size,
         )
         rows.append(
             {"read_fanout": label, **summary, "wars_predicted_t_visibility_90_ms": predicted}
@@ -214,6 +231,7 @@ def run_failure_ablation(
     workers: int = 1,
     probe_resolution_ms: float | None = None,
     kernel_backend: str | None = None,
+    draw_batch_size: int | None = None,
 ) -> ExperimentResult:
     """A crashed replica effectively shrinks N, changing both staleness and availability."""
     generator = as_rng(rng)
@@ -238,7 +256,12 @@ def run_failure_ablation(
     rows = []
     for label, crash in (("steady state", False), ("one replica crashed", True)):
         summary = _run_cluster_workload(
-            config, distributions, writes=trials, rng=generator, crash_replica=crash
+            config,
+            distributions,
+            writes=trials,
+            rng=generator,
+            crash_replica=crash,
+            draw_batch_size=draw_batch_size,
         )
         rows.append(
             {

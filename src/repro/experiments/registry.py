@@ -94,6 +94,7 @@ _OPTIONAL_SWEEP_KWARGS: tuple[str, ...] = (
     "probe_resolution_ms",
     "kernel_backend",
     "draw_batch_size",
+    "name",
 )
 
 
@@ -129,6 +130,7 @@ def _ensure_loaded() -> None:
         figure6,
         figure7,
         load,
+        scenarios,
         section3_examples,
         sla,
         table1_2_3,

@@ -17,17 +17,30 @@ import numpy as np
 
 from repro.analysis.validation import run_validation
 from repro.core.quorum import ReplicaConfig
+from repro.exceptions import ExperimentError
 from repro.experiments.registry import ExperimentResult, register
 from repro.latency.base import as_rng
 from repro.latency.distributions import ExponentialLatency
 from repro.latency.production import WARSDistributions
 
-__all__ = ["run_validation_grid", "VALIDATION_W_MEANS_MS", "VALIDATION_ARS_MEANS_MS"]
+__all__ = [
+    "run_validation_grid",
+    "VALIDATION_W_MEANS_MS",
+    "VALIDATION_ARS_MEANS_MS",
+    "VALIDATION_CONFIGS",
+]
 
 #: W means (ms) from §5.2: λ ∈ {0.05, 0.1, 0.2}.
 VALIDATION_W_MEANS_MS: tuple[float, ...] = (20.0, 10.0, 5.0)
 #: A=R=S means (ms) from §5.2: λ ∈ {0.1, 0.2, 0.5}.
 VALIDATION_ARS_MEANS_MS: tuple[float, ...] = (10.0, 5.0, 2.0)
+#: Replication configurations swept by the full grid: the paper's validation
+#: cell plus the partial-quorum shapes its Figure 4 analysis emphasises.
+VALIDATION_CONFIGS: tuple[ReplicaConfig, ...] = (
+    ReplicaConfig(n=3, r=1, w=1),
+    ReplicaConfig(n=3, r=1, w=2),
+    ReplicaConfig(n=3, r=2, w=1),
+)
 
 
 @register(
@@ -37,12 +50,18 @@ VALIDATION_ARS_MEANS_MS: tuple[float, ...] = (10.0, 5.0, 2.0)
 def run_validation_grid(
     trials: int = 400,
     rng: np.random.Generator | int | None = 0,
-    config: ReplicaConfig = ReplicaConfig(n=3, r=1, w=1),
+    config: ReplicaConfig | None = None,
+    configs: "tuple[ReplicaConfig, ...] | list[ReplicaConfig] | None" = None,
     prediction_trials: int = 100_000,
     workers: int | None = None,
     draw_batch_size: int | None = None,
 ) -> ExperimentResult:
-    """Run the predicted-vs-observed comparison over the §5.2 latency grid.
+    """Run the predicted-vs-observed comparison over the full §5.2 grid.
+
+    The grid is ``configs`` × W means × A=R=S means; the default sweeps the
+    paper's ``N=3, R=1, W=1`` cell plus the other strict-minority quorum
+    shapes (:data:`VALIDATION_CONFIGS`), so every latency combination is
+    validated for every configuration rather than one cell.
 
     ``trials`` is the number of *writes* issued per grid point (the paper uses
     50,000; several hundred already give sub-2% curve RMSE and keep the
@@ -50,6 +69,10 @@ def run_validation_grid(
     a paper-fidelity grid in reasonable wall-clock time).
 
     Args:
+        config: Sweep a single configuration (back-compat shorthand for
+            ``configs=(config,)``; mutually exclusive with ``configs``).
+        configs: Replication configurations to sweep; defaults to
+            :data:`VALIDATION_CONFIGS`.
         workers: Forwarded to :func:`~repro.analysis.validation.run_validation`:
             ``None`` keeps the serial single-cluster path per cell; an integer
             switches each cell to seed-spawned write blocks, farmed to a
@@ -58,6 +81,11 @@ def run_validation_grid(
             (default: the cluster's own default; ``1`` is the legacy
             per-message sampling stream).
     """
+    if config is not None and configs is not None:
+        raise ExperimentError("pass either config= or configs=, not both")
+    swept_configs = tuple(configs) if configs is not None else (
+        (config,) if config is not None else VALIDATION_CONFIGS
+    )
     generator = as_rng(rng)
     rows = []
     validation_kwargs: dict = {}
@@ -65,34 +93,38 @@ def run_validation_grid(
         validation_kwargs["workers"] = workers
     if draw_batch_size is not None:
         validation_kwargs["draw_batch_size"] = draw_batch_size
-    for w_mean in VALIDATION_W_MEANS_MS:
-        for ars_mean in VALIDATION_ARS_MEANS_MS:
-            distributions = WARSDistributions.write_specialised(
-                write=ExponentialLatency.from_mean(w_mean),
-                other=ExponentialLatency.from_mean(ars_mean),
-                name=f"exp W={w_mean}ms ARS={ars_mean}ms",
-            )
-            result = run_validation(
-                distributions=distributions,
-                config=config,
-                writes=trials,
-                write_interval_ms=max(10.0 * w_mean, 100.0),
-                read_offsets_ms=(1.0, 2.0, 5.0, 10.0, 20.0, 40.0, 60.0, 80.0),
-                prediction_trials=prediction_trials,
-                rng=generator,
-                **validation_kwargs,
-            )
-            rows.append(
-                {
-                    "w_mean_ms": w_mean,
-                    "ars_mean_ms": ars_mean,
-                    "writes": trials,
-                    "observations": result.observations,
-                    "consistency_rmse_pct": result.consistency_rmse * 100.0,
-                    "read_latency_nrmse_pct": result.read_latency_nrmse * 100.0,
-                    "write_latency_nrmse_pct": result.write_latency_nrmse * 100.0,
-                }
-            )
+    for swept_config in swept_configs:
+        for w_mean in VALIDATION_W_MEANS_MS:
+            for ars_mean in VALIDATION_ARS_MEANS_MS:
+                distributions = WARSDistributions.write_specialised(
+                    write=ExponentialLatency.from_mean(w_mean),
+                    other=ExponentialLatency.from_mean(ars_mean),
+                    name=f"exp W={w_mean}ms ARS={ars_mean}ms",
+                )
+                result = run_validation(
+                    distributions=distributions,
+                    config=swept_config,
+                    writes=trials,
+                    write_interval_ms=max(10.0 * w_mean, 100.0),
+                    read_offsets_ms=(1.0, 2.0, 5.0, 10.0, 20.0, 40.0, 60.0, 80.0),
+                    prediction_trials=prediction_trials,
+                    rng=generator,
+                    **validation_kwargs,
+                )
+                rows.append(
+                    {
+                        "n": swept_config.n,
+                        "r": swept_config.r,
+                        "w": swept_config.w,
+                        "w_mean_ms": w_mean,
+                        "ars_mean_ms": ars_mean,
+                        "writes": trials,
+                        "observations": result.observations,
+                        "consistency_rmse_pct": result.consistency_rmse * 100.0,
+                        "read_latency_nrmse_pct": result.read_latency_nrmse * 100.0,
+                        "write_latency_nrmse_pct": result.write_latency_nrmse * 100.0,
+                    }
+                )
     mean_rmse = float(np.mean([row["consistency_rmse_pct"] for row in rows]))
     return ExperimentResult(
         experiment_id="validation",

@@ -1,0 +1,51 @@
+"""Hostile-conditions scenario matrix.
+
+The paper's §5.2 validation holds everything except the latency
+distributions constant; this package opens that scenario space.  A
+:class:`~repro.scenarios.registry.Scenario` declares one departure from the
+benign validation conditions (key skew, partitions, message loss, WAN
+topologies, anti-entropy, churn, crashes), and
+:func:`~repro.scenarios.divergence.run_scenario` measures how far the WARS
+model's predictions drift when the simulated cluster deviates while the
+predictors keep the paper's assumptions.
+
+Importing this package registers the built-in scenarios
+(:mod:`repro.scenarios.definitions`); registry look-ups load them lazily as
+well, so ``get_scenario("partition")`` works from a cold start.
+"""
+
+from repro.scenarios.divergence import (
+    DEFAULT_T_VISIBILITY_TARGETS,
+    SCENARIO_BLOCK_WRITES,
+    ScenarioDivergence,
+    run_scenario,
+    run_scenario_matrix,
+    validate_divergence,
+)
+from repro.scenarios.registry import (
+    DEFAULT_READ_OFFSETS_MS,
+    SCENARIO_KEY,
+    Scenario,
+    ScenarioContext,
+    get_scenario,
+    list_scenarios,
+    register_scenario,
+    scenario_names,
+)
+
+__all__ = [
+    "Scenario",
+    "ScenarioContext",
+    "ScenarioDivergence",
+    "register_scenario",
+    "get_scenario",
+    "list_scenarios",
+    "scenario_names",
+    "run_scenario",
+    "run_scenario_matrix",
+    "validate_divergence",
+    "SCENARIO_BLOCK_WRITES",
+    "SCENARIO_KEY",
+    "DEFAULT_READ_OFFSETS_MS",
+    "DEFAULT_T_VISIBILITY_TARGETS",
+]

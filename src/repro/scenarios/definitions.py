@@ -1,0 +1,255 @@
+"""Built-in hostile-conditions scenarios.
+
+Each scenario below relaxes exactly one of the assumptions the paper's §5.2
+validation holds fixed, so its divergence report isolates that assumption's
+contribution to model error:
+
+``baseline``
+    No departure at all — the PR 5 validation cell.  Pins the harness itself:
+    its consistency RMSE must stay within the paper's error envelope (≤ 1%).
+``zipfian-skew``
+    YCSB-style Zipfian key choice with overlapping writes per hot key,
+    violating the one-outstanding-write-per-key assumption.
+``partition``
+    A coordinator↔replica network partition for a third of each block,
+    violating always-connected replicas.
+``message-loss``
+    5% independent per-message drop probability, violating reliable delivery.
+``wan-topology``
+    One local replica, two behind a WAN hop (per-replica latencies), while
+    the predictors keep assuming i.i.d. replicas.
+``anti-entropy``
+    Read repair + hinted handoff + periodic Merkle exchange under moderate
+    loss — extra convergence channels the conservative WARS model omits.
+``membership-churn``
+    Ring rebalancing mid-run: a node joins, another leaves, remapping
+    preference lists under the workload.
+``crash-recovery``
+    A fail-stop replica crash with recovery mid-block, the paper's §6
+    failure-mode discussion made concrete.
+
+All hooks and factories are module-level functions so sharded runs can
+resolve the scenario by name inside worker processes (see
+:mod:`repro.scenarios.registry`).  Every event-scheduling hook places events
+at *fractions of the block horizon*, keeping scenarios meaningful at both
+test scale (2k writes) and paper scale (50k writes).
+"""
+
+from __future__ import annotations
+
+from repro.cluster.store import DynamoCluster
+from repro.latency.composite import wan_replica_model
+from repro.latency.distributions import ExponentialLatency
+from repro.latency.production import WARSDistributions
+from repro.scenarios.registry import (
+    SCENARIO_KEY,
+    Scenario,
+    ScenarioContext,
+    register_scenario,
+)
+from repro.workloads.keys import ZipfianKeys
+from repro.workloads.operations import Operation
+from repro.workloads.ycsb import skewed_validation_workload
+
+__all__: list[str] = []
+
+#: The benign §5.2 cell every scenario's predictors assume: exponential
+#: write-leg mean 20 ms, shared A=R=S mean 10 ms (the grid's first cell).
+BASE_W_MEAN_MS = 20.0
+BASE_ARS_MEAN_MS = 10.0
+
+#: One-way WAN hop added to remote replicas in ``wan-topology``.  Kept small
+#: relative to the paper's 75 ms so the staleness curve stays inside the
+#: default probe window.
+WAN_DELAY_MS = 15.0
+
+#: Keyspace and skew for ``zipfian-skew`` (YCSB's default theta).
+SKEW_KEYSPACE = 16
+SKEW_THETA = 0.99
+
+
+def benign_distributions() -> WARSDistributions:
+    """The unmutated WARS model every scenario's predictors assume."""
+    return WARSDistributions.write_specialised(
+        write=ExponentialLatency.from_mean(BASE_W_MEAN_MS),
+        other=ExponentialLatency.from_mean(BASE_ARS_MEAN_MS),
+        name="benign",
+    )
+
+
+def wan_distributions() -> WARSDistributions:
+    """Per-replica WAN latencies: one local replica, the rest one hop away."""
+    return WARSDistributions(
+        w=wan_replica_model(
+            ExponentialLatency.from_mean(BASE_W_MEAN_MS), 3, wan_delay_ms=WAN_DELAY_MS
+        ),
+        a=wan_replica_model(
+            ExponentialLatency.from_mean(BASE_ARS_MEAN_MS), 3, wan_delay_ms=WAN_DELAY_MS
+        ),
+        r=wan_replica_model(
+            ExponentialLatency.from_mean(BASE_ARS_MEAN_MS), 3, wan_delay_ms=WAN_DELAY_MS
+        ),
+        s=wan_replica_model(
+            ExponentialLatency.from_mean(BASE_ARS_MEAN_MS), 3, wan_delay_ms=WAN_DELAY_MS
+        ),
+        name="wan",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Setup hooks (cluster mutators).
+# ---------------------------------------------------------------------------
+
+
+def partition_setup(cluster: DynamoCluster, context: ScenarioContext) -> None:
+    """Partition the coordinator from one replica for 30%–60% of the block."""
+    victim = cluster.replicas_for(SCENARIO_KEY)[-1].node_id
+    coordinator = cluster.coordinators[0].coordinator_id
+    cluster.simulator.schedule_at(
+        0.30 * context.horizon_ms,
+        lambda: cluster.network.partition(coordinator, victim),
+        label="scenario:partition",
+    )
+    cluster.simulator.schedule_at(
+        0.60 * context.horizon_ms,
+        lambda: cluster.network.heal(coordinator, victim),
+        label="scenario:heal",
+    )
+
+
+def anti_entropy_setup(cluster: DynamoCluster, context: ScenarioContext) -> None:
+    """Run Merkle exchange rounds over the whole block, stopping at the horizon.
+
+    The controller must be stopped explicitly: its rounds reschedule
+    themselves, and the workload runner's final drain would otherwise never
+    see an empty event queue.
+    """
+    controller = cluster.enable_merkle_anti_entropy(interval_ms=250.0, pairs_per_round=1)
+    cluster.simulator.schedule_at(
+        context.horizon_ms, controller.stop, label="scenario:anti-entropy-stop"
+    )
+
+
+def churn_setup(cluster: DynamoCluster, context: ScenarioContext) -> None:
+    """Rebalance the ring mid-run: one node joins at 35%, another leaves at 65%."""
+    cluster.simulator.schedule_at(
+        0.35 * context.horizon_ms,
+        lambda: cluster.membership.add_node("node-joiner"),
+        label="scenario:join",
+    )
+    cluster.simulator.schedule_at(
+        0.65 * context.horizon_ms,
+        lambda: cluster.membership.remove_node("node-4"),
+        label="scenario:leave",
+    )
+
+
+def crash_setup(cluster: DynamoCluster, context: ScenarioContext) -> None:
+    """Fail-stop one replica of the scenario key at 25%, recover it at 55%."""
+    victim = cluster.replicas_for(SCENARIO_KEY)[-1].node_id
+    cluster.failure_injector.schedule_crash(
+        victim,
+        at_ms=0.25 * context.horizon_ms,
+        downtime_ms=0.30 * context.horizon_ms,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Workload factories.
+# ---------------------------------------------------------------------------
+
+
+def skewed_workload(context: ScenarioContext) -> list[Operation]:
+    """Zipfian-key overwrite workload; hot keys get back-to-back racing writes."""
+    return skewed_validation_workload(
+        keys=ZipfianKeys(SKEW_KEYSPACE, theta=SKEW_THETA),
+        writes=context.writes,
+        write_interval_ms=context.write_interval_ms,
+        read_offsets_ms=context.read_offsets_ms,
+        rng=context.rng,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Registrations.
+# ---------------------------------------------------------------------------
+
+register_scenario(
+    Scenario(
+        name="baseline",
+        description="Benign §5.2 cell (W mean 20 ms, A=R=S mean 10 ms); pins the harness",
+        base_distributions=benign_distributions,
+        hostile=False,
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="zipfian-skew",
+        description="Zipfian key skew with overlapping per-key writes (YCSB theta 0.99)",
+        base_distributions=benign_distributions,
+        workload=skewed_workload,
+        write_interval_ms=25.0,
+        read_offsets_ms=(1.0, 2.0, 5.0, 10.0, 20.0),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="partition",
+        description="Coordinator-replica partition over 30%-60% of each block",
+        base_distributions=benign_distributions,
+        setup=partition_setup,
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="message-loss",
+        description="5% independent per-message drop probability",
+        base_distributions=benign_distributions,
+        cluster_kwargs={"loss_probability": 0.05},
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="wan-topology",
+        description="One local replica, two behind a 15 ms WAN hop (per-replica latencies)",
+        base_distributions=benign_distributions,
+        cluster_distributions=wan_distributions,
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="anti-entropy",
+        description="Read repair + hinted handoff + 250 ms Merkle exchange under 3% loss",
+        base_distributions=benign_distributions,
+        cluster_kwargs={
+            "read_repair": True,
+            "hinted_handoff": True,
+            "loss_probability": 0.03,
+        },
+        setup=anti_entropy_setup,
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="membership-churn",
+        description="Mid-run ring rebalancing: a node joins at 35%, another leaves at 65%",
+        base_distributions=benign_distributions,
+        cluster_kwargs={"node_count": 5},
+        setup=churn_setup,
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="crash-recovery",
+        description="Fail-stop replica crash at 25% of the block, recovery at 55%",
+        base_distributions=benign_distributions,
+        setup=crash_setup,
+    )
+)

@@ -32,6 +32,13 @@ class OperationKind(Enum):
     READ = "read"
     WRITE = "write"
 
+    def __lt__(self, other: object) -> bool:
+        # Keeps Operation's field-tuple ordering total when start times tie
+        # (e.g. a read offset equal to the write interval).
+        if isinstance(other, OperationKind):
+            return self.value < other.value
+        return NotImplemented
+
 
 @dataclass(frozen=True, order=True)
 class Operation:

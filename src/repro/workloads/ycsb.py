@@ -21,9 +21,9 @@ from repro.exceptions import WorkloadError
 from repro.latency.base import as_rng
 from repro.workloads.arrivals import PoissonArrivals
 from repro.workloads.keys import KeyChooser, UniformKeys, ZipfianKeys
-from repro.workloads.operations import Operation, OperationKind
+from repro.workloads.operations import Operation, OperationKind, validation_workload
 
-__all__ = ["YCSBWorkload", "ycsb_workload", "YCSB_MIXES"]
+__all__ = ["YCSBWorkload", "ycsb_workload", "skewed_validation_workload", "YCSB_MIXES"]
 
 #: Standard YCSB mixes: (read fraction, update fraction, read-modify-write fraction).
 YCSB_MIXES: dict[str, tuple[float, float, float]] = {
@@ -95,6 +95,60 @@ class YCSBWorkload:
                     )
                 )
         return operations
+
+
+def skewed_validation_workload(
+    keys: KeyChooser,
+    writes: int,
+    write_interval_ms: float,
+    read_offsets_ms: tuple[float, ...] | list[float],
+    rng: np.random.Generator | int | None = None,
+) -> list[Operation]:
+    """The §5.2 overwrite-and-race workload generalised to a skewed keyspace.
+
+    Every ``write_interval_ms`` a write targets a key drawn from ``keys``
+    (YCSB-style Zipfian choosers make popular keys receive back-to-back
+    writes), and one read per offset races *that key's* write.  Unlike
+    :func:`~repro.workloads.operations.validation_workload`, offsets may
+    exceed the write interval: a hot key's reads can then race several of
+    its in-flight writes, which is exactly the contention the paper's
+    one-write-at-a-time model rules out.
+
+    Key choice consumes one ``rng`` draw per write (and nothing else), so
+    the stream is deterministic for a fixed seed and independent of the
+    cluster's sampling streams.
+    """
+    if writes < 1:
+        raise WorkloadError(f"at least one write is required, got {writes}")
+    if write_interval_ms <= 0:
+        raise WorkloadError(f"write interval must be positive, got {write_interval_ms}")
+    if not read_offsets_ms:
+        raise WorkloadError("at least one read offset is required")
+    if min(read_offsets_ms) < 0:
+        raise WorkloadError("read offsets must be non-negative")
+
+    generator = as_rng(rng)
+    operations: list[Operation] = []
+    for index in range(writes):
+        write_time = index * write_interval_ms
+        key = keys.choose(generator)
+        operations.append(
+            Operation(
+                start_ms=write_time,
+                kind=OperationKind.WRITE,
+                key=key,
+                value=f"version-{index}",
+            )
+        )
+        for offset in read_offsets_ms:
+            operations.append(
+                Operation(
+                    start_ms=write_time + float(offset),
+                    kind=OperationKind.READ,
+                    key=key,
+                )
+            )
+    return sorted(operations)
 
 
 def ycsb_workload(

@@ -14,6 +14,8 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.cluster.network import Network
 from repro.cluster.sampling import LatencyDrawBuffer, UniformDrawBuffer
@@ -228,3 +230,88 @@ class TestEndToEndDeterminism:
     def test_unknown_engine_rejected(self):
         with pytest.raises(ConfigurationError):
             _run_cluster(0, engine="warp-drive")
+
+
+#: Endpoint pool for the churn property test: the original replicas plus
+#: nodes that join mid-run.  The i.i.d. write distribution serves any node
+#: name, matching how churned clusters draw for joiners without a slot.
+_CHURN_NODES = ("n0", "n1", "n2", "joiner-a", "joiner-b")
+
+_delivery_plans = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=len(_CHURN_NODES) - 1), st.booleans()),
+    min_size=1,
+    max_size=40,
+)
+
+
+class TestDroppedDrawAccountingUnderChurn:
+    """Dropped messages consume zero latency draws, even as nodes come and go.
+
+    The property generalises ``test_dropped_messages_consume_no_latency_draws``
+    to arbitrary partition/heal interleavings over a churned endpoint pool:
+    whatever subset of messages is dropped, the delivered messages' delays are
+    exactly the prefix of the loss-free stream, in order.
+    """
+
+    @given(plan=_delivery_plans, seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_delivered_delays_are_the_loss_free_prefix(self, plan, seed):
+        baseline = _network(seed=seed, batch_size=16)
+        expected = [
+            baseline.write_delay(_CHURN_NODES[node]) for node, dropped in plan if not dropped
+        ]
+
+        network = _network(seed=seed, batch_size=16)
+        delivered_delays = []
+        for node_index, dropped in plan:
+            node = _CHURN_NODES[node_index]
+            if dropped:
+                network.partition("coordinator-0", node)
+                assert not network.delivers("coordinator-0", node)
+                network.heal("coordinator-0", node)
+            else:
+                assert network.delivers("coordinator-0", node)
+                delivered_delays.append(network.write_delay(node))
+
+        assert delivered_delays == expected
+        assert network.dropped_messages == sum(1 for _, dropped in plan if dropped)
+
+    def test_lossy_churned_rebalancing_runs_are_reproducible(self):
+        """Mid-run membership churn (ring rebalancing) plus message loss stays
+        deterministic: same seed, same trace, same dropped count."""
+
+        def churned(seed: int) -> DynamoCluster:
+            distributions = WARSDistributions.write_specialised(
+                write=ExponentialLatency.from_mean(20.0),
+                other=ExponentialLatency.from_mean(10.0),
+            )
+            cluster = DynamoCluster(
+                config=ReplicaConfig(n=3, r=1, w=1),
+                distributions=distributions,
+                rng=seed,
+                node_count=5,
+                loss_probability=0.1,
+            )
+            simulator = cluster.simulator
+            simulator.schedule_at(
+                1_500.0, lambda: cluster.membership.add_node("node-joiner"), label="join"
+            )
+            simulator.schedule_at(
+                2_500.0, lambda: cluster.membership.remove_node("node-4"), label="leave"
+            )
+            operations = validation_workload(
+                key="k", writes=40, write_interval_ms=100.0, read_offsets_ms=(1.0, 5.0, 20.0)
+            )
+            WorkloadRunner(cluster).run(operations)
+            return cluster
+
+        first = churned(31)
+        second = churned(31)
+        assert _trace_fingerprint(first) == _trace_fingerprint(second)
+        assert first.network.dropped_messages == second.network.dropped_messages
+        assert first.network.draw_refills == second.network.draw_refills
+        assert first.membership.generation == second.membership.generation == 2
+        # The churn actually rebalanced: the joiner is live, node-4 is gone.
+        assert first.membership.node("node-joiner") is not None
+        with pytest.raises(ConfigurationError):
+            first.membership.node("node-4")

@@ -145,11 +145,40 @@ class TestMonteCarloExperiments:
 
 class TestValidationExperiment:
     def test_small_grid_runs_and_reports_error(self):
-        result = run_experiment("validation", trials=60, rng=0, prediction_trials=20_000)
+        from repro.core.quorum import ReplicaConfig
+
+        result = run_experiment(
+            "validation",
+            trials=60,
+            rng=0,
+            prediction_trials=20_000,
+            configs=(ReplicaConfig(3, 1, 1),),
+        )
         assert len(result.rows) == 9
         for row in result.rows:
+            assert (row["n"], row["r"], row["w"]) == (3, 1, 1)
             assert row["consistency_rmse_pct"] < 25.0
             assert row["observations"] > 0
+
+    def test_full_grid_sweeps_every_configuration(self):
+        from repro.experiments.validation import VALIDATION_CONFIGS
+
+        result = run_experiment("validation", trials=60, rng=0, prediction_trials=5_000)
+        # configs × W means × A=R=S means.
+        assert len(result.rows) == len(VALIDATION_CONFIGS) * 9
+        seen_configs = {(row["n"], row["r"], row["w"]) for row in result.rows}
+        assert seen_configs == {(c.n, c.r, c.w) for c in VALIDATION_CONFIGS}
+
+    def test_config_and_configs_are_mutually_exclusive(self):
+        from repro.core.quorum import ReplicaConfig
+
+        with pytest.raises(ExperimentError):
+            run_experiment(
+                "validation",
+                trials=60,
+                config=ReplicaConfig(3, 1, 1),
+                configs=(ReplicaConfig(3, 1, 1),),
+            )
 
 
 def _registered_experiment_ids() -> list[str]:
@@ -342,6 +371,10 @@ class TestRegistrySmoke:
                 # *fixed* probe grid by construction; adaptive refinement
                 # would change the oracle's grid, not the comparison.
                 "analytic-validation",
+                # Scenario divergence bins measured staleness directly; there
+                # is no probe grid to refine.
+                "scenario",
+                "scenarios",
             }, (
                 f"{experiment_id} silently loses --probe-resolution-ms; "
                 "add the kwarg to its runner"

@@ -174,6 +174,96 @@ class TestMultiKeyWorkloads:
         )
 
 
+class TestValidationGridMatchesPerCellRuns:
+    def test_grid_rows_reproduce_independent_cell_runs(self):
+        """``run_validation_grid`` is exactly the per-cell ``run_validation``
+        loop: one shared generator, one root-entropy draw per cell, cells
+        visited in configs × W × A=R=S order.  Replaying that protocol by
+        hand must reproduce every row bit-for-bit."""
+        from repro.experiments.validation import (
+            VALIDATION_ARS_MEANS_MS,
+            VALIDATION_CONFIGS,
+            VALIDATION_W_MEANS_MS,
+            run_validation_grid,
+        )
+
+        trials, prediction_trials, seed = 60, 3_000, 5
+        grid = run_validation_grid(
+            trials=trials, rng=seed, prediction_trials=prediction_trials
+        )
+        assert len(grid.rows) == (
+            len(VALIDATION_CONFIGS)
+            * len(VALIDATION_W_MEANS_MS)
+            * len(VALIDATION_ARS_MEANS_MS)
+        )
+
+        generator = np.random.default_rng(seed)
+        row_iter = iter(grid.rows)
+        for config in VALIDATION_CONFIGS:
+            for w_mean in VALIDATION_W_MEANS_MS:
+                for ars_mean in VALIDATION_ARS_MEANS_MS:
+                    cell = run_validation(
+                        distributions=exponential_wars(w_mean, ars_mean),
+                        config=config,
+                        writes=trials,
+                        write_interval_ms=max(10.0 * w_mean, 100.0),
+                        read_offsets_ms=(1.0, 2.0, 5.0, 10.0, 20.0, 40.0, 60.0, 80.0),
+                        prediction_trials=prediction_trials,
+                        rng=generator,
+                    )
+                    row = next(row_iter)
+                    assert (row["n"], row["r"], row["w"]) == (config.n, config.r, config.w)
+                    assert (row["w_mean_ms"], row["ars_mean_ms"]) == (w_mean, ars_mean)
+                    assert row["observations"] == cell.observations
+                    assert row["consistency_rmse_pct"] == cell.consistency_rmse * 100.0
+                    assert row["read_latency_nrmse_pct"] == cell.read_latency_nrmse * 100.0
+                    assert row["write_latency_nrmse_pct"] == cell.write_latency_nrmse * 100.0
+
+
+    @pytest.mark.slow
+    def test_grid_matches_per_cell_runs_at_5k_writes(self):
+        """The same grid-vs-cell replay at 5,000 writes per cell (sharded):
+        the full §5.2 grid in one call equals 27 independent cell runs."""
+        import os
+
+        from repro.experiments.validation import (
+            VALIDATION_ARS_MEANS_MS,
+            VALIDATION_CONFIGS,
+            VALIDATION_W_MEANS_MS,
+            run_validation_grid,
+        )
+
+        trials, prediction_trials, seed = 5_000, 20_000, 0
+        workers = min(4, os.cpu_count() or 1)
+        grid = run_validation_grid(
+            trials=trials,
+            rng=seed,
+            prediction_trials=prediction_trials,
+            workers=workers,
+        )
+        generator = np.random.default_rng(seed)
+        row_iter = iter(grid.rows)
+        for config in VALIDATION_CONFIGS:
+            for w_mean in VALIDATION_W_MEANS_MS:
+                for ars_mean in VALIDATION_ARS_MEANS_MS:
+                    cell = run_validation(
+                        distributions=exponential_wars(w_mean, ars_mean),
+                        config=config,
+                        writes=trials,
+                        write_interval_ms=max(10.0 * w_mean, 100.0),
+                        read_offsets_ms=(1.0, 2.0, 5.0, 10.0, 20.0, 40.0, 60.0, 80.0),
+                        prediction_trials=prediction_trials,
+                        rng=generator,
+                        workers=workers,
+                    )
+                    row = next(row_iter)
+                    assert row["observations"] == cell.observations
+                    assert row["consistency_rmse_pct"] == cell.consistency_rmse * 100.0
+                    # At 5k writes every cell should already be inside a few
+                    # percent of the prediction.
+                    assert row["consistency_rmse_pct"] < 4.0
+
+
 class TestPredictorEndToEnd:
     def test_predictor_report_matches_direct_wars_run(self):
         # Passing generators in the same state selects the sweep engine's

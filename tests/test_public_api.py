@@ -21,8 +21,10 @@ SUBPACKAGES = (
     "repro.workloads",
     "repro.montecarlo",
     "repro.analysis",
+    "repro.analytic",
     "repro.experiments",
     "repro.serving",
+    "repro.scenarios",
 )
 
 

@@ -1,0 +1,184 @@
+"""Property-based tests for YCSB key generators and the skewed workload.
+
+The scenario matrix leans on :class:`ZipfianKeys` (the ``zipfian-skew``
+scenario's chooser) and :func:`skewed_validation_workload`, so their
+contracts — exact Zipf frequency-rank slope, bounded support, and seed
+determinism — are pinned here with hypothesis.
+"""
+
+from __future__ import annotations
+
+import collections
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import WorkloadError
+from repro.workloads.keys import ZipfianKeys, key_name
+from repro.workloads.operations import OperationKind
+from repro.workloads.ycsb import skewed_validation_workload
+
+_keyspaces = st.integers(min_value=1, max_value=64)
+_thetas = st.floats(min_value=0.1, max_value=2.0, allow_nan=False, allow_infinity=False)
+_seeds = st.integers(min_value=0, max_value=2**31 - 1)
+_offsets = st.lists(
+    st.floats(min_value=0.0, max_value=100.0, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=5,
+)
+
+
+class TestZipfianFrequencyRankSlope:
+    @given(keys=_keyspaces, theta=_thetas)
+    def test_probabilities_sum_to_one_and_decrease_with_rank(self, keys, theta):
+        chooser = ZipfianKeys(keys, theta=theta)
+        probabilities = [chooser.probability_of_rank(rank) for rank in range(keys)]
+        assert abs(sum(probabilities) - 1.0) < 1e-9
+        assert all(a >= b for a, b in zip(probabilities, probabilities[1:]))
+
+    @given(keys=st.integers(min_value=2, max_value=64), theta=_thetas)
+    def test_rank_probability_ratio_follows_power_law(self, keys, theta):
+        chooser = ZipfianKeys(keys, theta=theta)
+        # P(rank i) / P(rank j) == ((j + 1) / (i + 1)) ** theta exactly —
+        # the normaliser cancels, leaving the pure Zipf slope.
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            i, j = rng.integers(0, keys, size=2)
+            expected = ((j + 1) / (i + 1)) ** theta
+            ratio = chooser.probability_of_rank(int(i)) / chooser.probability_of_rank(int(j))
+            assert ratio == pytest.approx(expected, rel=1e-9)
+
+    @given(keys=st.integers(min_value=4, max_value=64), theta=_thetas)
+    def test_log_log_slope_recovers_theta(self, keys, theta):
+        chooser = ZipfianKeys(keys, theta=theta)
+        ranks = np.arange(1, keys + 1, dtype=float)
+        probabilities = np.array(
+            [chooser.probability_of_rank(rank) for rank in range(keys)]
+        )
+        slope = np.polyfit(np.log(ranks), np.log(probabilities), 1)[0]
+        assert slope == pytest.approx(-theta, rel=1e-6, abs=1e-6)
+
+    def test_empirical_frequencies_match_exact_probabilities(self):
+        chooser = ZipfianKeys(16, theta=0.99)
+        samples = chooser.sample(20_000, rng=7)
+        counts = collections.Counter(samples)
+        for rank in range(4):
+            empirical = counts[key_name(rank)] / len(samples)
+            assert empirical == pytest.approx(
+                chooser.probability_of_rank(rank), abs=0.02
+            )
+
+
+class TestZipfianSupportAndDeterminism:
+    @given(keys=_keyspaces, theta=_thetas, seed=_seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_samples_stay_inside_the_keyspace(self, keys, theta, seed):
+        chooser = ZipfianKeys(keys, theta=theta)
+        support = {key_name(index) for index in range(keys)}
+        assert set(chooser.sample(50, rng=seed)) <= support
+
+    @given(keys=_keyspaces, theta=_thetas, seed=_seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_same_seed_same_sequence(self, keys, theta, seed):
+        chooser = ZipfianKeys(keys, theta=theta)
+        assert chooser.sample(50, rng=seed) == chooser.sample(50, rng=seed)
+
+    @given(keys=_keyspaces, theta=_thetas)
+    def test_invalid_rank_rejected(self, keys, theta):
+        chooser = ZipfianKeys(keys, theta=theta)
+        with pytest.raises(WorkloadError):
+            chooser.probability_of_rank(-1)
+        with pytest.raises(WorkloadError):
+            chooser.probability_of_rank(keys)
+
+
+class TestSkewedValidationWorkload:
+    @given(
+        keys=st.integers(min_value=1, max_value=16),
+        writes=st.integers(min_value=1, max_value=20),
+        interval=st.floats(min_value=0.5, max_value=50.0, allow_nan=False),
+        offsets=_offsets,
+        seed=_seeds,
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_shape_and_read_write_pairing(self, keys, writes, interval, offsets, seed):
+        chooser = ZipfianKeys(keys, theta=0.99)
+        operations = skewed_validation_workload(
+            chooser, writes, interval, tuple(offsets), rng=seed
+        )
+        assert len(operations) == writes * (1 + len(offsets))
+        starts = [operation.start_ms for operation in operations]
+        assert starts == sorted(starts)
+
+        write_ops = sorted(
+            (op for op in operations if op.kind is OperationKind.WRITE),
+            key=lambda op: op.start_ms,
+        )
+        assert len(write_ops) == writes
+        assert [op.start_ms for op in write_ops] == [
+            index * interval for index in range(writes)
+        ]
+        assert [op.value for op in write_ops] == [
+            f"version-{index}" for index in range(writes)
+        ]
+
+        # One read per offset racing *its own* write's key.
+        expected_reads = collections.Counter(
+            (write.start_ms + float(offset), write.key)
+            for write in write_ops
+            for offset in offsets
+        )
+        actual_reads = collections.Counter(
+            (op.start_ms, op.key)
+            for op in operations
+            if op.kind is OperationKind.READ
+        )
+        assert actual_reads == expected_reads
+
+    @given(
+        keys=st.integers(min_value=1, max_value=16),
+        writes=st.integers(min_value=1, max_value=20),
+        seed=_seeds,
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_deterministic_for_a_fixed_seed(self, keys, writes, seed):
+        chooser = ZipfianKeys(keys, theta=0.99)
+        first = skewed_validation_workload(chooser, writes, 10.0, (1.0, 5.0), rng=seed)
+        second = skewed_validation_workload(chooser, writes, 10.0, (1.0, 5.0), rng=seed)
+        assert first == second
+
+    def test_key_choice_consumes_exactly_one_draw_per_write(self):
+        chooser = ZipfianKeys(8, theta=0.99)
+        rng = np.random.default_rng(11)
+        expected_keys = [chooser.choose(rng) for _ in range(12)]
+        operations = skewed_validation_workload(
+            chooser, 12, 10.0, (1.0,), rng=np.random.default_rng(11)
+        )
+        write_keys = [
+            op.key
+            for op in sorted(operations, key=lambda op: (op.start_ms, op.kind.value))
+            if op.kind is OperationKind.WRITE
+        ]
+        assert write_keys == expected_keys
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"writes": 0},
+            {"write_interval_ms": 0.0},
+            {"read_offsets_ms": ()},
+            {"read_offsets_ms": (-1.0,)},
+        ],
+    )
+    def test_invalid_arguments_rejected(self, kwargs):
+        arguments = dict(
+            keys=ZipfianKeys(4, theta=0.99),
+            writes=5,
+            write_interval_ms=10.0,
+            read_offsets_ms=(1.0,),
+        )
+        arguments.update(kwargs)
+        with pytest.raises(WorkloadError):
+            skewed_validation_workload(**arguments)

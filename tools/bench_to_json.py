@@ -33,7 +33,9 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
 def _ensure_importable() -> None:
-    for entry in (REPO_ROOT / "src", REPO_ROOT / "benchmarks"):
+    # REPO_ROOT itself makes ``benchmarks.conftest`` importable (the bench
+    # modules import ``run_once`` from it) regardless of the caller's cwd.
+    for entry in (REPO_ROOT / "src", REPO_ROOT / "benchmarks", REPO_ROOT):
         if str(entry) not in sys.path:
             sys.path.insert(0, str(entry))
 
@@ -123,6 +125,17 @@ def run_benchmarks(quick: bool = False) -> dict:
         requests=serving_requests
     )
 
+    import test_bench_scenarios as bench_scenarios
+
+    scenario_writes = 2_000 if quick else 5_000
+    print(
+        f"hostile-conditions scenario matrix ({scenario_writes} writes/scenario) ...",
+        flush=True,
+    )
+    benchmarks["scenario_divergence"] = bench_scenarios.measure_scenario_divergence(
+        writes=scenario_writes
+    )
+
     return document
 
 
@@ -147,6 +160,14 @@ def main(argv: list[str] | None = None) -> int:
     for name, result in document["benchmarks"].items():
         if "skipped" in result:
             print(f"{name}: skipped ({result['skipped']})")
+        elif "lines" in result:
+            # One divergence trajectory line per scenario.
+            for scenario, line in result["lines"].items():
+                print(
+                    f"{name}[{scenario}]: consistency rmse "
+                    f"{line['consistency_rmse_pct']:.2f}%, "
+                    f"dropped {line['dropped_messages']}"
+                )
         elif "speedup" in result:
             print(f"{name}: speedup {result['speedup']:.2f}x")
         else:
