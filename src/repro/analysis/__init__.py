@@ -7,11 +7,13 @@ from repro.analysis.export import (
     rows_to_json,
 )
 from repro.analysis.staleness import (
+    StalenessFrame,
     StalenessObservation,
     consistency_by_time,
     k_staleness_fraction,
     measured_t_visibility,
     observe_staleness,
+    observe_staleness_frame,
     operation_latencies,
     version_lags,
 )
@@ -26,17 +28,20 @@ from repro.analysis.statistics import (
 )
 from repro.analysis.tables import format_curve, format_kv, format_table
 from repro.analysis.validation import ValidationResult, run_validation
+from repro.analysis.windows import prefix_dominance_counts
 
 __all__ = [
     "export_result",
     "load_rows_json",
     "rows_to_csv",
     "rows_to_json",
+    "StalenessFrame",
     "StalenessObservation",
     "consistency_by_time",
     "k_staleness_fraction",
     "measured_t_visibility",
     "observe_staleness",
+    "observe_staleness_frame",
     "operation_latencies",
     "version_lags",
     "BinnedSeries",
@@ -51,4 +56,5 @@ __all__ = [
     "format_table",
     "ValidationResult",
     "run_validation",
+    "prefix_dominance_counts",
 ]

@@ -11,7 +11,7 @@ injection) support the ablation experiments.
 from repro.cluster.antientropy import AntiEntropyStats, MerkleAntiEntropy
 from repro.cluster.client import ClientSession, SessionStats, WorkloadRunner
 from repro.cluster.coordinator import Coordinator, ReadHandle, WriteHandle
-from repro.cluster.events import Event, EventQueue
+from repro.cluster.events import CalendarQueue, Event, EventQueue
 from repro.cluster.failures import FailureEvent, FailureInjector
 from repro.cluster.membership import Membership
 from repro.cluster.merkle import MerkleTree
@@ -26,6 +26,11 @@ from repro.cluster.sampling import (
 from repro.cluster.simulator import Simulator
 from repro.cluster.staleness_detector import StalenessDetector, StalenessSignal
 from repro.cluster.store import DynamoCluster
+from repro.cluster.tracelog import (
+    ColumnarReadTrace,
+    ColumnarTraceLog,
+    ColumnarWriteTrace,
+)
 from repro.cluster.tracing import ReadTrace, TraceLog, WriteTrace
 from repro.cluster.versioning import (
     Causality,
@@ -44,6 +49,7 @@ __all__ = [
     "Coordinator",
     "ReadHandle",
     "WriteHandle",
+    "CalendarQueue",
     "Event",
     "EventQueue",
     "FailureEvent",
@@ -61,6 +67,9 @@ __all__ = [
     "StalenessDetector",
     "StalenessSignal",
     "DynamoCluster",
+    "ColumnarReadTrace",
+    "ColumnarTraceLog",
+    "ColumnarWriteTrace",
     "ReadTrace",
     "TraceLog",
     "WriteTrace",

@@ -20,7 +20,6 @@ Both are disabled by default, matching the paper's conservative assumptions
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro.cluster.membership import Membership
@@ -36,36 +35,100 @@ from repro.exceptions import SimulationError
 __all__ = ["Coordinator", "WriteHandle", "ReadHandle"]
 
 
-@dataclass(slots=True)
 class WriteHandle:
-    """Client-visible handle for an in-flight write."""
+    """Client-visible handle for an in-flight write.
 
-    trace: WriteTrace
-    payload: VersionedValue
-    acks_received: int = 0
-    finished: bool = False
-    on_complete: Optional[Callable[[WriteTrace], None]] = None
-    #: Fallback nodes already holding a sloppy-quorum copy for this write.
-    used_fallbacks: set[str] = field(default_factory=set)
-    _timeout_event: object = field(default=None, repr=False)
+    Holds the trace log and the write's row reference rather than a trace
+    object; :attr:`trace` materialises the familiar ``WriteTrace`` surface on
+    demand (on the object backend the reference *is* the trace, so this is
+    free).
+    """
+
+    __slots__ = (
+        "ref",
+        "payload",
+        "acks_received",
+        "finished",
+        "committed",
+        "on_complete",
+        "used_fallbacks",
+        "_log",
+        "_timeout_event",
+    )
+
+    def __init__(
+        self,
+        log: TraceLog,
+        ref: object,
+        payload: VersionedValue,
+        on_complete: Optional[Callable[[WriteTrace], None]] = None,
+    ) -> None:
+        self._log = log
+        #: Trace reference (row id on the columnar backend, the trace itself
+        #: on the object backend).
+        self.ref = ref
+        self.payload = payload
+        self.acks_received = 0
+        self.finished = False
+        #: True once the write quorum acknowledged.
+        self.committed = False
+        self.on_complete = on_complete
+        #: Fallback nodes already holding a sloppy-quorum copy for this write.
+        self.used_fallbacks: set[str] = set()
+        self._timeout_event: object = None
 
     @property
-    def committed(self) -> bool:
-        """True once the write quorum acknowledged."""
-        return self.trace.committed
+    def trace(self) -> WriteTrace:
+        """The write's trace (a lazy row view on the columnar backend)."""
+        return self._log.write_view(self.ref)
 
 
-@dataclass(slots=True)
 class ReadHandle:
-    """Client-visible handle for an in-flight read."""
+    """Client-visible handle for an in-flight read.
 
-    trace: ReadTrace
-    expected_responses: int
-    responses: dict[str, Optional[VersionedValue]] = field(default_factory=dict)
-    finished: bool = False
-    value: Optional[VersionedValue] = None
-    on_complete: Optional[Callable[[ReadTrace], None]] = None
-    _timeout_event: object = field(default=None, repr=False)
+    Like :class:`WriteHandle`, carries (log, reference) instead of a trace
+    object; quorum membership and the newest-version selection are tracked
+    incrementally on the handle so the hot path never inspects trace state.
+    """
+
+    __slots__ = (
+        "ref",
+        "expected_responses",
+        "responses",
+        "finished",
+        "value",
+        "on_complete",
+        "quorum_count",
+        "_newest",
+        "_log",
+        "_timeout_event",
+    )
+
+    def __init__(
+        self,
+        log: TraceLog,
+        ref: object,
+        expected_responses: int,
+        on_complete: Optional[Callable[[ReadTrace], None]] = None,
+    ) -> None:
+        self._log = log
+        #: Trace reference (row id on the columnar backend, the trace itself
+        #: on the object backend).
+        self.ref = ref
+        self.expected_responses = expected_responses
+        self.responses: dict[str, Optional[VersionedValue]] = {}
+        self.finished = False
+        self.value: Optional[VersionedValue] = None
+        self.on_complete = on_complete
+        #: Responses counted toward the read quorum so far.
+        self.quorum_count = 0
+        self._newest: Optional[VersionedValue] = None
+        self._timeout_event: object = None
+
+    @property
+    def trace(self) -> ReadTrace:
+        """The read's trace (a lazy row view on the columnar backend)."""
+        return self._log.read_view(self.ref)
 
     @property
     def completed(self) -> bool:
@@ -106,10 +169,21 @@ class Coordinator:
         self._r = config.r
         self._w = config.w
         self._trace_log = trace_log
-        # Bound appends: traces are recorded once per operation on the hot
-        # path; TraceLog.record_read/record_write remain the public API.
-        self._record_write = trace_log.writes.append
-        self._record_read = trace_log.reads.append
+        # Bound narrow-API methods: recording happens with scalars through
+        # one pre-bound call per lifecycle step, identically on the object
+        # and columnar backends.
+        self._begin_write = trace_log.begin_write
+        self._note_write_arrival = trace_log.note_write_arrival
+        self._note_write_ack = trace_log.note_write_ack
+        self._note_write_commit = trace_log.note_write_commit
+        self._note_write_drop = trace_log.note_write_drop
+        self._begin_read = trace_log.begin_read
+        self._note_read_response = trace_log.note_read_response
+        self._note_read_quorum = trace_log.note_read_quorum
+        self._note_read_late = trace_log.note_read_late
+        self._note_read_complete = trace_log.note_read_complete
+        self._note_read_timeout = trace_log.note_read_timeout
+        self._note_read_repair = trace_log.note_read_repair
         # Single-entry placement memo (validation workloads hammer one key);
         # guarded by the membership generation so ring changes invalidate it.
         self._pref_key: str | None = None
@@ -170,15 +244,9 @@ class Coordinator:
             vector_clock=self._clock_vector,
             write_started_ms=now,
         )
-        trace = WriteTrace(
-            operation_id=next_operation_id(),
-            key=key,
-            version=version,
-            coordinator=self.coordinator_id,
-            started_ms=now,
-        )
-        handle = WriteHandle(trace=trace, payload=payload, on_complete=on_complete)
-        self._record_write(trace)
+        operation_id = next_operation_id()
+        ref = self._begin_write(operation_id, key, version, self.coordinator_id, now)
+        handle = WriteHandle(self._trace_log, ref, payload, on_complete=on_complete)
 
         replicas = self._preference(key)
         if self._event_labels:
@@ -196,7 +264,7 @@ class Coordinator:
                 if lossy and not network.delivers(
                     self.coordinator_id, replica.node_id
                 ):
-                    trace.dropped_replicas.add(replica.node_id)
+                    self._note_write_drop(ref, replica.node_id)
                     continue
                 push_call(
                     now + network.write_delay(replica.node_id),
@@ -208,14 +276,14 @@ class Coordinator:
         handle._timeout_event = self._simulator.schedule(
             self._timeout_ms,
             lambda: self._write_timeout(handle),
-            label=f"write-timeout:{trace.operation_id}" if self._event_labels else "",
+            label=f"write-timeout:{operation_id}" if self._event_labels else "",
         )
         return handle
 
     def _send_write(self, replica: StorageNode, handle: WriteHandle) -> None:
         """Send the write message for one replica (the W leg)."""
         if not self._network.delivers(self.coordinator_id, replica.node_id):
-            handle.trace.dropped_replicas.add(replica.node_id)
+            self._note_write_drop(handle.ref, replica.node_id)
             return
         delay = self._network.write_delay(replica.node_id)
         if self._event_labels:
@@ -233,14 +301,14 @@ class Coordinator:
         """The write message arrives at a replica; apply it and send the ack (A leg)."""
         now = self._clock.now_ms
         if not replica.alive:
-            handle.trace.dropped_replicas.add(replica.node_id)
+            self._note_write_drop(handle.ref, replica.node_id)
             if self._hinted_handoff:
                 self._store_hint(replica.node_id, handle.payload)
             if self._sloppy_quorum:
                 self._redirect_to_fallback(replica, handle)
             return
         replica.apply_write(handle.payload, now)
-        handle.trace.replica_arrivals_ms[replica.node_id] = now
+        self._note_write_arrival(handle.ref, replica.node_id, now)
         network = self._network
         if network.may_drop and not network.delivers(
             replica.node_id, self.coordinator_id
@@ -264,12 +332,13 @@ class Coordinator:
     def _receive_ack(self, replica_id: str, handle: WriteHandle) -> None:
         """An acknowledgement reaches the coordinator; commit at the W-th one."""
         now = self._clock.now_ms
-        handle.trace.ack_arrivals_ms[replica_id] = now
+        self._note_write_ack(handle.ref, replica_id, now)
         handle.acks_received += 1
-        if handle.finished or handle.trace.committed:
+        if handle.finished or handle.committed:
             return
         if handle.acks_received >= self._w:
-            handle.trace.committed_ms = now
+            self._note_write_commit(handle.ref, now)
+            handle.committed = True
             handle.finished = True
             if handle._timeout_event is not None:
                 handle._timeout_event.cancel()
@@ -337,7 +406,7 @@ class Coordinator:
         if not fallback.alive:
             return
         fallback.apply_write(handle.payload, now)
-        handle.trace.replica_arrivals_ms[fallback.node_id] = now
+        self._note_write_arrival(handle.ref, fallback.node_id, now)
         if self._hinted_handoff:
             # The fallback holds the data on behalf of the intended replica;
             # keep a hint so it can be replayed after recovery.
@@ -404,12 +473,12 @@ class Coordinator:
     ) -> ReadHandle:
         """Issue a read: forward to replicas, return the newest of the first R responses."""
         now = self._clock.now_ms
-        trace = ReadTrace(next_operation_id(), key, self.coordinator_id, now)
+        operation_id = next_operation_id()
+        ref = self._begin_read(operation_id, key, self.coordinator_id, now)
         replicas = self._preference(key)
         if not self._read_fanout_all:
             replicas = replicas[: self._r]
-        handle = ReadHandle(trace, len(replicas), on_complete=on_complete)
-        self._record_read(trace)
+        handle = ReadHandle(self._trace_log, ref, len(replicas), on_complete=on_complete)
 
         if self._event_labels:
             for replica in replicas:
@@ -437,7 +506,7 @@ class Coordinator:
         handle._timeout_event = self._simulator.schedule(
             self._timeout_ms,
             lambda: self._read_timeout(handle),
-            label=f"read-timeout:{trace.operation_id}" if self._event_labels else "",
+            label=f"read-timeout:{operation_id}" if self._event_labels else "",
         )
         return handle
 
@@ -498,17 +567,21 @@ class Coordinator:
     ) -> None:
         """A replica's response reaches the coordinator."""
         now = self._clock.now_ms
-        trace = handle.trace
-        trace.response_arrivals_ms[replica_id] = now
+        self._note_read_response(handle.ref, replica_id, now)
         handle.responses[replica_id] = payload
         version = payload.version if payload is not None else None
 
-        if not handle.finished and len(trace.quorum_responses) < self._r:
-            trace.quorum_responses[replica_id] = version
-            if len(trace.quorum_responses) >= self._r:
+        if not handle.finished and handle.quorum_count < self._r:
+            handle.quorum_count += 1
+            if payload is not None:
+                newest = handle._newest
+                if newest is None or payload.version > newest.version:
+                    handle._newest = payload
+            self._note_read_quorum(handle.ref, replica_id, version)
+            if handle.quorum_count >= self._r:
                 self._complete_read(handle)
         else:
-            trace.late_responses[replica_id] = version
+            self._note_read_late(handle.ref, replica_id, version)
 
         if self._read_repair:
             self._maybe_run_read_repair(handle)
@@ -516,18 +589,11 @@ class Coordinator:
     def _complete_read(self, handle: ReadHandle) -> None:
         """Assemble the result from the first R responses and return to the client."""
         now = self._clock.now_ms
-        quorum_payloads = [
-            handle.responses[replica_id]
-            for replica_id in handle.trace.quorum_responses
-            if handle.responses.get(replica_id) is not None
-        ]
-        newest: Optional[VersionedValue] = None
-        for payload in quorum_payloads:
-            if newest is None or payload.version > newest.version:
-                newest = payload
+        newest = handle._newest
         handle.value = newest
-        handle.trace.returned_version = newest.version if newest is not None else None
-        handle.trace.completed_ms = now
+        self._note_read_complete(
+            handle.ref, newest.version if newest is not None else None, now
+        )
         handle.finished = True
         if handle._timeout_event is not None:
             handle._timeout_event.cancel()
@@ -539,7 +605,7 @@ class Coordinator:
         if handle.finished:
             return
         handle.finished = True
-        handle.trace.timed_out = True
+        self._note_read_timeout(handle.ref)
         if handle.on_complete is not None:
             handle.on_complete(handle.trace)
 
@@ -576,5 +642,5 @@ class Coordinator:
                     delay,
                     lambda r=replica, p=newest: r.apply_write(p, self._clock.now_ms),
                 )
-            handle.trace.repairs_issued += 1
+            self._note_read_repair(handle.ref)
             self.repairs_sent += 1

@@ -50,18 +50,25 @@ class Simulator:
     max_events:
         Safety valve against runaway event storms; exceeded runs raise
         :class:`SimulationError`.
+    queue:
+        The event queue implementation (default: the tuple-heap
+        :class:`EventQueue`).  Any queue with the same push/pop/drain
+        contract works — :class:`~repro.cluster.events.CalendarQueue` is the
+        O(1)-amortised alternative selected by
+        ``DynamoCluster(engine="calendar")``.
     """
 
     def __init__(
         self,
         rng: np.random.Generator | int | None = None,
         max_events: int = 50_000_000,
+        queue: EventQueue | None = None,
     ) -> None:
         if max_events <= 0:
             raise SimulationError(f"max_events must be positive, got {max_events}")
         self.clock = SimulationClock()
         self.rng = as_rng(rng)
-        self._queue = EventQueue()
+        self._queue = EventQueue() if queue is None else queue
         self._max_events = max_events
         self._processed = 0
         self._running = False

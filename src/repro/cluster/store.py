@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.cluster.antientropy import MerkleAntiEntropy
 from repro.cluster.coordinator import Coordinator, ReadHandle, WriteHandle
+from repro.cluster.events import CalendarQueue
 from repro.cluster.failures import FailureInjector
 from repro.cluster.membership import Membership
 from repro.cluster.network import Network
@@ -31,6 +32,7 @@ from repro.cluster.node import StorageNode
 from repro.cluster.sampling import DEFAULT_DRAW_BATCH_SIZE
 from repro.cluster.simulator import Simulator
 from repro.cluster.staleness_detector import StalenessDetector
+from repro.cluster.tracelog import ColumnarTraceLog
 from repro.cluster.tracing import TraceLog
 from repro.core.quorum import ReplicaConfig
 from repro.exceptions import ConfigurationError, SimulationError
@@ -67,10 +69,13 @@ class DynamoCluster:
         Independent per-message drop probability.
     engine:
         ``"batched"`` (default) uses the overhauled hot path (tuple-heap
-        events, batched draw buffers); ``"reference"`` uses the pinned
-        pre-overhaul engine (:mod:`repro.cluster.reference`) — same protocol,
-        same determinism guarantees, original per-message costs — which
-        benchmarks use as their baseline.
+        events, batched draw buffers); ``"calendar"`` is the same hot path on
+        the O(1)-amortised :class:`~repro.cluster.events.CalendarQueue`
+        (bit-for-bit identical traces — the queues share one ordering
+        contract); ``"reference"`` uses the pinned pre-overhaul engine
+        (:mod:`repro.cluster.reference`) — same protocol, same determinism
+        guarantees, original per-message costs — which benchmarks use as
+        their baseline.
     draw_batch_size:
         Message latencies drawn per network-buffer refill (see
         :mod:`repro.cluster.sampling`); ``1`` reproduces the legacy
@@ -80,6 +85,12 @@ class DynamoCluster:
         Attach human-readable labels to every scheduled event.  Off by
         default: labels are debugging sugar and cost an f-string per message
         on the hot path.
+    trace_backend:
+        ``"columnar"`` (default) records traces into the struct-of-arrays
+        :class:`~repro.cluster.tracelog.ColumnarTraceLog`; ``"object"`` keeps
+        the per-operation dataclass :class:`~repro.cluster.tracing.TraceLog`.
+        Both backends produce identical analysis results — the object log is
+        retained as the equivalence oracle.
     rng:
         Seed or generator controlling every random choice in the simulation.
     """
@@ -100,6 +111,7 @@ class DynamoCluster:
         engine: str = "batched",
         draw_batch_size: int = DEFAULT_DRAW_BATCH_SIZE,
         event_labels: bool = False,
+        trace_backend: str = "columnar",
         rng: np.random.Generator | int | None = None,
     ) -> None:
         if node_count is None:
@@ -113,18 +125,27 @@ class DynamoCluster:
                 f"coordinator count must be >= 1, got {coordinator_count}"
             )
 
-        if engine not in ("batched", "reference"):
+        if engine not in ("batched", "calendar", "reference"):
             raise ConfigurationError(
-                f"unknown simulation engine {engine!r}; choose 'batched' or 'reference'"
+                f"unknown simulation engine {engine!r}; "
+                "choose 'batched', 'calendar', or 'reference'"
+            )
+        if trace_backend not in ("columnar", "object"):
+            raise ConfigurationError(
+                f"unknown trace backend {trace_backend!r}; choose 'columnar' or 'object'"
             )
         self.config = config
         self.distributions = distributions
         self.engine = engine
+        self.trace_backend = trace_backend
         if engine == "reference":
             from repro.cluster.reference import ReferenceNetwork, ReferenceSimulator
 
             self.simulator = ReferenceSimulator(rng=rng)
             network_cls = ReferenceNetwork
+        elif engine == "calendar":
+            self.simulator = Simulator(rng=rng, queue=CalendarQueue())
+            network_cls = Network
         else:
             self.simulator = Simulator(rng=rng)
             network_cls = Network
@@ -139,7 +160,7 @@ class DynamoCluster:
             draw_batch_size=draw_batch_size,
         )
         self._event_labels = event_labels
-        self.trace_log = TraceLog()
+        self.trace_log = ColumnarTraceLog() if trace_backend == "columnar" else TraceLog()
         self.coordinators = [
             Coordinator(
                 coordinator_id=f"coordinator-{index}",

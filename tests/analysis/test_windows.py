@@ -1,0 +1,167 @@
+"""Property tests for the vectorized analysis primitives.
+
+Two oracles, kept verbatim in this file, pin the vectorized code:
+
+* a brute-force ``O(len(prefixes) * max(prefixes))`` scan for
+  :func:`repro.analysis.windows.prefix_dominance_counts` (the dyadic merge
+  tree behind the columnar version-lag computation);
+* the pre-vectorization Python loop for
+  :func:`repro.analysis.staleness.measured_t_visibility`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.staleness import StalenessObservation, measured_t_visibility
+from repro.analysis.windows import prefix_dominance_counts
+from repro.exceptions import AnalysisError
+
+
+def _brute_force_dominance(values, prefixes, thresholds):
+    return np.array(
+        [
+            int(np.sum(np.asarray(values[:prefix]) <= threshold))
+            for prefix, threshold in zip(prefixes, thresholds)
+        ],
+        dtype=np.int64,
+    )
+
+
+class TestPrefixDominanceCounts:
+    @given(
+        values=st.lists(st.integers(-50, 50), max_size=64),
+        data=st.data(),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_matches_brute_force(self, values, data):
+        queries = data.draw(
+            st.lists(
+                st.tuples(
+                    st.integers(0, len(values)),  # prefix length
+                    st.integers(-60, 60),  # threshold value
+                ),
+                max_size=32,
+            )
+        )
+        prefixes = np.array([q[0] for q in queries], dtype=np.int64)
+        thresholds = np.array([q[1] for q in queries], dtype=np.int64)
+        got = prefix_dominance_counts(
+            np.array(values, dtype=np.int64), prefixes, thresholds
+        )
+        expected = _brute_force_dominance(values, prefixes, thresholds)
+        assert np.array_equal(got, expected)
+
+    def test_duplicates_count_individually(self):
+        values = np.array([5, 5, 5, 2], dtype=np.int64)
+        got = prefix_dominance_counts(
+            values,
+            np.array([4, 3, 2, 0], dtype=np.int64),
+            np.array([5, 4, 5, 100], dtype=np.int64),
+        )
+        assert got.tolist() == [4, 0, 2, 0]
+
+    def test_threshold_below_all_values(self):
+        values = np.array([3, 1, 2], dtype=np.int64)
+        got = prefix_dominance_counts(
+            values, np.array([3], dtype=np.int64), np.array([0], dtype=np.int64)
+        )
+        assert got.tolist() == [0]
+
+    def test_mismatched_query_shapes_rejected(self):
+        with pytest.raises(AnalysisError):
+            prefix_dominance_counts(
+                np.array([1], dtype=np.int64),
+                np.array([1, 1], dtype=np.int64),
+                np.array([0], dtype=np.int64),
+            )
+
+    def test_out_of_range_prefix_rejected(self):
+        with pytest.raises(AnalysisError):
+            prefix_dominance_counts(
+                np.array([1], dtype=np.int64),
+                np.array([2], dtype=np.int64),
+                np.array([0], dtype=np.int64),
+            )
+
+    def test_empty_queries(self):
+        got = prefix_dominance_counts(
+            np.array([1, 2], dtype=np.int64),
+            np.array([], dtype=np.int64),
+            np.array([], dtype=np.int64),
+        )
+        assert got.shape == (0,)
+
+
+def _loop_measured_t_visibility(observations, target_probability):
+    """The pre-vectorization implementation, kept verbatim as the oracle."""
+    ordered = sorted(observations, key=lambda obs: obs.t_since_commit_ms)
+    consistent_flags = np.array([obs.consistent for obs in ordered], dtype=float)
+    suffix_fraction = np.cumsum(consistent_flags[::-1])[::-1] / np.arange(
+        len(ordered), 0, -1
+    )
+    for observation, fraction in zip(ordered, suffix_fraction):
+        if fraction >= target_probability:
+            return observation.t_since_commit_ms
+    return float("inf")
+
+
+def _observation(index: int, t_ms: float, consistent: bool) -> StalenessObservation:
+    return StalenessObservation(
+        operation_id=index,
+        key="k",
+        t_since_commit_ms=t_ms,
+        consistent=consistent,
+        version_lag=0 if consistent else 1,
+    )
+
+
+class TestMeasuredTVisibilityProperty:
+    @given(
+        rows=st.lists(
+            st.tuples(
+                st.floats(0.0, 500.0, allow_nan=False, width=32),
+                st.booleans(),
+            ),
+            min_size=1,
+            max_size=80,
+        ),
+        target=st.floats(0.01, 1.0, allow_nan=False),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_vectorized_matches_loop_oracle(self, rows, target):
+        observations = [
+            _observation(index, float(t_ms), consistent)
+            for index, (t_ms, consistent) in enumerate(rows)
+        ]
+        assert measured_t_visibility(observations, target) == _loop_measured_t_visibility(
+            observations, target
+        )
+
+    def test_duplicate_times_resolve_like_the_stable_sort(self):
+        # Equal t values with mixed consistency: the stable argsort must pick
+        # the same representative observation as Python's stable sorted().
+        observations = [
+            _observation(0, 10.0, False),
+            _observation(1, 10.0, True),
+            _observation(2, 10.0, True),
+        ]
+        for target in (0.5, 0.6, 1.0):
+            assert measured_t_visibility(observations, target) == (
+                _loop_measured_t_visibility(observations, target)
+            )
+
+    def test_unreachable_target_returns_inf(self):
+        observations = [_observation(0, 1.0, False)]
+        assert measured_t_visibility(observations, 0.9) == float("inf")
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(AnalysisError):
+            measured_t_visibility([], 0.9)
+        with pytest.raises(AnalysisError):
+            measured_t_visibility([_observation(0, 1.0, True)], 0.0)
+        with pytest.raises(AnalysisError):
+            measured_t_visibility([_observation(0, 1.0, True)], 1.5)

@@ -1,0 +1,306 @@
+"""Tests for the calendar (bucket) event queue and the ``calendar`` engine.
+
+The :class:`~repro.cluster.events.CalendarQueue` promises the *exact*
+ordering contract of the tuple-heap :class:`~repro.cluster.events.EventQueue`
+— same ``(time, sequence)`` tie-breaks, same cancellation and drain
+semantics — so a cluster run on ``engine="calendar"`` must reproduce the
+heap engine's traces bit for bit.  These tests pin that contract three ways:
+unit behaviour mirroring the heap queue's tests, randomized pop-order
+equivalence against the heap, and end-to-end cluster trace equality.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.events import (
+    CALENDAR_MIN_BUCKETS,
+    COMPACTION_MIN_CANCELLED,
+    CalendarQueue,
+    EventQueue,
+)
+from repro.cluster.client import WorkloadRunner
+from repro.cluster.simulator import Simulator
+from repro.cluster.store import DynamoCluster
+from repro.core.quorum import ReplicaConfig
+from repro.exceptions import SimulationError
+from repro.latency.distributions import ExponentialLatency
+from repro.latency.production import WARSDistributions
+from repro.workloads.operations import validation_workload
+
+
+class TestCalendarQueueBehaviour:
+    """The heap queue's unit behaviours, replayed on the calendar queue."""
+
+    def test_pop_in_time_order(self):
+        queue = CalendarQueue()
+        fired: list[str] = []
+        queue.push(5.0, lambda: fired.append("late"))
+        queue.push(1.0, lambda: fired.append("early"))
+        while (event := queue.pop()) is not None:
+            event.action()
+        assert fired == ["early", "late"]
+
+    def test_ties_broken_by_insertion_order(self):
+        queue = CalendarQueue()
+        order: list[int] = []
+        for index in range(5):
+            queue.push(3.0, lambda i=index: order.append(i))
+        while (event := queue.pop()) is not None:
+            event.action()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_cancelled_events_are_skipped(self):
+        queue = CalendarQueue()
+        fired: list[str] = []
+        queue.push(1.0, lambda: fired.append("keep"))
+        drop = queue.push(2.0, lambda: fired.append("drop"))
+        drop.cancel()
+        while (event := queue.pop()) is not None:
+            event.action()
+        assert fired == ["keep"]
+
+    def test_len_ignores_cancelled(self):
+        queue = CalendarQueue()
+        queue.push(1.0, lambda: None)
+        cancelled = queue.push(2.0, lambda: None)
+        cancelled.cancel()
+        assert len(queue) == 1
+
+    def test_peek_time(self):
+        queue = CalendarQueue()
+        assert queue.peek_time() is None
+        queue.push(7.0, lambda: None)
+        assert queue.peek_time() == 7.0
+        assert len(queue) == 1  # peek does not consume
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(SimulationError):
+            CalendarQueue().push(-1.0, lambda: None)
+        with pytest.raises(SimulationError):
+            CalendarQueue().push_action(-1.0, lambda: None)
+
+    def test_non_positive_width_rejected(self):
+        with pytest.raises(SimulationError):
+            CalendarQueue(width_ms=0.0)
+        with pytest.raises(SimulationError):
+            CalendarQueue(width_ms=-2.0)
+
+    def test_push_action_and_push_call_entries_pop_in_order(self):
+        queue = CalendarQueue()
+        fired: list[object] = []
+        queue.push_action(2.0, lambda: fired.append("action"))
+        queue.push_call(1.0, fired.append, "call")
+        queue.push(3.0, lambda: fired.append("event"))
+        while (event := queue.pop()) is not None:
+            event.action()
+        assert fired == ["call", "action", "event"]
+
+    def test_clear_empties_and_detaches_events(self):
+        queue = CalendarQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.clear()
+        assert len(queue) == 0
+        assert queue.pop() is None
+        event.cancel()  # detached: must not corrupt the cleared counters
+        queue.push(1.0, lambda: None)
+        assert len(queue) == 1
+
+    def test_push_earlier_than_cursor_still_pops_first(self):
+        # Pop at t=50 moves the cursor forward; a later push at t=10 must
+        # still come out before t=60 (the cursor is lowered on insert).
+        queue = CalendarQueue()
+        queue.push(50.0, lambda: None)
+        queue.push(60.0, lambda: None)
+        assert queue.pop().time_ms == 50.0
+        queue.push(10.0, lambda: None)
+        assert queue.pop().time_ms == 10.0
+        assert queue.pop().time_ms == 60.0
+
+    def test_sparse_times_use_year_wrap_fallback(self):
+        # Times separated by far more than nbuckets * width force the
+        # empty-year fallback scan on every pop.
+        queue = CalendarQueue(width_ms=1.0)
+        times = [0.0, 10_000.0, 1_000_000.0, 3.0e9]
+        for time_ms in reversed(times):
+            queue.push(time_ms, lambda: None)
+        assert [queue.pop().time_ms for _ in times] == times
+        assert queue.pop() is None
+
+
+class TestCalendarResizeAndCompaction:
+    def test_grow_and_shrink_preserve_order(self):
+        queue = CalendarQueue()
+        count = 10 * CALENDAR_MIN_BUCKETS  # forces several doublings
+        times = [float(i % 97) for i in range(count)]
+        expected = sorted(range(count), key=lambda i: (times[i], i))
+        popped: list[int] = []
+        for index, time_ms in enumerate(times):
+            queue.push(time_ms, lambda i=index: popped.append(i))
+        assert queue._nbuckets > CALENDAR_MIN_BUCKETS
+        while (event := queue.pop()) is not None:  # shrinks back down while draining
+            event.action()
+        assert popped == expected
+        assert queue._nbuckets >= CALENDAR_MIN_BUCKETS
+
+    def test_mass_cancellation_triggers_compaction(self):
+        queue = CalendarQueue()
+        cancellable = [
+            queue.push(float(i), lambda: None)
+            for i in range(COMPACTION_MIN_CANCELLED + 10)
+        ]
+        survivors: list[float] = []
+        queue.push(0.5, lambda: survivors.append(0.5))
+        queue.push(2_000.0, lambda: survivors.append(2_000.0))
+        for event in cancellable:
+            event.cancel()
+        assert len(queue) == 2
+        # Compaction dropped the cancelled entries from the buckets.
+        assert queue._count - len(queue) < COMPACTION_MIN_CANCELLED
+        while (event := queue.pop()) is not None:
+            event.action()
+        assert survivors == [0.5, 2_000.0]
+
+    def test_rebuild_refits_width_to_pending_gaps(self):
+        queue = CalendarQueue(width_ms=1.0)
+        for i in range(4 * CALENDAR_MIN_BUCKETS):  # trigger at least one rebuild
+            queue.push(100.0 * i, lambda: None)
+        assert queue._width != 1.0  # refit to the observed 100 ms spacing
+        times = [queue.pop().time_ms for _ in range(len(queue))]
+        assert times == sorted(times)
+
+
+class TestHeapEquivalence:
+    """Randomized conformance: identical pop order to the tuple heap."""
+
+    def test_fuzz_pop_order_matches_heap(self):
+        rng = np.random.default_rng(1234)
+        for _ in range(20):
+            heap, calendar = EventQueue(), CalendarQueue()
+            tracked = []
+            for _ in range(200):
+                time_ms = float(rng.choice([rng.uniform(0, 50), rng.uniform(0, 5_000)]))
+                tracked.append((heap.push(time_ms, lambda: None),
+                                calendar.push(time_ms, lambda: None)))
+            for index in rng.choice(len(tracked), size=60, replace=False):
+                heap_event, calendar_event = tracked[index]
+                heap_event.cancel()
+                calendar_event.cancel()
+            heap_order = []
+            while (event := heap.pop()) is not None:
+                heap_order.append((event.time_ms, event.sequence))
+            calendar_order = []
+            while (event := calendar.pop()) is not None:
+                calendar_order.append((event.time_ms, event.sequence))
+            assert calendar_order == heap_order
+
+    def test_fuzz_interleaved_push_pop(self):
+        rng = np.random.default_rng(99)
+        heap, calendar = EventQueue(), CalendarQueue()
+        popped_heap: list[tuple] = []
+        popped_calendar: list[tuple] = []
+        floor = 0.0
+        for _ in range(1_000):
+            if len(heap) == 0 or rng.random() < 0.6:
+                time_ms = floor + float(rng.uniform(0, 100))
+                heap.push(time_ms, lambda: None)
+                calendar.push(time_ms, lambda: None)
+            else:
+                a, b = heap.pop(), calendar.pop()
+                assert (a.time_ms, a.sequence) == (b.time_ms, b.sequence)
+                floor = a.time_ms
+                popped_heap.append((a.time_ms, a.sequence))
+        while (event := heap.pop()) is not None:
+            popped_heap.append((event.time_ms, event.sequence))
+        while (event := calendar.pop()) is not None:
+            popped_calendar.append((event.time_ms, event.sequence))
+        assert popped_heap[-len(popped_calendar):] == popped_calendar
+
+
+class TestSimulatorIntegration:
+    def test_simulator_runs_on_calendar_queue(self):
+        simulator = Simulator(rng=0, queue=CalendarQueue())
+        seen: list[float] = []
+        simulator.schedule(10.0, lambda: seen.append(simulator.now_ms))
+        simulator.schedule(5.0, lambda: seen.append(simulator.now_ms))
+        simulator.run(until_ms=7.0)
+        assert seen == [5.0]
+        assert simulator.now_ms == 7.0
+        simulator.run()
+        assert seen == [5.0, 10.0]
+        assert simulator.processed_events == 2
+
+    def test_push_call_dispatches_with_arguments(self):
+        simulator = Simulator(rng=0, queue=CalendarQueue())
+        seen: list[tuple] = []
+        simulator.queue.push_call(4.0, lambda a, b: seen.append((a, b)), "x", 1)
+        simulator.queue.push_call(2.0, lambda a: seen.append((a,)), "y")
+        simulator.queue.push_call(6.0, lambda a, b, c: seen.append((a, b, c)), 1, 2, 3)
+        simulator.run()
+        assert seen == [("y",), ("x", 1), (1, 2, 3)]
+
+    def test_event_storm_guard(self):
+        simulator = Simulator(rng=0, max_events=100, queue=CalendarQueue())
+
+        def rescheduling() -> None:
+            simulator.schedule(1.0, rescheduling)
+
+        simulator.schedule(1.0, rescheduling)
+        with pytest.raises(SimulationError):
+            simulator.run(until_ms=1_000.0)
+
+
+def _trace_fingerprint(cluster: DynamoCluster) -> tuple:
+    writes = tuple(
+        (trace.started_ms, trace.committed_ms, trace.version.timestamp)
+        for trace in cluster.trace_log.writes
+    )
+    reads = tuple(
+        (
+            trace.started_ms,
+            trace.completed_ms,
+            None if trace.returned_version is None else trace.returned_version.timestamp,
+        )
+        for trace in cluster.trace_log.reads
+    )
+    return writes, reads
+
+
+def _run_cluster(seed: int, **kwargs) -> DynamoCluster:
+    distributions = WARSDistributions.write_specialised(
+        write=ExponentialLatency.from_mean(20.0),
+        other=ExponentialLatency.from_mean(10.0),
+    )
+    cluster = DynamoCluster(
+        config=ReplicaConfig(n=3, r=1, w=1),
+        distributions=distributions,
+        rng=seed,
+        **kwargs,
+    )
+    operations = validation_workload(
+        key="k", writes=40, write_interval_ms=100.0, read_offsets_ms=(1.0, 5.0, 20.0)
+    )
+    WorkloadRunner(cluster).run(operations)
+    return cluster
+
+
+class TestCalendarEngine:
+    def test_calendar_engine_matches_batched_engine_exactly(self):
+        for seed in (3, 17):
+            batched = _run_cluster(seed, engine="batched")
+            calendar = _run_cluster(seed, engine="calendar")
+            assert isinstance(calendar.simulator._queue, CalendarQueue)
+            assert _trace_fingerprint(calendar) == _trace_fingerprint(batched)
+
+    def test_calendar_engine_matches_reference_engine_at_batch_size_one(self):
+        reference = _run_cluster(5, engine="reference")
+        calendar = _run_cluster(5, engine="calendar", draw_batch_size=1)
+        assert _trace_fingerprint(calendar) == _trace_fingerprint(reference)
+
+    def test_calendar_engine_with_loss_and_object_backend(self):
+        batched = _run_cluster(11, engine="batched", loss_probability=0.2)
+        calendar = _run_cluster(
+            11, engine="calendar", loss_probability=0.2, trace_backend="object"
+        )
+        assert _trace_fingerprint(calendar) == _trace_fingerprint(batched)

@@ -134,6 +134,14 @@ class TestConformance:
         sharded = run_scenario(name, workers=workers, **CONFORMANCE_KWARGS)
         assert serial.to_dict() == sharded.to_dict()
 
+    def test_object_trace_backend_matches_columnar_bit_for_bit(self, name):
+        # The columnar trace log is a storage change, not a semantics change:
+        # the object-backend run must reproduce the default report exactly.
+        objects = run_scenario(
+            name, workers=1, trace_backend="object", **CONFORMANCE_KWARGS
+        )
+        assert objects.to_dict() == _conformance_run(name).to_dict()
+
     def test_report_is_schema_valid_and_json_safe(self, name):
         divergence = _conformance_run(name)
         payload = divergence.to_dict()

@@ -105,6 +105,22 @@ def run_benchmarks(quick: bool = False) -> dict:
         bench_cluster.measure_paper_scale_validation_cell(writes=validation_writes)
     )
 
+    analytics_writes = 5_000 if quick else 50_000
+    print(
+        f"columnar vs Fenwick trace analytics ({analytics_writes} writes) ...",
+        flush=True,
+    )
+    benchmarks["trace_analytics"] = bench_cluster.measure_trace_analytics(
+        writes=analytics_writes
+    )
+
+    print(
+        f"calendar queue vs tuple heap ({cluster_writes} writes/run) ...", flush=True
+    )
+    benchmarks["calendar_queue_events_per_sec"] = (
+        bench_cluster.measure_calendar_queue_events_per_sec(writes=cluster_writes)
+    )
+
     import test_bench_analytic as bench_analytic
 
     if quick:
