@@ -16,6 +16,10 @@ Practical Partial Quorums* (VLDB 2012).  The package provides:
 * ``repro.serving`` — an online multi-tenant prediction service: streaming
   ingest, periodic refit, fingerprint-cached analytic answers, and
   asynchronous Monte Carlo audits, exposed over JSON/HTTP.
+* ``repro.faults`` — declarative fault plans (gray failures, correlated
+  latency bursts) modulating the simulator's network, plus the
+  adaptive-recovery closed loop that refits a serving tenant from a hostile
+  run's harvested observations.
 
 Quickstart
 ----------
@@ -92,6 +96,13 @@ from repro.scenarios import (
     run_scenario,
     scenario_names,
 )
+from repro.faults import (
+    BurstProcess,
+    FaultPlan,
+    GrayFailure,
+    RecoveryTrajectory,
+    run_adaptive_recovery,
+)
 
 __version__ = "1.0.0"
 
@@ -136,6 +147,12 @@ __all__ = [
     "list_scenarios",
     "run_scenario",
     "scenario_names",
+    # Fault injection & adaptive recovery
+    "BurstProcess",
+    "FaultPlan",
+    "GrayFailure",
+    "RecoveryTrajectory",
+    "run_adaptive_recovery",
     # Exceptions
     "AnalysisError",
     "ConfigurationError",

@@ -51,8 +51,29 @@ class FailureInjector:
         return tuple(self._events)
 
     def schedule(self, event: FailureEvent) -> None:
-        """Schedule one crash (and optional recovery)."""
+        """Schedule one crash (and optional recovery).
+
+        Overlapping downtime windows for the same node are rejected: a node
+        that is already down cannot crash again, and the second event's
+        recovery would resurrect it mid-downtime of the first.  Windows are
+        half-open ``[crash, recover)``, so a crash exactly at another event's
+        recovery time is fine.
+        """
         node = self._membership.node(event.node_id)
+        start = event.crash_at_ms
+        end = float("inf") if event.recover_at_ms is None else event.recover_at_ms
+        for existing in self._events:
+            if existing.node_id != event.node_id:
+                continue
+            other_start = existing.crash_at_ms
+            other_end = (
+                float("inf") if existing.recover_at_ms is None else existing.recover_at_ms
+            )
+            if start < other_end and other_start < end:
+                raise ConfigurationError(
+                    f"failure window [{start}, {end}) for node {event.node_id!r} "
+                    f"overlaps already-scheduled window [{other_start}, {other_end})"
+                )
         self._events.append(event)
         self._simulator.schedule_at(
             event.crash_at_ms, node.crash, label=f"crash:{event.node_id}"

@@ -16,6 +16,11 @@ Delay sampling is batched: each distinct underlying distribution gets a
 one-numpy-call-per-message hot path (see :mod:`repro.cluster.sampling` for
 the determinism contract).  ``draw_batch_size=1`` reproduces the legacy
 per-draw seed stream exactly.
+
+An optional :class:`~repro.faults.plan.FaultPlan` modulates drawn delays on a
+time-varying schedule (gray failures, correlated bursts).  Modulation is pure
+arithmetic on the already-drawn value — it never consumes draws — so fault
+plans compose with the batching contract without perturbing any stream.
 """
 
 from __future__ import annotations
@@ -30,6 +35,8 @@ from repro.cluster.sampling import (
     UniformDrawBuffer,
 )
 from repro.exceptions import ConfigurationError
+from repro.faults.plan import FaultPlan
+from repro.faults.runtime import FaultRuntime
 from repro.latency.base import LatencyDistribution
 from repro.latency.composite import PerReplicaLatency
 from repro.latency.production import WARSDistributions
@@ -56,6 +63,15 @@ class Network:
         Latency draws buffered per distribution between generator refills.
         ``1`` disables batching and reproduces the legacy per-message
         ``sample(1, rng)`` stream bit-for-bit.
+    fault_plan:
+        Optional :class:`~repro.faults.plan.FaultPlan` whose gray failures
+        and burst processes modulate drawn delays on a time-varying schedule.
+        Modulation is applied *after* the buffered draw, so it never changes
+        how many generator draws are consumed (see
+        :mod:`repro.faults.runtime`).  Requires ``clock``.
+    clock:
+        The simulator's clock (any object with a ``now_ms`` attribute); only
+        needed when ``fault_plan`` is set.
     """
 
     distributions: WARSDistributions
@@ -65,6 +81,8 @@ class Network:
     draw_batch_size: int = DEFAULT_DRAW_BATCH_SIZE
     _partitioned: set[frozenset[str]] = field(default_factory=set, repr=False)
     dropped_messages: int = 0
+    fault_plan: FaultPlan | None = None
+    clock: object | None = None
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.loss_probability < 1.0:
@@ -88,6 +106,17 @@ class Network:
         self._a_cache: dict[str, LatencyDrawBuffer] = {}
         self._r_cache: dict[str, LatencyDrawBuffer] = {}
         self._s_cache: dict[str, LatencyDrawBuffer] = {}
+        if self.fault_plan is not None:
+            if self.clock is None:
+                raise ConfigurationError(
+                    "a fault plan needs the simulator clock; pass clock= "
+                    "(DynamoCluster wires this automatically)"
+                )
+            self._fault_runtime: FaultRuntime | None = FaultRuntime(
+                self.fault_plan, self.clock
+            )
+        else:
+            self._fault_runtime = None
 
     # ------------------------------------------------------------------
     # Delay sampling.
@@ -137,13 +166,35 @@ class Network:
         """Total buffer refills so far (instrumentation for tests/benchmarks)."""
         return sum(buffer.refills for buffer in self._buffers.values())
 
+    @property
+    def draws_consumed(self) -> int:
+        """Latency draws served so far across every buffer.
+
+        This is the quantity the fault-plan draw-accounting contract pins:
+        modulation rescales values *after* they are drawn, so a run with a
+        fault plan consumes exactly as many draws (and triggers exactly as
+        many refills) as the same run without one.
+        """
+        return sum(
+            buffer.refills * buffer.batch_size - buffer.pending
+            for buffer in self._buffers.values()
+        )
+
+    @property
+    def fault_runtime(self) -> FaultRuntime | None:
+        """The plan's per-cluster runtime (``None`` without a fault plan)."""
+        return self._fault_runtime
+
     def write_delay(self, replica: str) -> float:
         """One-way delay for the coordinator → replica write message (``W``)."""
         buffer = self._w_cache.get(replica)
         if buffer is None:
             buffer = self._resolve(self.distributions.w, replica)
             self._w_cache[replica] = buffer
-        return buffer.draw()
+        value = buffer.draw()
+        if self._fault_runtime is not None:
+            return self._fault_runtime.modulate("W", replica, value)
+        return value
 
     def ack_delay(self, replica: str) -> float:
         """One-way delay for the replica → coordinator acknowledgement (``A``)."""
@@ -151,7 +202,10 @@ class Network:
         if buffer is None:
             buffer = self._resolve(self.distributions.a, replica)
             self._a_cache[replica] = buffer
-        return buffer.draw()
+        value = buffer.draw()
+        if self._fault_runtime is not None:
+            return self._fault_runtime.modulate("A", replica, value)
+        return value
 
     def read_delay(self, replica: str) -> float:
         """One-way delay for the coordinator → replica read request (``R``)."""
@@ -159,7 +213,10 @@ class Network:
         if buffer is None:
             buffer = self._resolve(self.distributions.r, replica)
             self._r_cache[replica] = buffer
-        return buffer.draw()
+        value = buffer.draw()
+        if self._fault_runtime is not None:
+            return self._fault_runtime.modulate("R", replica, value)
+        return value
 
     def response_delay(self, replica: str) -> float:
         """One-way delay for the replica → coordinator read response (``S``)."""
@@ -167,7 +224,10 @@ class Network:
         if buffer is None:
             buffer = self._resolve(self.distributions.s, replica)
             self._s_cache[replica] = buffer
-        return buffer.draw()
+        value = buffer.draw()
+        if self._fault_runtime is not None:
+            return self._fault_runtime.modulate("S", replica, value)
+        return value
 
     # ------------------------------------------------------------------
     # Loss and partitions.

@@ -5,6 +5,13 @@ generator shared by every component of the cluster.  Components schedule work
 with :meth:`Simulator.schedule` (relative delays) or
 :meth:`Simulator.schedule_at` (absolute times); :meth:`Simulator.run` drains
 the queue in time order.
+
+The ``clock`` attribute is shared *by identity* with components that need to
+observe simulated time outside the event callbacks — notably the network's
+:class:`~repro.faults.runtime.FaultRuntime`, whose time-varying modulation
+reads ``clock.now_ms`` on every delay draw.  Events dispatch in
+non-decreasing time order, so observers may rely on the clock being
+monotonic within a run.
 """
 
 from __future__ import annotations

@@ -36,6 +36,7 @@ from repro.cluster.tracelog import ColumnarTraceLog
 from repro.cluster.tracing import TraceLog
 from repro.core.quorum import ReplicaConfig
 from repro.exceptions import ConfigurationError, SimulationError
+from repro.faults.plan import FaultPlan
 from repro.latency.production import WARSDistributions
 
 __all__ = ["DynamoCluster"]
@@ -91,6 +92,12 @@ class DynamoCluster:
         the per-operation dataclass :class:`~repro.cluster.tracing.TraceLog`.
         Both backends produce identical analysis results — the object log is
         retained as the equivalence oracle.
+    fault_plan:
+        Optional :class:`~repro.faults.plan.FaultPlan` injecting gray
+        failures and correlated latency bursts by modulating network delay
+        draws (see :mod:`repro.faults`).  Draw accounting is unchanged, so
+        sharded runs stay bit-for-bit deterministic.  Not supported by the
+        pinned reference engine.
     rng:
         Seed or generator controlling every random choice in the simulation.
     """
@@ -112,6 +119,7 @@ class DynamoCluster:
         draw_batch_size: int = DEFAULT_DRAW_BATCH_SIZE,
         event_labels: bool = False,
         trace_backend: str = "columnar",
+        fault_plan: FaultPlan | None = None,
         rng: np.random.Generator | int | None = None,
     ) -> None:
         if node_count is None:
@@ -134,6 +142,11 @@ class DynamoCluster:
             raise ConfigurationError(
                 f"unknown trace backend {trace_backend!r}; choose 'columnar' or 'object'"
             )
+        if fault_plan is not None and engine == "reference":
+            raise ConfigurationError(
+                "the pinned reference engine does not support fault plans; "
+                "use engine='batched' or engine='calendar'"
+            )
         self.config = config
         self.distributions = distributions
         self.engine = engine
@@ -152,13 +165,19 @@ class DynamoCluster:
         node_ids = [f"node-{index}" for index in range(node_count)]
         self.membership = Membership(node_ids, virtual_nodes=virtual_nodes)
         replica_slots = {node_id: index for index, node_id in enumerate(node_ids)}
-        self.network = network_cls(
+        network_kwargs: dict = dict(
             distributions=distributions,
             rng=self.simulator.rng,
             replica_slots=replica_slots,
             loss_probability=loss_probability,
             draw_batch_size=draw_batch_size,
         )
+        if fault_plan is not None:
+            # The runtime reads simulated time through the shared clock
+            # object; the reference engine (no clock of this shape) is
+            # rejected above.
+            network_kwargs.update(fault_plan=fault_plan, clock=self.simulator.clock)
+        self.network = network_cls(**network_kwargs)
         self._event_labels = event_labels
         self.trace_log = ColumnarTraceLog() if trace_backend == "columnar" else TraceLog()
         self.coordinators = [

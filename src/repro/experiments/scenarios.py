@@ -1,7 +1,8 @@
 """Hostile-conditions scenario experiments.
 
-Two registered experiments expose the scenario matrix
-(:mod:`repro.scenarios`) through the experiment registry and the CLI:
+Three registered experiments expose the scenario matrix
+(:mod:`repro.scenarios`) and the fault-injection closed loop
+(:mod:`repro.faults`) through the experiment registry and the CLI:
 
 ``scenario``
     One scenario's divergence report (``pbs-repro run scenario --name
@@ -9,6 +10,11 @@ Two registered experiments expose the scenario matrix
 ``scenarios``
     The full matrix — one row per registered scenario — which is also the
     shape exported to ``BENCH_sweep.json`` by ``tools/bench_to_json.py``.
+``recovery``
+    The adaptive-recovery closed loop (``pbs-repro run recovery --name
+    gray-failure``): harvest a hostile run's per-leg observations, stream
+    them into a serving tenant in timed windows, refit, and report the
+    divergence-vs-window recovery curve.
 
 ``trials`` is the number of simulated *writes* per scenario (the paper-scale
 figure is 50,000; the default keeps ``pbs-repro run all`` affordable).
@@ -21,10 +27,15 @@ import math
 import numpy as np
 
 from repro.experiments.registry import ExperimentResult, register
+from repro.faults.recovery import run_adaptive_recovery
 from repro.scenarios.divergence import ScenarioDivergence, run_scenario, run_scenario_matrix
 from repro.scenarios.registry import scenario_names
 
-__all__ = ["run_scenario_experiment", "run_scenario_matrix_experiment"]
+__all__ = [
+    "run_recovery_experiment",
+    "run_scenario_experiment",
+    "run_scenario_matrix_experiment",
+]
 
 
 def _divergence_row(divergence: ScenarioDivergence) -> dict[str, object]:
@@ -118,4 +129,39 @@ def run_scenario_matrix_experiment(
             "the baseline row's RMSE is the §5.2 validation error; hostile rows measure "
             "what each violated assumption costs the model",
         ),
+    )
+
+
+@register(
+    "recovery",
+    "Adaptive-recovery closed loop: hostile trace -> windowed refits -> convergence",
+)
+def run_recovery_experiment(
+    trials: int = 2_000,
+    rng: np.random.Generator | int | None = 0,
+    name: str = "gray-failure",
+    draw_batch_size: int | None = None,
+) -> ExperimentResult:
+    """Run the closed loop on one scenario; one row per ingest→refit window."""
+    kwargs: dict = {}
+    if draw_batch_size is not None:
+        kwargs["draw_batch_size"] = draw_batch_size
+    trajectory = run_adaptive_recovery(name, writes=trials, rng=rng, **kwargs)
+    rows = [
+        {
+            "window": window.index,
+            "start_ms": window.start_ms,
+            "end_ms": window.end_ms,
+            "samples": sum(window.samples.values()),
+            "mean_abs_delta_p_pct": window.mean_abs_delta_p * 100.0,
+            "recovered_pct": window.recovered_fraction * 100.0,
+        }
+        for window in trajectory.windows
+    ]
+    return ExperimentResult(
+        experiment_id="recovery",
+        title=f"Adaptive recovery: {trajectory.scenario}",
+        paper_artifact="Section 6 (extended)",
+        rows=rows,
+        notes=tuple(trajectory.summary_lines()),
     )

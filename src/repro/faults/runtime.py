@@ -1,0 +1,102 @@
+"""Per-cluster execution state for a :class:`~repro.faults.plan.FaultPlan`.
+
+The plan is immutable and shared (scenario objects carry one in their
+``cluster_kwargs``); the runtime is mutable and private to one
+:class:`~repro.cluster.network.Network`.  Modulation happens *after* a value
+has been drawn from the batched buffers:
+
+    draw (consumes the shared generator)  →  modulate (pure arithmetic)
+
+so a fault plan never changes how many draws are consumed, which is the
+invariant the serial ≡ sharded conformance and the draw-accounting property
+suite pin.
+
+Burst epochs come from a private ``numpy`` generator seeded by the plan;
+they are advanced lazily as simulated time grows.  The simulator dispatches
+events in non-decreasing time order and delay draws happen during dispatch,
+so the clock observed here is monotonic and the lazy advance is exact.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.faults.plan import WARS_LEGS, BurstProcess, FaultPlan, GrayFailure
+
+__all__ = ["FaultRuntime"]
+
+
+class _BurstState:
+    """One burst process's epoch machine (private generator, lazy advance)."""
+
+    __slots__ = ("multiplier", "on", "next_toggle_ms", "_mean_on", "_mean_off", "_rng")
+
+    def __init__(self, spec: BurstProcess) -> None:
+        self.multiplier = float(spec.on_multiplier)
+        self.on = bool(spec.start_on)
+        self._mean_on = float(spec.mean_on_ms)
+        self._mean_off = float(spec.mean_off_ms)
+        self._rng = np.random.default_rng(spec.seed)
+        first_mean = self._mean_on if self.on else self._mean_off
+        self.next_toggle_ms = float(self._rng.exponential(first_mean))
+
+    def active(self, now_ms: float) -> bool:
+        while now_ms >= self.next_toggle_ms:
+            self.on = not self.on
+            mean = self._mean_on if self.on else self._mean_off
+            self.next_toggle_ms += float(self._rng.exponential(mean))
+        return self.on
+
+
+class FaultRuntime:
+    """Applies a plan's time-varying multipliers to drawn delays."""
+
+    __slots__ = ("_clock", "_grays", "_bursts", "modulated_draws")
+
+    def __init__(self, plan: FaultPlan, clock) -> None:
+        self._clock = clock
+        # Per-leg dispatch tables so the hot path only walks faults that
+        # actually target the leg being drawn.  Node filters become
+        # frozensets once, here; ``None`` means "every node".
+        self._grays: dict[str, list[tuple[GrayFailure, frozenset[str] | None]]] = {
+            leg: [] for leg in WARS_LEGS
+        }
+        self._bursts: dict[str, list[tuple[_BurstState, frozenset[str] | None]]] = {
+            leg: [] for leg in WARS_LEGS
+        }
+        for gray in plan.gray_failures:
+            nodes = frozenset(gray.nodes) if gray.nodes else None
+            for leg in gray.legs:
+                self._grays[leg].append((gray, nodes))
+        for burst in plan.bursts:
+            nodes = frozenset(burst.nodes) if burst.nodes else None
+            state = _BurstState(burst)
+            for leg in burst.legs:
+                self._bursts[leg].append((state, nodes))
+        #: Draws whose value was actually changed (instrumentation).
+        self.modulated_draws = 0
+
+    def modulate(self, leg: str, replica: str, value: float) -> float:
+        """Scale one drawn delay by every fault active right now.
+
+        Pure arithmetic on the already-drawn value: no generator access, no
+        draw consumption.  Multiple active faults compose multiplicatively.
+        """
+        now_ms = self._clock.now_ms
+        scaled = value
+        for gray, nodes in self._grays[leg]:
+            if nodes is not None and replica not in nodes:
+                continue
+            if gray.active_at(now_ms):
+                factor = gray.multiplier
+                if gray.tail_threshold_ms is not None and value > gray.tail_threshold_ms:
+                    factor *= gray.tail_multiplier
+                scaled *= factor
+        for state, nodes in self._bursts[leg]:
+            if nodes is not None and replica not in nodes:
+                continue
+            if state.active(now_ms):
+                scaled *= state.multiplier
+        if scaled != value:
+            self.modulated_draws += 1
+        return scaled

@@ -27,6 +27,15 @@ contribution to model error:
 ``crash-recovery``
     A fail-stop replica crash with recovery mid-block, the paper's §6
     failure-mode discussion made concrete.
+``gray-failure``
+    Cluster-wide slow-but-alive degradation: every leg runs 4x slow from
+    5 s onward via a :class:`~repro.faults.plan.FaultPlan` — the failure
+    mode fail-stop injection cannot express (nothing crashes, nothing is
+    partitioned, everything is just slow).
+``correlated-bursts``
+    A seeded Markov-modulated ON/OFF burst process multiplies all legs
+    during ON epochs, violating the i.i.d. latency assumption with
+    correlated slow periods.
 
 All hooks and factories are module-level functions so sharded runs can
 resolve the scenario by name inside worker processes (see
@@ -38,6 +47,7 @@ test scale (2k writes) and paper scale (50k writes).
 from __future__ import annotations
 
 from repro.cluster.store import DynamoCluster
+from repro.faults.plan import BurstProcess, FaultPlan, GrayFailure
 from repro.latency.composite import wan_replica_model
 from repro.latency.distributions import ExponentialLatency
 from repro.latency.production import WARSDistributions
@@ -66,6 +76,52 @@ WAN_DELAY_MS = 15.0
 #: Keyspace and skew for ``zipfian-skew`` (YCSB's default theta).
 SKEW_KEYSPACE = 16
 SKEW_THETA = 0.99
+
+#: Gray-failure onset for the ``gray-failure`` scenario: the whole cluster
+#: (think degraded top-of-rack switch or a NIC renegotiated to a lower link
+#: speed) runs 4x slow from 5 s onward, open-ended.  Expressed in absolute
+#: simulated ms — every block starts at ``t = 0``, so serial and sharded
+#: runs see identical onsets.  The write interval is widened and the read
+#: offsets stretched so the slowed cluster still satisfies the predictors'
+#: one-outstanding-write assumption and the probe grid spans the slowed
+#: staleness curve: the scenario isolates the *marginal latency* violation,
+#: which is exactly what the adaptive-recovery loop
+#: (:func:`repro.faults.recovery.run_adaptive_recovery`) can win back.
+GRAY_MULTIPLIER = 4.0
+GRAY_START_MS = 5_000.0
+GRAY_WRITE_INTERVAL_MS = 200.0
+GRAY_READ_OFFSETS_MS = (1.0, 2.0, 5.0, 10.0, 20.0, 40.0, 80.0, 120.0, 160.0)
+
+#: Burst process for ``correlated-bursts``: all nodes, all legs, 6x during
+#: ON epochs (mean 1.5 s) separated by OFF epochs (mean 4.5 s).  The epoch
+#: timeline comes from the plan's private seed, so every block replays the
+#: same correlated slow periods.
+BURST_SEED = 13
+BURST_MULTIPLIER = 6.0
+BURST_MEAN_ON_MS = 1_500.0
+BURST_MEAN_OFF_MS = 4_500.0
+
+#: The frozen plans carried in ``cluster_kwargs`` — immutable, so sharing
+#: one instance across blocks and worker processes is safe (each cluster's
+#: network builds a private runtime from it).
+GRAY_FAILURE_PLAN = FaultPlan(
+    name="gray-failure",
+    gray_failures=(
+        GrayFailure(multiplier=GRAY_MULTIPLIER, start_ms=GRAY_START_MS),
+    ),
+)
+
+CORRELATED_BURSTS_PLAN = FaultPlan(
+    name="correlated-bursts",
+    bursts=(
+        BurstProcess(
+            seed=BURST_SEED,
+            on_multiplier=BURST_MULTIPLIER,
+            mean_on_ms=BURST_MEAN_ON_MS,
+            mean_off_ms=BURST_MEAN_OFF_MS,
+        ),
+    ),
+)
 
 
 def benign_distributions() -> WARSDistributions:
@@ -251,5 +307,25 @@ register_scenario(
         description="Fail-stop replica crash at 25% of the block, recovery at 55%",
         base_distributions=benign_distributions,
         setup=crash_setup,
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="gray-failure",
+        description="Cluster-wide 4x slow-but-alive degradation from 5 s onward",
+        base_distributions=benign_distributions,
+        cluster_kwargs={"fault_plan": GRAY_FAILURE_PLAN},
+        write_interval_ms=GRAY_WRITE_INTERVAL_MS,
+        read_offsets_ms=GRAY_READ_OFFSETS_MS,
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="correlated-bursts",
+        description="Markov-modulated 6x latency bursts (mean ON 1.5 s, OFF 4.5 s)",
+        base_distributions=benign_distributions,
+        cluster_kwargs={"fault_plan": CORRELATED_BURSTS_PLAN},
     )
 )

@@ -20,6 +20,7 @@ service is thread-safe, so concurrent requests are fine.
 from __future__ import annotations
 
 import json
+import math
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
 
@@ -29,6 +30,26 @@ from repro.exceptions import PBSError
 from repro.serving.service import PredictorService
 
 __all__ = ["make_server", "serve_forever"]
+
+def _reject_constant(constant: str) -> float:
+    """``parse_constant`` hook: refuse ``NaN``/``Infinity``/``-Infinity``."""
+    raise ValueError(f"non-finite JSON constant {constant!r} is not allowed")
+
+
+def _validate_observations(values: list) -> None:
+    """Reject observation payloads before they can touch a tenant reservoir.
+
+    Every value must be a finite number (bools are JSON numbers to
+    ``isinstance`` but never valid latencies).  Validating up front keeps a
+    400 response side-effect free: either the whole batch is ingested or none
+    of it is.
+    """
+    for value in values:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ValueError(f"observation values must be numbers, got {value!r}")
+        if math.isnan(value) or math.isinf(value):
+            raise ValueError(f"observation values must be finite, got {value!r}")
+
 
 #: Query parameters accepted by /recommend, mapped onto SLATarget fields.
 _TARGET_FIELDS = {
@@ -68,8 +89,11 @@ class _Handler(BaseHTTPRequestHandler):
         length = int(self.headers.get("Content-Length", "0"))
         raw = self.rfile.read(length) if length else b"{}"
         try:
-            payload = json.loads(raw or b"{}")
-        except json.JSONDecodeError as error:
+            # json.loads accepts NaN/Infinity by default; a non-finite
+            # observation would silently poison a tenant's reservoir, so the
+            # parser itself rejects the constants.
+            payload = json.loads(raw or b"{}", parse_constant=_reject_constant)
+        except (json.JSONDecodeError, ValueError) as error:
             raise ValueError(f"request body is not valid JSON: {error}") from error
         if not isinstance(payload, dict):
             raise ValueError("request body must be a JSON object")
@@ -115,6 +139,7 @@ class _Handler(BaseHTTPRequestHandler):
                     raise ValueError(
                         'observations require {"leg": "W|A|R|S", "values": [...]}'
                     )
+                _validate_observations(values)
                 count = service.ingest(name, leg, values)
                 self._reply(200, {"tenant": name, "ingested": count})
                 return

@@ -37,7 +37,7 @@ import numpy as np
 from repro.analytic.predictor import AnalyticPredictor
 from repro.core.quorum import ReplicaConfig
 from repro.core.sla import ConfigurationEvaluation, SLAOptimizer, SLATarget
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, PBSError
 from repro.latency.composite import PerReplicaLatency
 from repro.latency.empirical import EmpiricalDistribution
 from repro.latency.fitting import DEFAULT_FIT_PERCENTILES, fit_from_observations
@@ -93,6 +93,9 @@ class ServedPrediction:
     read_latency_ms: Mapping[float, float]
     #: Percentile -> write latency (ms).
     write_latency_ms: Mapping[float, float]
+    #: ``True`` when the tenant's most recent refit failed and the answer is
+    #: served stale-while-revalidate from the last-good environment.
+    degraded: bool = False
 
     def to_dict(self) -> dict:
         """JSON-ready representation (string keys, plain floats)."""
@@ -104,6 +107,7 @@ class ServedPrediction:
             "t_visibility_ms": {str(k): v for k, v in self.t_visibility_ms.items()},
             "read_latency_ms": {str(k): v for k, v in self.read_latency_ms.items()},
             "write_latency_ms": {str(k): v for k, v in self.write_latency_ms.items()},
+            "degraded": self.degraded,
         }
 
 
@@ -166,6 +170,15 @@ class TenantStats:
     observed: Mapping[str, int]
     #: WARS letter -> observations currently retained in the reservoir.
     retained: Mapping[str, int]
+    #: Serving stale-while-revalidate from the last-good environment.
+    degraded: bool = False
+    #: Refit rounds that failed (the tenant kept its last-good model).
+    refit_failures: int = 0
+    #: Consecutive failures; at the service's threshold the circuit opens
+    #: and auto-refits are suspended until a manual refit succeeds.
+    consecutive_refit_failures: int = 0
+    #: Message of the most recent refit failure (``None`` when healthy).
+    last_refit_error: str | None = None
 
 
 @dataclass(frozen=True)
@@ -181,6 +194,15 @@ class ServiceStats:
     spot_checks_failed: int
     #: Largest disagreement seen across all completed spot-checks.
     max_spot_check_error: float
+    #: Failed refit rounds across all tenants (each left last-good serving).
+    refit_failures: int = 0
+    #: Tenants currently serving degraded (stale-while-revalidate) answers.
+    degraded_tenants: int = 0
+    #: Exceptions survived by the spot-check worker thread.
+    spot_check_worker_errors: int = 0
+    #: The worker's current restart backoff (seconds); its poll interval
+    #: when healthy, doubled per consecutive error up to the service bound.
+    spot_check_worker_backoff_seconds: float = 0.0
 
     def to_dict(self) -> dict:
         """JSON-ready representation."""
@@ -192,6 +214,10 @@ class ServiceStats:
                     "refits": t.refits,
                     "observed": dict(t.observed),
                     "retained": dict(t.retained),
+                    "degraded": t.degraded,
+                    "refit_failures": t.refit_failures,
+                    "consecutive_refit_failures": t.consecutive_refit_failures,
+                    "last_refit_error": t.last_refit_error,
                 }
                 for t in self.tenants
             ],
@@ -205,11 +231,15 @@ class ServiceStats:
             },
             "predictions_served": self.predictions_served,
             "recommendations_served": self.recommendations_served,
+            "refit_failures": self.refit_failures,
+            "degraded_tenants": self.degraded_tenants,
             "spot_checks": {
                 "pending": self.spot_checks_pending,
                 "run": self.spot_checks_run,
                 "failed": self.spot_checks_failed,
                 "max_absolute_error": self.max_spot_check_error,
+                "worker_errors": self.spot_check_worker_errors,
+                "worker_backoff_seconds": self.spot_check_worker_backoff_seconds,
             },
         }
 
@@ -238,6 +268,10 @@ class _TenantState:
         "refits",
         "ingested_since_refit",
         "seed",
+        "refit_failures",
+        "consecutive_refit_failures",
+        "last_refit_error",
+        "degraded",
     )
 
     def __init__(
@@ -256,6 +290,10 @@ class _TenantState:
         self.refits = 0
         self.ingested_since_refit = 0
         self.seed = seed
+        self.refit_failures = 0
+        self.consecutive_refit_failures = 0
+        self.last_refit_error: str | None = None
+        self.degraded = False
 
 
 class PredictorService:
@@ -277,6 +315,15 @@ class PredictorService:
         ``"empirical"`` turns each reservoir directly into an
         :class:`EmpiricalDistribution`; ``"mixture"`` runs the paper's §5.5
         Pareto+exponential fit over the reservoir (slower, smooth tails).
+    refit_retries:
+        Extra immediate attempts when a refit throws before the round is
+        recorded as a failure (bounded retry; refits are deterministic, so
+        this mostly covers transient resource errors).
+    refit_failure_threshold:
+        Consecutive failed refit rounds after which the circuit opens:
+        auto-refits are suspended and the tenant keeps serving from its
+        last-good environment (answers flagged ``degraded``) until a manual
+        :meth:`refit` — the half-open probe — succeeds.
     spot_check_trials:
         Monte Carlo trials per asynchronous audit.
     spot_check_tolerance:
@@ -285,6 +332,10 @@ class PredictorService:
     spot_check_queue:
         Bound on queued audits; the oldest pending audit is dropped first
         (the request path never blocks on the auditor).
+    spot_check_worker_backoff_max_seconds:
+        Upper bound on the spot-check worker's restart backoff: the worker
+        survives exceptions in :meth:`run_pending_spot_checks`, doubling its
+        poll interval per consecutive error up to this bound.
     seed:
         Base seed for reservoirs and spot-check sampling.
     """
@@ -297,9 +348,12 @@ class PredictorService:
         refit_every: int | None = None,
         refit_method: str = "empirical",
         refit_percentiles: Sequence[float] = DEFAULT_FIT_PERCENTILES,
+        refit_retries: int = 1,
+        refit_failure_threshold: int = 3,
         spot_check_trials: int = 20_000,
         spot_check_tolerance: float = 0.02,
         spot_check_queue: int = 256,
+        spot_check_worker_backoff_max_seconds: float = 5.0,
         seed: int = 0,
     ) -> None:
         if not replication_factors:
@@ -324,11 +378,26 @@ class PredictorService:
             raise ConfigurationError(
                 f"spot-check queue bound must be >= 1, got {spot_check_queue}"
             )
+        if refit_retries < 0:
+            raise ConfigurationError(
+                f"refit_retries must be >= 0, got {refit_retries}"
+            )
+        if refit_failure_threshold < 1:
+            raise ConfigurationError(
+                f"refit_failure_threshold must be >= 1, got {refit_failure_threshold}"
+            )
+        if spot_check_worker_backoff_max_seconds <= 0.0:
+            raise ConfigurationError(
+                "spot_check_worker_backoff_max_seconds must be positive, got "
+                f"{spot_check_worker_backoff_max_seconds}"
+            )
         self._replication_factors = tuple(sorted(set(int(n) for n in replication_factors)))
         self._reservoir_capacity = int(reservoir_capacity)
         self._refit_every = refit_every
         self._refit_method = refit_method
         self._refit_percentiles = tuple(refit_percentiles)
+        self._refit_retries = int(refit_retries)
+        self._refit_failure_threshold = int(refit_failure_threshold)
         self._spot_check_trials = int(spot_check_trials)
         self._spot_check_tolerance = float(spot_check_tolerance)
         self._seed = int(seed)
@@ -343,8 +412,12 @@ class PredictorService:
         self._max_spot_error = 0.0
         self._predictions_served = 0
         self._recommendations_served = 0
+        self._refit_failures = 0
         self._worker: threading.Thread | None = None
         self._worker_stop = threading.Event()
+        self._worker_errors = 0
+        self._worker_backoff_seconds = 0.0
+        self._worker_backoff_max = float(spot_check_worker_backoff_max_seconds)
 
     # ------------------------------------------------------------------
     # Tenant lifecycle.
@@ -417,6 +490,10 @@ class PredictorService:
         Returns the number of observations ingested.  When ``refit_every`` is
         configured and the tenant has accumulated that many observations
         since its last refit, a refit runs synchronously before returning.
+        An auto-refit that throws is absorbed (bounded retries, then the
+        failure is recorded and the tenant keeps serving from its last-good
+        environment); subsequent auto-refits back off exponentially in
+        observation count and stop entirely once the circuit opens.
         """
         letter = leg.upper()
         if letter not in _WARS_LETTERS:
@@ -436,10 +513,24 @@ class PredictorService:
             state.ingested_since_refit += count
             if (
                 self._refit_every is not None
-                and state.ingested_since_refit >= self._refit_every
+                and state.consecutive_refit_failures < self._refit_failure_threshold
+                and state.ingested_since_refit >= self._auto_refit_due(state)
             ):
-                self._refit_locked(state)
+                self._attempt_refit_locked(state)
         return count
+
+    def _auto_refit_due(self, state: _TenantState) -> int:
+        """Observations required before the next auto-refit attempt.
+
+        Healthy tenants refit every ``refit_every`` observations; after a
+        failed round the requirement doubles per consecutive failure
+        (bounded backoff in observation count — the service has no wall
+        clock of its own), so a persistently failing fit is not retried on
+        every ingest batch.
+        """
+        assert self._refit_every is not None
+        backoff = 2 ** min(state.consecutive_refit_failures, 6)
+        return self._refit_every * backoff
 
     def refit(self, tenant: str) -> str:
         """Refit the tenant's distributions from its reservoirs.
@@ -449,11 +540,46 @@ class PredictorService:
         without observations keep their current model.  Returns the new
         environment fingerprint.  Refitting is deterministic: the same
         reservoir contents always produce the same fingerprint.
+
+        A failing refit raises (:class:`~repro.exceptions.PBSError` at the
+        API boundary) but never corrupts the tenant: the last-good
+        distributions, predictor, and fingerprint keep serving, flagged
+        ``degraded``.  A successful manual refit is the circuit breaker's
+        half-open probe — it closes the circuit and re-enables auto-refits.
         """
         state = self._tenant(tenant)
         with self._lock:
-            self._refit_locked(state)
+            try:
+                self._refit_locked(state)
+            except Exception as error:
+                self._note_refit_failure(state, error)
+                if isinstance(error, PBSError):
+                    raise
+                raise PBSError(
+                    f"refit failed for tenant {state.name!r}: {error}"
+                ) from error
             return state.fingerprint
+
+    def _attempt_refit_locked(self, state: _TenantState) -> bool:
+        """Auto-refit with bounded retries; absorbs failures, returns success."""
+        attempts = 1 + self._refit_retries
+        error: Exception | None = None
+        for _ in range(attempts):
+            try:
+                self._refit_locked(state)
+                return True
+            except Exception as exc:  # keep serving last-good on any failure
+                error = exc
+        assert error is not None
+        self._note_refit_failure(state, error)
+        return False
+
+    def _note_refit_failure(self, state: _TenantState, error: Exception) -> None:
+        state.refit_failures += 1
+        state.consecutive_refit_failures += 1
+        state.last_refit_error = str(error)
+        state.degraded = True
+        self._refit_failures += 1
 
     def _refit_locked(self, state: _TenantState) -> None:
         replacements: dict[str, object] = {}
@@ -467,16 +593,24 @@ class PredictorService:
                 replacements[letter.lower()] = fit_from_observations(
                     values, percentiles=self._refit_percentiles
                 ).distribution
+        if replacements:
+            # Build everything before touching the tenant: a throw from the
+            # fit or the predictor rebind leaves the last-good environment
+            # fully intact (graceful degradation, not partial state).
+            distributions = dataclasses.replace(state.distributions, **replacements)
+            # Carry the discretisation tuning across the drift; the
+            # fingerprint change retires every cached answer for the old
+            # environment.
+            predictor = state.predictor.rebind(distributions)
+            fingerprint = self._fingerprint(distributions, predictor)
+            state.distributions = distributions
+            state.predictor = predictor
+            state.fingerprint = fingerprint
         state.ingested_since_refit = 0
         state.refits += 1
-        if not replacements:
-            return
-        distributions = dataclasses.replace(state.distributions, **replacements)
-        state.distributions = distributions
-        # Carry the discretisation tuning across the drift; the fingerprint
-        # change retires every cached answer for the old environment.
-        state.predictor = state.predictor.rebind(distributions)
-        state.fingerprint = self._fingerprint(distributions, state.predictor)
+        state.consecutive_refit_failures = 0
+        state.last_refit_error = None
+        state.degraded = False
 
     # ------------------------------------------------------------------
     # Serving.
@@ -494,6 +628,11 @@ class PredictorService:
         memoised under the environment fingerprint, so repeated queries
         against an unchanged environment are cache hits.  Every cache miss
         enqueues an asynchronous Monte Carlo spot-check.
+
+        When the tenant's most recent refit failed, answers keep coming from
+        the last-good environment (stale-while-revalidate) and are flagged
+        ``degraded=True`` — the caller decides whether a stale answer is
+        acceptable; the service never errors a predict because a refit did.
         """
         state = self._tenant(tenant)
         targets = tuple(float(t) for t in target_probabilities)
@@ -502,6 +641,7 @@ class PredictorService:
             fingerprint = state.fingerprint
             predictor = state.predictor
             distributions = state.distributions
+            degraded = state.degraded
         key = request_key(
             fingerprint, "predict", (config.n, config.r, config.w, targets, points)
         )
@@ -509,6 +649,10 @@ class PredictorService:
         if cached is not None:
             with self._lock:
                 self._predictions_served += 1
+            if cached.degraded != degraded:  # type: ignore[union-attr]
+                # Cached answers are keyed by the (last-good) fingerprint;
+                # only the freshness flag changes while degraded.
+                cached = dataclasses.replace(cached, degraded=degraded)  # type: ignore[arg-type]
             return cached  # type: ignore[return-value]
         result = predictor.result(config)
         prediction = ServedPrediction(
@@ -519,6 +663,7 @@ class PredictorService:
             t_visibility_ms={t: result.t_visibility(t) for t in targets},
             read_latency_ms={p: result.read_latency_percentile(p) for p in points},
             write_latency_ms={p: result.write_latency_percentile(p) for p in points},
+            degraded=degraded,
         )
         self._cache.put(key, prediction)
         probes = tuple(
@@ -537,6 +682,22 @@ class PredictorService:
                 )
             )
         return prediction
+
+    def consistency_probabilities(
+        self, tenant: str, config: ReplicaConfig, times_ms: Sequence[float]
+    ) -> tuple[float, ...]:
+        """``P(consistent at t)`` at each probe time under the tenant's model.
+
+        A bulk curve probe for monitoring and the adaptive-recovery loop
+        (:mod:`repro.faults.recovery`): answered directly from the tenant's
+        warm analytic predictor, bypassing the request cache (curves are
+        arbitrary probe grids, so memoising them would only churn the LRU).
+        """
+        state = self._tenant(tenant)
+        with self._lock:
+            predictor = state.predictor
+        result = predictor.result(config)
+        return tuple(result.consistency_probability(float(t)) for t in times_ms)
 
     def recommend(self, tenant: str, target: SLATarget) -> ServedRecommendation:
         """Serve an SLA-driven (N, R, W) recommendation.
@@ -647,16 +808,38 @@ class PredictorService:
             return tuple(self._spot_results)
 
     def start_spot_check_worker(self, interval_seconds: float = 0.1) -> None:
-        """Start a daemon thread draining the audit queue off the request path."""
+        """Start a daemon thread draining the audit queue off the request path.
+
+        The worker survives exceptions: an error in
+        :meth:`run_pending_spot_checks` is counted
+        (``spot_check_worker_errors`` in :meth:`stats`) and the loop resumes
+        after a backoff that doubles per consecutive error, bounded by the
+        service's ``spot_check_worker_backoff_max_seconds``; a clean drain
+        resets the backoff to the poll interval.
+        """
         with self._lock:
             if self._worker is not None and self._worker.is_alive():
                 return
             self._worker_stop.clear()
+            self._worker_backoff_seconds = interval_seconds
 
             def run() -> None:
+                backoff = interval_seconds
                 while not self._worker_stop.is_set():
-                    self.run_pending_spot_checks()
-                    self._worker_stop.wait(interval_seconds)
+                    try:
+                        self.run_pending_spot_checks()
+                    except Exception:
+                        # The audit thread must outlive any one bad audit:
+                        # count the error, back off, try again.
+                        backoff = min(backoff * 2.0, self._worker_backoff_max)
+                        with self._lock:
+                            self._worker_errors += 1
+                            self._worker_backoff_seconds = backoff
+                    else:
+                        backoff = interval_seconds
+                        with self._lock:
+                            self._worker_backoff_seconds = backoff
+                    self._worker_stop.wait(backoff)
 
             self._worker = threading.Thread(
                 target=run, name="pbs-spot-checks", daemon=True
@@ -691,6 +874,10 @@ class PredictorService:
                         letter: len(reservoir)
                         for letter, reservoir in sorted(state.reservoirs.items())
                     },
+                    degraded=state.degraded,
+                    refit_failures=state.refit_failures,
+                    consecutive_refit_failures=state.consecutive_refit_failures,
+                    last_refit_error=state.last_refit_error,
                 )
                 for state in sorted(self._tenants.values(), key=lambda s: s.name)
             )
@@ -703,4 +890,10 @@ class PredictorService:
                 spot_checks_run=self._spot_runs,
                 spot_checks_failed=self._spot_failures,
                 max_spot_check_error=self._max_spot_error,
+                refit_failures=self._refit_failures,
+                degraded_tenants=sum(
+                    1 for state in self._tenants.values() if state.degraded
+                ),
+                spot_check_worker_errors=self._worker_errors,
+                spot_check_worker_backoff_seconds=self._worker_backoff_seconds,
             )

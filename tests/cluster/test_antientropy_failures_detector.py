@@ -93,6 +93,34 @@ class TestFailureInjection:
         with pytest.raises(ConfigurationError):
             cluster.failure_injector.schedule_random_failures(0.0, 1.0, 1.0)
 
+    def test_overlapping_windows_for_same_node_rejected(self):
+        cluster = DynamoCluster(ReplicaConfig(3, 1, 1), constant_wars(), rng=0)
+        injector = cluster.failure_injector
+        node = cluster.nodes[0].node_id
+        injector.schedule_crash(node, at_ms=10.0, downtime_ms=20.0)  # [10, 30)
+        with pytest.raises(ConfigurationError, match="overlaps"):
+            injector.schedule_crash(node, at_ms=25.0, downtime_ms=20.0)
+        with pytest.raises(ConfigurationError, match="overlaps"):
+            injector.schedule_crash(node, at_ms=5.0, downtime_ms=10.0)
+        # The rejected events never landed: the list and the calendar agree.
+        assert len(injector.scheduled_events) == 1
+
+    def test_open_ended_downtime_blocks_every_later_crash(self):
+        cluster = DynamoCluster(ReplicaConfig(3, 1, 1), constant_wars(), rng=0)
+        node = cluster.nodes[0].node_id
+        cluster.failure_injector.schedule_crash(node, at_ms=50.0)  # never recovers
+        with pytest.raises(ConfigurationError, match="overlaps"):
+            cluster.failure_injector.schedule_crash(node, at_ms=1e9)
+
+    def test_touching_windows_and_other_nodes_are_fine(self):
+        cluster = DynamoCluster(ReplicaConfig(3, 1, 1), constant_wars(), rng=0)
+        injector = cluster.failure_injector
+        first, second = cluster.nodes[0].node_id, cluster.nodes[1].node_id
+        injector.schedule_crash(first, at_ms=10.0, downtime_ms=20.0)  # [10, 30)
+        injector.schedule_crash(first, at_ms=30.0, downtime_ms=5.0)  # half-open: ok
+        injector.schedule_crash(second, at_ms=15.0, downtime_ms=20.0)  # other node
+        assert len(injector.scheduled_events) == 3
+
 
 class TestTraceLog:
     def test_latest_committed_version_before(self):

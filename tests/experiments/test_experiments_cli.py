@@ -264,6 +264,9 @@ class TestRegistrySmoke:
                 "section3-load",
                 "table1-2-3",
                 "table3-refit",
+                # The adaptive-recovery loop harvests trace logs block by
+                # block in commit order, so it is serial by design.
+                "recovery",
             }, f"{experiment_id} silently loses --workers; add the kwarg to its runner"
 
     def test_cli_workers_match_serial_results(self, capsys, workers):
@@ -375,6 +378,7 @@ class TestRegistrySmoke:
                 # is no probe grid to refine.
                 "scenario",
                 "scenarios",
+                "recovery",
             }, (
                 f"{experiment_id} silently loses --probe-resolution-ms; "
                 "add the kwarg to its runner"

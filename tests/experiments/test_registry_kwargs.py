@@ -51,6 +51,9 @@ EXPECTED_OPTIONAL_KWARGS: dict[str, set[str]] = {
     "validation": {"workers", "draw_batch_size"},
     "scenario": {"workers", "draw_batch_size", "name"},
     "scenarios": {"workers", "draw_batch_size"},
+    # The adaptive-recovery loop is serial by design (trace logs are
+    # harvested block by block), so it threads only the draw knob.
+    "recovery": {"draw_batch_size", "name"},
     "ablation-read-repair": {"workers", "draw_batch_size", "probe_resolution_ms", "kernel_backend"},
     "ablation-read-fanout": {"workers", "draw_batch_size", "probe_resolution_ms", "kernel_backend"},
     "ablation-failures": {"workers", "draw_batch_size", "probe_resolution_ms", "kernel_backend"},

@@ -42,6 +42,8 @@ PINNED_SCENARIOS = (
     "anti-entropy",
     "membership-churn",
     "crash-recovery",
+    "gray-failure",
+    "correlated-bursts",
 )
 
 #: Conformance-scale settings: multiple blocks at 2k writes, modest

@@ -168,3 +168,57 @@ class TestServeCommand:
         args = build_parser().parse_args(["serve"])
         assert args.host == "127.0.0.1" and args.port == 8080
         assert args.fit == "LNKD-SSD" and args.request_limit is None
+
+
+def _post_raw(url: str, data: bytes) -> tuple[int, dict]:
+    request = urllib.request.Request(
+        url, data=data, method="POST", headers={"Content-Type": "application/json"}
+    )
+    try:
+        with urllib.request.urlopen(request) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+class TestInputHardening:
+    """Hostile payloads must 400 without poisoning the tenant's reservoirs."""
+
+    OBSERVATIONS = "/tenants/acme/observations"
+
+    def _observed(self, server_url) -> dict:
+        return _get(f"{server_url}/stats")[1]["tenants"][0]["observed"]
+
+    def test_non_finite_values_are_rejected(self, server_url):
+        # json.dumps happily emits the NaN/Infinity literals; the server
+        # must not parse them into the reservoirs.
+        for poison in (float("nan"), float("inf"), -float("inf")):
+            status, body = _post(
+                f"{server_url}{self.OBSERVATIONS}",
+                {"leg": "W", "values": [1.0, poison]},
+            )
+            assert status == 400 and "error" in body
+        assert self._observed(server_url) == {}
+
+    def test_non_numeric_values_are_rejected(self, server_url):
+        for values in (["1.0"], [True], [None], [[1.0]], [{"v": 1.0}]):
+            status, body = _post(
+                f"{server_url}{self.OBSERVATIONS}", {"leg": "W", "values": values}
+            )
+            assert status == 400 and "error" in body
+        assert self._observed(server_url) == {}
+
+    def test_malformed_json_body_is_400(self, server_url):
+        for raw in (b"{nope", b"[1, 2", b"\xff\xfe", b"null", b'"text"'):
+            status, body = _post_raw(f"{server_url}{self.OBSERVATIONS}", raw)
+            assert status == 400 and "error" in body
+        assert self._observed(server_url) == {}
+
+    def test_valid_ingest_still_works_after_rejections(self, server_url):
+        _post_raw(f"{server_url}{self.OBSERVATIONS}", b"{nope")
+        _post(f"{server_url}{self.OBSERVATIONS}", {"leg": "W", "values": [float("nan")]})
+        status, body = _post(
+            f"{server_url}{self.OBSERVATIONS}", {"leg": "W", "values": [1.0, 2.0]}
+        )
+        assert status == 200 and body["ingested"] == 2
+        assert self._observed(server_url) == {"W": 2}

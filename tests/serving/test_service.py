@@ -7,7 +7,7 @@ import pytest
 
 from repro.core.quorum import ReplicaConfig
 from repro.core.sla import SLAOptimizer, SLATarget
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, PBSError
 from repro.latency.distributions import ExponentialLatency
 from repro.latency.production import WARSDistributions, production_fit
 from repro.serving import PredictorService
@@ -267,3 +267,196 @@ class TestSharedStaticPredictor:
         assert rebound.distributions.name == "LNKD-DISK"
         # Same object -> same predictor (warm tables preserved).
         assert first.rebind(first.distributions) is first
+
+
+class _FailingRebind:
+    """Predictor stand-in whose ``rebind`` always raises.
+
+    Wraps the tenant's real predictor so serving keeps working (all other
+    attribute access delegates) while every refit attempt blows up — the
+    shape of a wedged fit pipeline, not a dead tenant.
+    """
+
+    def __init__(self, inner) -> None:
+        self._inner = inner
+
+    def rebind(self, distributions):
+        raise RuntimeError("fit pipeline wedged")
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+def _wedge(svc: PredictorService, tenant: str) -> None:
+    state = svc._tenants[tenant]
+    state.predictor = _FailingRebind(state.predictor)
+
+
+def _heal(svc: PredictorService, tenant: str) -> None:
+    state = svc._tenants[tenant]
+    state.predictor = state.predictor._inner
+
+
+class TestGracefulDegradation:
+    def _observations(self, n: int = 8):
+        return np.random.default_rng(0).exponential(2.0, size=n)
+
+    def test_failed_auto_refit_keeps_serving_degraded(self):
+        svc = PredictorService(refit_every=8, refit_retries=0)
+        svc.register_tenant("t", "LNKD-SSD")
+        config = ReplicaConfig(3, 1, 1)
+        healthy = svc.predict("t", config)
+        assert not healthy.degraded
+
+        _wedge(svc, "t")
+        svc.ingest("t", "W", self._observations())  # trips auto-refit -> fails
+        served = svc.predict("t", config)
+        assert served.degraded
+        # Stale-while-revalidate: same last-good environment as before.
+        assert served.fingerprint == healthy.fingerprint
+        assert served.consistency_at_commit == healthy.consistency_at_commit
+
+        tenant = svc.stats().tenants[0]
+        assert tenant.degraded
+        assert tenant.refit_failures == 1
+        assert tenant.consecutive_refit_failures == 1
+        assert "wedged" in tenant.last_refit_error
+
+    def test_cache_hits_carry_the_current_degraded_flag(self):
+        svc = PredictorService(refit_every=8, refit_retries=0)
+        svc.register_tenant("t", "LNKD-SSD")
+        config = ReplicaConfig(3, 1, 1)
+        assert not svc.predict("t", config).degraded  # miss, cached healthy
+
+        _wedge(svc, "t")
+        svc.ingest("t", "W", self._observations())
+        flagged = svc.predict("t", config)  # cache hit, flag must flip
+        assert flagged.degraded
+        assert svc.stats().cache.hits == 1
+
+    def test_retries_consume_attempts_before_degrading(self):
+        svc = PredictorService(refit_retries=2)
+        svc.register_tenant("t", "LNKD-SSD")
+        svc.ingest("t", "W", self._observations())
+        _wedge(svc, "t")
+        with pytest.raises(PBSError):
+            svc.refit("t")
+        # One failed *round* regardless of the internal attempt count.
+        assert svc.stats().tenants[0].refit_failures == 1
+
+    def test_backoff_doubles_auto_refit_threshold(self):
+        svc = PredictorService(refit_every=8, refit_retries=0)
+        svc.register_tenant("t", "LNKD-SSD")
+        _wedge(svc, "t")
+        svc.ingest("t", "W", self._observations())  # failure #1 at 8 obs
+        assert svc.stats().tenants[0].refit_failures == 1
+        svc.ingest("t", "W", self._observations(4))  # 12 since refit: below 16
+        assert svc.stats().tenants[0].refit_failures == 1
+        svc.ingest("t", "W", self._observations(4))  # 16 since refit -> retry
+        assert svc.stats().tenants[0].refit_failures == 2
+
+    def test_circuit_opens_after_threshold_and_manual_probe_closes_it(self):
+        svc = PredictorService(
+            refit_every=4, refit_retries=0, refit_failure_threshold=2
+        )
+        svc.register_tenant("t", "LNKD-SSD")
+        config = ReplicaConfig(3, 1, 1)
+        _wedge(svc, "t")
+        for _ in range(3):  # 4, 8 (backoff x2) -> two failures, circuit opens
+            svc.ingest("t", "W", self._observations(4))
+        assert svc.stats().tenants[0].consecutive_refit_failures == 2
+
+        # Open circuit: further ingests never attempt a refit.
+        for _ in range(10):
+            svc.ingest("t", "W", self._observations(4))
+        assert svc.stats().tenants[0].refit_failures == 2
+
+        # Manual probe against the still-broken pipeline: raises, keeps serving.
+        with pytest.raises(PBSError):
+            svc.refit("t")
+        assert svc.predict("t", config).degraded
+
+        # Repair the pipeline; the next manual refit closes the circuit.
+        _heal(svc, "t")
+        svc.refit("t")
+        tenant = svc.stats().tenants[0]
+        assert not tenant.degraded
+        assert tenant.consecutive_refit_failures == 0
+        assert tenant.last_refit_error is None
+        assert not svc.predict("t", config).degraded
+
+    def test_service_level_counters_and_json_shape(self):
+        svc = PredictorService(refit_every=8, refit_retries=0)
+        svc.register_tenant("t", "LNKD-SSD")
+        _wedge(svc, "t")
+        svc.ingest("t", "W", self._observations())
+        stats = svc.stats()
+        assert stats.refit_failures == 1
+        assert stats.degraded_tenants == 1
+        payload = stats.to_dict()
+        assert payload["refit_failures"] == 1
+        assert payload["degraded_tenants"] == 1
+        assert payload["tenants"][0]["degraded"] is True
+        assert payload["spot_checks"]["worker_errors"] == 0
+        assert payload["spot_checks"]["worker_backoff_seconds"] == 0.0
+
+    def test_consistency_probabilities_curve(self):
+        svc = PredictorService()
+        svc.register_tenant("t", "LNKD-SSD")
+        curve = svc.consistency_probabilities(
+            "t", ReplicaConfig(3, 1, 1), (1.0, 10.0, 100.0)
+        )
+        assert len(curve) == 3
+        assert all(0.0 <= p <= 1.0 for p in curve)
+        assert curve == tuple(sorted(curve))  # monotone in t
+
+
+class TestWorkerResilience:
+    def test_worker_survives_exceptions_with_bounded_backoff(self, monkeypatch):
+        import time
+
+        svc = PredictorService(spot_check_worker_backoff_max_seconds=0.08)
+        svc.register_tenant("t", "LNKD-SSD")
+
+        def boom(max_checks=None):
+            raise RuntimeError("audit crashed")
+
+        monkeypatch.setattr(svc, "run_pending_spot_checks", boom)
+        svc.start_spot_check_worker(interval_seconds=0.01)
+        try:
+            deadline = time.monotonic() + 10.0
+            while svc.stats().spot_check_worker_errors < 3 and time.monotonic() < deadline:
+                time.sleep(0.02)
+            stats = svc.stats()
+            assert stats.spot_check_worker_errors >= 3
+            assert 0.0 < stats.spot_check_worker_backoff_seconds <= 0.08
+            assert svc._worker.is_alive()
+        finally:
+            svc.stop_spot_check_worker()
+
+    def test_backoff_resets_after_clean_drain(self, monkeypatch):
+        import time
+
+        svc = PredictorService(spot_check_worker_backoff_max_seconds=0.08)
+        svc.register_tenant("t", "LNKD-SSD")
+        failures = {"left": 2}
+        real = svc.run_pending_spot_checks
+
+        def flaky(max_checks=None):
+            if failures["left"] > 0:
+                failures["left"] -= 1
+                raise RuntimeError("transient")
+            return real(max_checks)
+
+        monkeypatch.setattr(svc, "run_pending_spot_checks", flaky)
+        svc.start_spot_check_worker(interval_seconds=0.01)
+        try:
+            deadline = time.monotonic() + 10.0
+            while failures["left"] > 0 and time.monotonic() < deadline:
+                time.sleep(0.02)
+            time.sleep(0.1)  # let one clean drain land
+            stats = svc.stats()
+            assert stats.spot_check_worker_errors == 2
+            assert stats.spot_check_worker_backoff_seconds == pytest.approx(0.01)
+        finally:
+            svc.stop_spot_check_worker()

@@ -25,6 +25,7 @@ SUBPACKAGES = (
     "repro.experiments",
     "repro.serving",
     "repro.scenarios",
+    "repro.faults",
 )
 
 

@@ -152,6 +152,16 @@ def run_benchmarks(quick: bool = False) -> dict:
         writes=scenario_writes
     )
 
+    import test_bench_faults as bench_faults
+
+    recovery_writes = 2_000 if quick else 5_000
+    print(
+        f"adaptive-recovery closed loop ({recovery_writes} writes) ...", flush=True
+    )
+    benchmarks["adaptive_recovery"] = bench_faults.measure_adaptive_recovery(
+        writes=recovery_writes
+    )
+
     return document
 
 
@@ -184,6 +194,14 @@ def main(argv: list[str] | None = None) -> int:
                     f"{line['consistency_rmse_pct']:.2f}%, "
                     f"dropped {line['dropped_messages']}"
                 )
+        elif "final_recovered_fraction" in result:
+            print(
+                f"{name}: recovered {result['final_recovered_fraction']:.0%} "
+                f"of static divergence "
+                f"({result['static_mean_abs_delta_p_pct']:.2f}% -> "
+                f"{result['final_mean_abs_delta_p_pct']:.2f}%) "
+                f"in {result['windows_to_threshold']} window(s)"
+            )
         elif "speedup" in result:
             print(f"{name}: speedup {result['speedup']:.2f}x")
         else:
